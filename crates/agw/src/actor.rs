@@ -1,0 +1,1358 @@
+//! The Access Gateway actor.
+//!
+//! One `AgwActor` hosts all of a gateway's services (§3.1's Figure 4):
+//! the RAN-specific termination modules (MME for S1AP/4G, AMF for
+//! NGAP/5G, AAA for WiFi RADIUS) on the left, and the generic functions
+//! (subscriber management, session/policy management, data-plane
+//! configuration, device management, telemetry) on the right. Local
+//! inter-service communication is modeled as zero-latency calls (in real
+//! Magma it is loopback gRPC); everything that crosses a machine boundary
+//! — S1AP from eNodeBs, RPC to the orchestrator/FeG, RADIUS from APs —
+//! crosses the simulated network with its losses and delays.
+//!
+//! Control-plane work is charged to the host's CPU: the attach pipeline
+//! costs `attach_auth + attach_session` core time gated by the MME's
+//! parallelism, and user-plane forwarding costs core time proportional to
+//! bytes. These are what saturate in Figures 5–8.
+
+use crate::checkpoint::AgwCheckpoint;
+use crate::config::AgwConfig;
+use crate::mobilityd::IpPool;
+use crate::msgs::{AgwHandle, FluidDemand, FluidGrant};
+use crate::pipelined;
+use crate::sessiond::{AccessTech, SessionManager};
+use magma_dataplane::Pipeline;
+use magma_net::{lp_encode, ports, LpFramer, SockCmd, SockEvent, StreamHandle};
+use magma_orc8r::proto as orc8r_proto;
+use magma_rpc::{RpcClient, RpcClientConfig, RpcClientEvent};
+use magma_sim::{downcast, try_downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use magma_subscriber::{DbSnapshot, SubscriberDb};
+use magma_wire::aka::{Kasme, Rand, Res};
+use magma_wire::nas::{EmmCause, NasMessage};
+use magma_wire::radius::{acct_status, attr, Attribute, RadiusCode, RadiusPacket};
+use magma_wire::s1ap::{EnbUeId, MmeUeId, S1apMessage};
+use magma_wire::{Guti, Imsi, Teid};
+use rand::RngCore;
+use serde_json::json;
+use std::collections::{HashMap, VecDeque};
+
+// Timer tags.
+const T_FLUID: u64 = 1;
+const T_CHECKIN: u64 = 2;
+const T_RPC: u64 = 3;
+const T_CHECKPOINT: u64 = 4;
+const T_UE_BASE: u64 = 1_000_000;
+
+// CPU job tags.
+const C_AUTH: u64 = 1;
+const C_SESSION: u64 = 2;
+const C_UP: u64 = 3;
+const C_MISC: u64 = 4;
+
+/// Which RPC call an outstanding client request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CallKind {
+    Bootstrap,
+    Checkin,
+    Checkpoint,
+    Credit { session: u64 },
+    CreditReport,
+    FegAuth { ue: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UeState {
+    /// Waiting for the auth CPU stage (or FeG vectors).
+    PendingAuth,
+    /// Authentication Request sent; awaiting the UE's response.
+    AwaitAuthResp,
+    /// Security Mode Command sent; awaiting completion.
+    AwaitSmc,
+    /// Waiting for the session CPU stage.
+    PendingSession,
+    /// Initial Context Setup sent; awaiting eNB/UE confirmation.
+    AwaitCtxSetup,
+    Active,
+}
+
+struct UeCtx {
+    enb_ue_id: EnbUeId,
+    conn: StreamHandle,
+    imsi: Imsi,
+    tech: AccessTech,
+    state: UeState,
+    xres: Option<Res>,
+    kasme: Option<Kasme>,
+    /// NAS security established (post Security Mode Complete): downlink
+    /// is integrity-protected and uplink must be.
+    secured: bool,
+    guti: u64,
+    session_id: Option<u64>,
+    started: SimTime,
+}
+
+enum MmeWork {
+    Auth(u32),
+    Session(u32),
+}
+
+struct RanConn {
+    framer: LpFramer,
+    enb_id: Option<u32>,
+    tech: AccessTech,
+}
+
+/// The access gateway.
+pub struct AgwActor {
+    cfg: AgwConfig,
+    shared: AgwHandle,
+    // Generic functions.
+    db: SubscriberDb,
+    pool: IpPool,
+    sessions: SessionManager,
+    pipeline: Pipeline,
+    // MME/AMF.
+    ue_ctxs: HashMap<u32, UeCtx>,
+    by_guti: HashMap<u64, u32>,
+    next_mme_ue_id: u32,
+    next_guti: u64,
+    ran_conns: HashMap<StreamHandle, RanConn>,
+    mme_inflight: u32,
+    mme_queue: VecDeque<MmeWork>,
+    // User plane.
+    pending_demands: Vec<FluidDemand>,
+    up_inflight_bytes: u64,
+    up_cores: u32,
+    // Orchestrator / federation clients.
+    orc8r: Option<RpcClient>,
+    feg: Option<RpcClient>,
+    cert: Option<u64>,
+    calls: HashMap<u64, CallKind>,
+    // WiFi accounting: session id by RADIUS Acct-Session-Id.
+    wifi_sessions: HashMap<String, u64>,
+}
+
+/// Per-RAN-element grant list: `(tunnel, uplink, downlink)` bytes.
+type RanGrants = Vec<(ActorId, Vec<(Teid, u64, u64)>)>;
+
+struct UpBatch {
+    grants_by_ran: RanGrants,
+    session_usage: Vec<(u64, u64, u64)>,
+}
+
+/// One per-core slice of a tick's forwarding work. The batch's grants and
+/// accounting fire when the last chunk finishes.
+struct UpChunk {
+    bytes: u64,
+    batch: std::rc::Rc<std::cell::RefCell<UpBatchState>>,
+}
+
+struct UpBatchState {
+    remaining: u32,
+    batch: Option<UpBatch>,
+}
+
+impl AgwActor {
+    pub fn new(cfg: AgwConfig, shared: AgwHandle) -> Self {
+        let pool = IpPool::new(cfg.ip_base, cfg.ip_size);
+        Self::build(cfg, shared, SubscriberDb::new(), pool, SessionManager::new(), None)
+    }
+
+    /// Restore a backup instance from a checkpoint (§3.3). Sessions, IP
+    /// leases, the config replica, and the bootstrap cert survive;
+    /// mid-procedure UE contexts do not.
+    pub fn restore(cfg: AgwConfig, shared: AgwHandle, cp: AgwCheckpoint) -> Self {
+        let mut db = SubscriberDb::new();
+        db.apply_snapshot(cp.db);
+        Self::build(cfg, shared, db, cp.pool, cp.sessions, cp.cert)
+    }
+
+    fn build(
+        cfg: AgwConfig,
+        shared: AgwHandle,
+        db: SubscriberDb,
+        pool: IpPool,
+        sessions: SessionManager,
+        cert: Option<u64>,
+    ) -> Self {
+        AgwActor {
+            cfg,
+            shared,
+            db,
+            pool,
+            sessions,
+            pipeline: Pipeline::new(),
+            ue_ctxs: HashMap::new(),
+            by_guti: HashMap::new(),
+            next_mme_ue_id: 1,
+            next_guti: 1,
+            ran_conns: HashMap::new(),
+            mme_inflight: 0,
+            mme_queue: VecDeque::new(),
+            pending_demands: Vec::new(),
+            up_inflight_bytes: 0,
+            up_cores: 1,
+            orc8r: None,
+            feg: None,
+            cert,
+            calls: HashMap::new(),
+            wifi_sessions: HashMap::new(),
+        }
+    }
+
+    /// Seed the local subscriber replica directly (pre-provisioning, as
+    /// the paper's testbed does with emulated SIMs).
+    pub fn preprovision(&mut self, snapshot: DbSnapshot) {
+        self.db.apply_snapshot(snapshot);
+    }
+
+    fn metric(&self, suffix: &str) -> String {
+        format!("{}.{}", self.cfg.id, suffix)
+    }
+
+    // ---- MME CPU gating ----
+
+    fn submit_mme(&mut self, ctx: &mut Ctx<'_>, work: MmeWork) {
+        self.mme_queue.push_back(work);
+        self.pump_mme(ctx);
+    }
+
+    fn pump_mme(&mut self, ctx: &mut Ctx<'_>) {
+        while self.mme_inflight < self.cfg.profile.mme_parallelism {
+            let Some(work) = self.mme_queue.pop_front() else {
+                break;
+            };
+            self.mme_inflight += 1;
+            let (tag, ue, cost) = match work {
+                MmeWork::Auth(ue) => (C_AUTH, ue, self.cfg.profile.attach_auth),
+                MmeWork::Session(ue) => (C_SESSION, ue, self.cfg.profile.attach_session),
+            };
+            ctx.exec(self.cfg.host, &self.cfg.cp_group, cost, tag, Box::new(ue));
+        }
+    }
+
+    fn charge_misc(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exec(
+            self.cfg.host,
+            &self.cfg.cp_group,
+            self.cfg.profile.nas_msg,
+            C_MISC,
+            Box::new(()),
+        );
+    }
+
+    // ---- S1AP/NAS handling ----
+
+    fn send_s1ap(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, msg: &S1apMessage) {
+        ctx.send(
+            self.cfg.stack,
+            Box::new(SockCmd::StreamSend {
+                handle: conn,
+                bytes: lp_encode(&msg.encode()),
+            }),
+        );
+    }
+
+    fn send_nas(&mut self, ctx: &mut Ctx<'_>, ue: u32, nas: NasMessage) {
+        let Some(ctx_ue) = self.ue_ctxs.get(&ue) else {
+            return;
+        };
+        // Integrity-protect downlink NAS once security is established.
+        let nas = match (&ctx_ue.kasme, ctx_ue.secured) {
+            (Some(kasme), true) => nas.secure(kasme),
+            _ => nas,
+        };
+        let msg = S1apMessage::DownlinkNasTransport {
+            enb_ue_id: ctx_ue.enb_ue_id,
+            mme_ue_id: MmeUeId(ue),
+            nas: nas.encode(),
+        };
+        let conn = ctx_ue.conn;
+        self.send_s1ap(ctx, conn, &msg);
+    }
+
+    fn handle_s1ap(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, msg: S1apMessage) {
+        match msg {
+            S1apMessage::S1SetupRequest { enb_id, .. } => {
+                if let Some(rc) = self.ran_conns.get_mut(&conn) {
+                    rc.enb_id = Some(enb_id);
+                }
+                let name = self.cfg.id.clone();
+                self.send_s1ap(ctx, conn, &S1apMessage::S1SetupResponse { mme_name: name });
+                let m = self.metric("enb.connected");
+                ctx.metrics().inc(&m, 1.0);
+            }
+            S1apMessage::InitialUeMessage { enb_ue_id, nas } => {
+                self.charge_misc(ctx);
+                match NasMessage::decode(&nas) {
+                    Ok(NasMessage::AttachRequest { imsi, .. }) => {
+                        self.start_attach(ctx, conn, enb_ue_id, imsi);
+                    }
+                    Ok(NasMessage::ServiceRequest { guti }) => {
+                        self.handle_service_request(ctx, conn, enb_ue_id, guti);
+                    }
+                    _ => {
+                        let m = self.metric("nas.bad_initial");
+                        ctx.metrics().inc(&m, 1.0);
+                    }
+                }
+            }
+            S1apMessage::UplinkNasTransport {
+                mme_ue_id, nas, ..
+            } => {
+                self.charge_misc(ctx);
+                if let Ok(nas) = NasMessage::decode(&nas) {
+                    self.handle_uplink_nas(ctx, mme_ue_id.0, nas);
+                }
+            }
+            S1apMessage::InitialContextSetupResponse {
+                mme_ue_id,
+                enb_teid,
+                ..
+            } => {
+                self.handle_ctx_setup_resp(ctx, mme_ue_id.0, enb_teid);
+            }
+            S1apMessage::UeContextReleaseComplete { mme_ue_id } => {
+                self.ue_ctxs.remove(&mme_ue_id.0);
+            }
+            S1apMessage::PathSwitchRequest {
+                mme_ue_id,
+                new_enb_ue_id,
+                new_enb_teid,
+            } => {
+                // Intra-AGW mobility: move the UE's S1 context to the
+                // target eNodeB and repoint the downlink tunnel.
+                let ue = mme_ue_id.0;
+                self.charge_misc(ctx);
+                if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
+                    uectx.conn = conn;
+                    uectx.enb_ue_id = new_enb_ue_id;
+                    if let Some(sid) = uectx.session_id {
+                        self.sessions.set_dl_teid(sid, new_enb_teid);
+                        self.reprogram_dataplane(ctx);
+                    }
+                    self.send_s1ap(ctx, conn, &S1apMessage::PathSwitchAck { mme_ue_id });
+                    let m = self.metric("handover");
+                    ctx.metrics().inc(&m, 1.0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn start_attach(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        enb_ue_id: EnbUeId,
+        imsi: Imsi,
+    ) {
+        let m = self.metric("attach.start");
+        ctx.metrics().inc(&m, 1.0);
+        let tech = self
+            .ran_conns
+            .get(&conn)
+            .map(|rc| rc.tech)
+            .unwrap_or(AccessTech::Lte);
+
+        // Admission: the subscriber must exist in the local replica (or
+        // we must be federated).
+        let known = self.db.get(imsi).map(|p| {
+            p.active
+                && match tech {
+                    AccessTech::Lte => p.access.lte,
+                    AccessTech::Nr5g => p.access.nr5g,
+                    AccessTech::Wifi => p.access.wifi,
+                }
+        });
+        if known != Some(true) && self.cfg.feg.is_none() {
+            let cause = if known.is_none() {
+                EmmCause::ImsiUnknown
+            } else {
+                EmmCause::IllegalUe
+            };
+            let msg = S1apMessage::DownlinkNasTransport {
+                enb_ue_id,
+                mme_ue_id: MmeUeId(0),
+                nas: NasMessage::AttachReject { cause }.encode(),
+            };
+            self.send_s1ap(ctx, conn, &msg);
+            let m = self.metric("attach.reject");
+            ctx.metrics().inc(&m, 1.0);
+            return;
+        }
+
+        let ue = self.next_mme_ue_id;
+        self.next_mme_ue_id += 1;
+        self.ue_ctxs.insert(
+            ue,
+            UeCtx {
+                enb_ue_id,
+                conn,
+                imsi,
+                tech,
+                state: UeState::PendingAuth,
+                xres: None,
+                kasme: None,
+                secured: false,
+                guti: 0,
+                session_id: None,
+                started: ctx.now(),
+            },
+        );
+        ctx.timer_in(self.cfg.ue_proc_timeout, T_UE_BASE + ue as u64);
+        self.submit_mme(ctx, MmeWork::Auth(ue));
+    }
+
+    fn handle_service_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        enb_ue_id: EnbUeId,
+        guti: Guti,
+    ) {
+        // Known GUTI with a live session: re-establish the radio context.
+        if let Some(&ue) = self.by_guti.get(&guti.0) {
+            if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
+                uectx.conn = conn;
+                uectx.enb_ue_id = enb_ue_id;
+                if let Some(sid) = uectx.session_id {
+                    if let Some(s) = self.sessions.get(sid) {
+                        let msg = S1apMessage::InitialContextSetupRequest {
+                            enb_ue_id,
+                            mme_ue_id: MmeUeId(ue),
+                            agw_teid: s.ul_teid,
+                            nas: NasMessage::AttachAccept {
+                                guti,
+                                ue_ip: s.ue_ip,
+                                ambr_dl_kbps: 0,
+                                ambr_ul_kbps: 0,
+                            }
+                            .encode(),
+                        };
+                        self.send_s1ap(ctx, conn, &msg);
+                        return;
+                    }
+                }
+            }
+        }
+        // Unknown (e.g., after AGW failover lost the volatile context):
+        // tell the UE to re-attach.
+        let msg = S1apMessage::DownlinkNasTransport {
+            enb_ue_id,
+            mme_ue_id: MmeUeId(0),
+            nas: NasMessage::AttachReject {
+                cause: EmmCause::ImsiUnknown,
+            }
+            .encode(),
+        };
+        self.send_s1ap(ctx, conn, &msg);
+    }
+
+    /// The auth CPU stage finished: produce a challenge (locally from the
+    /// replicated HSS, or via the FeG in federated mode).
+    fn auth_stage_done(&mut self, ctx: &mut Ctx<'_>, ue: u32) {
+        let Some(uectx) = self.ue_ctxs.get(&ue) else {
+            return;
+        };
+        let imsi = uectx.imsi;
+        if self.cfg.feg.is_some() && self.db.get(imsi).is_none() {
+            // Federated subscriber: fetch vectors from the MNO HSS.
+            let req = json!(orc8r_proto::FegAuthRequest { imsi: imsi.0 });
+            let id = self
+                .feg
+                .as_mut()
+                .expect("feg client in federated mode")
+                .call(ctx, orc8r_proto::methods::FEG_AUTH, req);
+            self.calls.insert(id, CallKind::FegAuth { ue });
+            return;
+        }
+        let mut rand = [0u8; 16];
+        ctx.rng().fill_bytes(&mut rand);
+        match self.db.generate_auth_vector(imsi, Rand(rand)) {
+            Some(v) => {
+                if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
+                    uectx.xres = Some(v.xres);
+                    uectx.kasme = Some(v.kasme);
+                    uectx.state = UeState::AwaitAuthResp;
+                }
+                self.send_nas(
+                    ctx,
+                    ue,
+                    NasMessage::AuthenticationRequest {
+                        rand: v.rand,
+                        autn: v.autn,
+                    },
+                );
+            }
+            None => self.fail_attach(ctx, ue, EmmCause::ImsiUnknown),
+        }
+    }
+
+    fn on_feg_vectors(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ue: u32,
+        resp: orc8r_proto::FegAuthResponse,
+    ) {
+        let Some(v) = resp.vectors.into_iter().next() else {
+            self.fail_attach(ctx, ue, EmmCause::AuthFailure);
+            return;
+        };
+        if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
+            uectx.xres = Some(v.xres);
+            uectx.kasme = Some(v.kasme);
+            uectx.state = UeState::AwaitAuthResp;
+        }
+        self.send_nas(
+            ctx,
+            ue,
+            NasMessage::AuthenticationRequest {
+                rand: v.rand,
+                autn: v.autn,
+            },
+        );
+    }
+
+    fn handle_uplink_nas(&mut self, ctx: &mut Ctx<'_>, ue: u32, nas: NasMessage) {
+        let Some(uectx) = self.ue_ctxs.get_mut(&ue) else {
+            return;
+        };
+        // Strip (and verify) integrity protection. After security mode,
+        // unprotected uplink signalling is rejected (anti-spoofing).
+        let nas = match (&uectx.kasme, nas) {
+            (Some(kasme), msg @ NasMessage::Secured { .. }) => {
+                match msg.unsecure(kasme) {
+                    Some(inner) => inner,
+                    None => {
+                        let m = self.metric("nas.bad_mac");
+                        ctx.metrics().inc(&m, 1.0);
+                        return;
+                    }
+                }
+            }
+            (None, NasMessage::Secured { .. }) => return,
+            (_, msg) => {
+                if self.ue_ctxs.get(&ue).map(|u| u.secured).unwrap_or(false) {
+                    let m = self.metric("nas.unprotected_rejected");
+                    ctx.metrics().inc(&m, 1.0);
+                    return;
+                }
+                msg
+            }
+        };
+        let Some(uectx) = self.ue_ctxs.get_mut(&ue) else {
+            return;
+        };
+        match (uectx.state, nas) {
+            (UeState::AwaitAuthResp, NasMessage::AuthenticationResponse { res }) => {
+                if uectx.xres == Some(res) {
+                    uectx.state = UeState::AwaitSmc;
+                    self.send_nas(ctx, ue, NasMessage::SecurityModeCommand { algorithm: 2 });
+                } else {
+                    self.fail_attach(ctx, ue, EmmCause::AuthFailure);
+                }
+            }
+            (UeState::AwaitAuthResp, NasMessage::AuthenticationFailure { .. }) => {
+                self.fail_attach(ctx, ue, EmmCause::AuthFailure);
+            }
+            (UeState::AwaitSmc, NasMessage::SecurityModeComplete) => {
+                uectx.state = UeState::PendingSession;
+                uectx.secured = uectx.kasme.is_some();
+                self.submit_mme(ctx, MmeWork::Session(ue));
+            }
+            (UeState::AwaitCtxSetup, NasMessage::AttachComplete) => {
+                uectx.state = UeState::Active;
+                let latency = ctx.now().since(uectx.started).as_secs_f64();
+                let m = self.metric("attach.accept");
+                ctx.metrics().inc(&m, 1.0);
+                let m = self.metric("attach.latency_s");
+                ctx.metrics().observe(&m, latency);
+            }
+            (_, NasMessage::DetachRequest { guti }) => {
+                self.handle_detach(ctx, ue, guti);
+            }
+            _ => {}
+        }
+    }
+
+    /// The session CPU stage finished: allocate resources and wire the
+    /// data plane.
+    fn session_stage_done(&mut self, ctx: &mut Ctx<'_>, ue: u32) {
+        let Some(uectx) = self.ue_ctxs.get(&ue) else {
+            return;
+        };
+        if uectx.state != UeState::PendingSession {
+            return;
+        }
+        let imsi = uectx.imsi;
+        let tech = uectx.tech;
+        let conn = uectx.conn;
+        let enb_ue_id = uectx.enb_ue_id;
+
+        let Some(ue_ip) = self.pool.allocate(imsi) else {
+            self.fail_attach(ctx, ue, EmmCause::Congestion);
+            return;
+        };
+        let rule = self
+            .db
+            .effective_rules(imsi)
+            .into_iter()
+            .max_by_key(|r| r.priority)
+            .unwrap_or_else(|| magma_policy::PolicyRule::unrestricted("default"));
+        let online = rule.tracking == magma_policy::UsageTracking::Online;
+        let ambr = self
+            .db
+            .get(imsi)
+            .map(|p| p.ambr)
+            .unwrap_or(magma_policy::Ambr::UNLIMITED);
+        let ul_teid = self.sessions.alloc_teid();
+        let sid = self
+            .sessions
+            .create(imsi, tech, ue_ip, ul_teid, Teid(0), rule, ctx.now());
+
+        let guti = self.next_guti;
+        self.next_guti += 1;
+        if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
+            uectx.guti = guti;
+            uectx.session_id = Some(sid);
+            uectx.state = UeState::AwaitCtxSetup;
+        }
+        self.by_guti.insert(guti, ue);
+
+        if online {
+            // Block traffic until the OCS grants a quota.
+            if let Some(s) = self.sessions.get_mut(sid) {
+                s.blocked = true;
+            }
+            let req = json!(orc8r_proto::CreditRequest {
+                imsi: imsi.0,
+                session_id: sid,
+            });
+            if let Some(client) = self.orc8r.as_mut() {
+                let id = client.call(ctx, orc8r_proto::methods::CREDIT_REQUEST, req);
+                self.calls.insert(id, CallKind::Credit { session: sid });
+            }
+        }
+        self.reprogram_dataplane(ctx);
+
+        let accept = NasMessage::AttachAccept {
+            guti: Guti(guti),
+            ue_ip,
+            ambr_dl_kbps: ambr.dl_kbps,
+            ambr_ul_kbps: ambr.ul_kbps,
+        };
+        let accept = match self.ue_ctxs.get(&ue).and_then(|u| u.kasme.as_ref()) {
+            Some(kasme) => accept.secure(kasme),
+            None => accept,
+        };
+        let msg = S1apMessage::InitialContextSetupRequest {
+            enb_ue_id,
+            mme_ue_id: MmeUeId(ue),
+            agw_teid: ul_teid,
+            nas: accept.encode(),
+        };
+        self.send_s1ap(ctx, conn, &msg);
+    }
+
+    fn handle_ctx_setup_resp(&mut self, ctx: &mut Ctx<'_>, ue: u32, enb_teid: Teid) {
+        let Some(uectx) = self.ue_ctxs.get(&ue) else {
+            return;
+        };
+        if let Some(sid) = uectx.session_id {
+            self.sessions.set_dl_teid(sid, enb_teid);
+            self.reprogram_dataplane(ctx);
+        }
+    }
+
+    fn handle_detach(&mut self, ctx: &mut Ctx<'_>, ue: u32, _guti: Guti) {
+        if let Some(uectx) = self.ue_ctxs.get(&ue) {
+            let imsi = uectx.imsi;
+            let guti = uectx.guti;
+            if let Some(sid) = uectx.session_id {
+                self.finish_session(ctx, sid);
+            }
+            self.pool.release(imsi);
+            self.by_guti.remove(&guti);
+            self.send_nas(ctx, ue, NasMessage::DetachAccept);
+            self.ue_ctxs.remove(&ue);
+            self.reprogram_dataplane(ctx);
+            let m = self.metric("detach");
+            ctx.metrics().inc(&m, 1.0);
+        }
+    }
+
+    /// Remove a session, reporting any outstanding online credit.
+    fn finish_session(&mut self, ctx: &mut Ctx<'_>, sid: u64) {
+        if let Some(s) = self.sessions.remove(sid) {
+            if let Some(credit) = &s.credit {
+                let report = json!(orc8r_proto::CreditReport {
+                    imsi: s.imsi.0,
+                    session_id: sid,
+                    used_bytes: credit.used,
+                    released_quota: credit.granted,
+                });
+                if let Some(client) = self.orc8r.as_mut() {
+                    let id = client.call(ctx, orc8r_proto::methods::CREDIT_REPORT, report);
+                    self.calls.insert(id, CallKind::CreditReport);
+                }
+            }
+        }
+    }
+
+    fn fail_attach(&mut self, ctx: &mut Ctx<'_>, ue: u32, cause: EmmCause) {
+        self.send_nas(ctx, ue, NasMessage::AttachReject { cause });
+        if let Some(uectx) = self.ue_ctxs.remove(&ue) {
+            self.pool.release(uectx.imsi);
+            if let Some(sid) = uectx.session_id {
+                self.finish_session(ctx, sid);
+                self.reprogram_dataplane(ctx);
+            }
+            self.by_guti.remove(&uectx.guti);
+        }
+        let m = self.metric("attach.reject");
+        ctx.metrics().inc(&m, 1.0);
+    }
+
+    fn reprogram_dataplane(&mut self, _ctx: &mut Ctx<'_>) {
+        let desired = pipelined::compile(&self.sessions);
+        self.pipeline.set_desired(&desired);
+    }
+
+    // ---- WiFi AAA (RADIUS) ----
+
+    fn handle_radius(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        local_port: u16,
+        src: magma_net::Endpoint,
+        bytes: bytes::Bytes,
+    ) {
+        let Ok(pkt) = RadiusPacket::decode(&bytes) else {
+            return;
+        };
+        self.charge_misc(ctx);
+        match (local_port, pkt.code) {
+            (ports::RADIUS_AUTH, RadiusCode::AccessRequest) => {
+                let user = pkt
+                    .get(attr::USER_NAME)
+                    .map(|a| a.as_str())
+                    .unwrap_or_default();
+                let pass = pkt
+                    .get(attr::USER_PASSWORD)
+                    .map(|a| a.as_str())
+                    .unwrap_or_default();
+                let reply = if self.db.check_wifi_password(&user, &pass) {
+                    let imsi = self.db.by_wifi_username(&user).unwrap().imsi;
+                    let rule = self
+                        .db
+                        .effective_rules(imsi)
+                        .into_iter()
+                        .max_by_key(|r| r.priority)
+                        .unwrap_or_else(|| magma_policy::PolicyRule::unrestricted("unrestricted"));
+                    match self.pool.allocate(imsi) {
+                        Some(ip) => {
+                            let teid = self.sessions.alloc_teid();
+                            let sid = self.sessions.create(
+                                imsi,
+                                AccessTech::Wifi,
+                                ip,
+                                teid,
+                                Teid(0),
+                                rule,
+                                ctx.now(),
+                            );
+                            if let Some(sess_id) = pkt.get(attr::ACCT_SESSION_ID) {
+                                self.wifi_sessions.insert(sess_id.as_str(), sid);
+                            } else {
+                                self.wifi_sessions.insert(user.clone(), sid);
+                            }
+                            self.reprogram_dataplane(ctx);
+                            let m = self.metric("wifi.accept");
+                            ctx.metrics().inc(&m, 1.0);
+                            let teid_val = self
+                                .sessions
+                                .get(sid)
+                                .map(|s| s.ul_teid.0)
+                                .unwrap_or(0);
+                            RadiusPacket::new(RadiusCode::AccessAccept, pkt.identifier)
+                                .with_attr(Attribute::u32(attr::FRAMED_IP_ADDRESS, ip.0))
+                                // Vendor attribute: tunnel id for the AP's
+                                // fluid data path (see magma-ran::wifi).
+                                .with_attr(Attribute::u32(200, teid_val))
+                        }
+                        None => RadiusPacket::new(RadiusCode::AccessReject, pkt.identifier),
+                    }
+                } else {
+                    let m = self.metric("wifi.reject");
+                    ctx.metrics().inc(&m, 1.0);
+                    RadiusPacket::new(RadiusCode::AccessReject, pkt.identifier)
+                };
+                ctx.send(
+                    self.cfg.stack,
+                    Box::new(SockCmd::DgramSend {
+                        src_port: local_port,
+                        dst: src,
+                        bytes: reply.encode(),
+                    }),
+                );
+            }
+            (ports::RADIUS_ACCT, RadiusCode::AccountingRequest) => {
+                let status = pkt
+                    .get(attr::ACCT_STATUS_TYPE)
+                    .and_then(|a| a.as_u32())
+                    .unwrap_or(0);
+                let sess_key = pkt
+                    .get(attr::ACCT_SESSION_ID)
+                    .map(|a| a.as_str())
+                    .unwrap_or_default();
+                if status == acct_status::STOP {
+                    if let Some(sid) = self.wifi_sessions.remove(&sess_key) {
+                        self.finish_session(ctx, sid);
+                        self.reprogram_dataplane(ctx);
+                    }
+                }
+                let reply = RadiusPacket::new(RadiusCode::AccountingResponse, pkt.identifier);
+                ctx.send(
+                    self.cfg.stack,
+                    Box::new(SockCmd::DgramSend {
+                        src_port: local_port,
+                        dst: src,
+                        bytes: reply.encode(),
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // ---- User plane ----
+
+    fn fluid_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let demands = std::mem::take(&mut self.pending_demands);
+        if !demands.is_empty() {
+            // Map TEIDs to session cookies.
+            let mut by_cookie: Vec<(u64, u64, u64)> = Vec::new();
+            let mut cookie_to_ran: Vec<(u64, usize, usize, Teid)> = Vec::new();
+            for (di, d) in demands.iter().enumerate() {
+                for (ti, &(teid, ul, dl)) in d.demands.iter().enumerate() {
+                    let cookie = self
+                        .sessions
+                        .by_ul_teid(teid)
+                        .map(|s| s.id)
+                        .unwrap_or(u64::MAX);
+                    by_cookie.push((cookie, ul, dl));
+                    cookie_to_ran.push((cookie, di, ti, teid));
+                }
+            }
+            let result = self.pipeline.fluid_tick(now, &by_cookie);
+
+            // Capacity gate: total bytes beyond the backlog cap are
+            // dropped (the AGW's NIC/CPU queue overflows).
+            let tick_cap = self.cfg.profile.up_bytes_per_core_sec as f64
+                * self.up_cores as f64
+                * self.cfg.fluid_tick.as_secs_f64();
+            let backlog_cap = (tick_cap * self.cfg.up_backlog_ticks as f64) as u64;
+            let mut total: u64 = result.total_ul + result.total_dl;
+            let mut scale = 1.0;
+            if self.up_inflight_bytes + total > backlog_cap && total > 0 {
+                let room = backlog_cap.saturating_sub(self.up_inflight_bytes);
+                scale = room as f64 / total as f64;
+                let m = self.metric("up.dropped_bytes");
+                ctx.metrics().inc(&m, (total - room) as f64);
+                total = room;
+            }
+            if total > 0 || !result.grants.is_empty() {
+                // Build per-RAN grant lists and session usage.
+                let mut grants_by_ran: RanGrants = demands
+                    .iter()
+                    .map(|d| (d.from_ran, Vec::new()))
+                    .collect();
+                let mut session_usage = Vec::new();
+                for (gi, &(cookie, ul, dl)) in result.grants.iter().enumerate() {
+                    let (c2, di, _ti, teid) = cookie_to_ran[gi];
+                    debug_assert_eq!(cookie, c2);
+                    let ul = (ul as f64 * scale) as u64;
+                    let dl = (dl as f64 * scale) as u64;
+                    grants_by_ran[di].1.push((teid, ul, dl));
+                    if cookie != u64::MAX && (ul > 0 || dl > 0) {
+                        session_usage.push((cookie, ul, dl));
+                    }
+                }
+                let batch = UpBatch {
+                    grants_by_ran,
+                    session_usage,
+                };
+                self.up_inflight_bytes += total;
+                // Split the tick's forwarding work across the user-plane
+                // cores so they can serve it concurrently (one softirq
+                // context per core, as OVS does).
+                let k = self.up_cores.max(1) as u64;
+                let chunk_bytes = total / k;
+                let state = std::rc::Rc::new(std::cell::RefCell::new(UpBatchState {
+                    remaining: k as u32,
+                    batch: Some(batch),
+                }));
+                for i in 0..k {
+                    let bytes = if i == k - 1 {
+                        total - chunk_bytes * (k - 1)
+                    } else {
+                        chunk_bytes
+                    };
+                    let demand = SimDuration::from_secs_f64(
+                        bytes as f64 / self.cfg.profile.up_bytes_per_core_sec as f64,
+                    );
+                    ctx.exec(
+                        self.cfg.host,
+                        &self.cfg.up_group,
+                        demand.max(SimDuration(1)),
+                        C_UP,
+                        Box::new(UpChunk {
+                            bytes,
+                            batch: state.clone(),
+                        }),
+                    );
+                }
+            }
+        }
+
+        // Telemetry samples.
+        let m = self.metric("sessions");
+        ctx.metrics().record(&m, now, self.sessions.len() as f64);
+        let m = self.metric("cp_queue");
+        ctx.metrics()
+            .record(&m, now, self.mme_queue.len() as f64);
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.active_sessions = self.sessions.len();
+            sh.connected_enbs = self.ran_conns.values().filter(|c| c.enb_id.is_some()).count();
+            sh.last_db_version = self.db.version;
+        }
+        ctx.timer_in(self.cfg.fluid_tick, T_FLUID);
+    }
+
+    fn up_chunk_done(&mut self, ctx: &mut Ctx<'_>, chunk: UpChunk) {
+        self.up_inflight_bytes = self.up_inflight_bytes.saturating_sub(chunk.bytes);
+        let now = ctx.now();
+        let m = self.metric("tp_bytes");
+        ctx.metrics().record(&m, now, chunk.bytes as f64);
+        let batch = {
+            let mut st = chunk.batch.borrow_mut();
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                st.batch.take()
+            } else {
+                None
+            }
+        };
+        let Some(batch) = batch else {
+            return;
+        };
+        for (ran, grants) in batch.grants_by_ran {
+            ctx.send(ran, Box::new(FluidGrant { grants }));
+        }
+        // Session accounting: tiered policies + online credit.
+        let mut reprogram = false;
+        let mut credit_requests = Vec::new();
+        for (cookie, ul, dl) in batch.session_usage {
+            let outcome = self.sessions.on_usage(cookie, now, ul, dl);
+            if outcome.limit_changed || outcome.blocked_changed {
+                reprogram = true;
+            }
+            if outcome.wants_credit {
+                credit_requests.push(cookie);
+            }
+        }
+        for sid in credit_requests {
+            let Some(s) = self.sessions.get(sid) else {
+                continue;
+            };
+            // Only one outstanding credit call per session.
+            if self
+                .calls
+                .values()
+                .any(|k| matches!(k, CallKind::Credit { session } if *session == sid))
+            {
+                continue;
+            }
+            let req = json!(orc8r_proto::CreditRequest {
+                imsi: s.imsi.0,
+                session_id: sid,
+            });
+            if let Some(client) = self.orc8r.as_mut() {
+                let id = client.call(ctx, orc8r_proto::methods::CREDIT_REQUEST, req);
+                self.calls.insert(id, CallKind::Credit { session: sid });
+            }
+        }
+        if reprogram {
+            self.reprogram_dataplane(ctx);
+        }
+    }
+
+    // ---- Orchestrator sync (magmad) ----
+
+    fn do_checkin(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(cert) = self.cert else {
+            // Not bootstrapped yet; try again.
+            self.do_bootstrap(ctx);
+            return;
+        };
+        let enbs: Vec<u32> = self
+            .ran_conns
+            .values()
+            .filter_map(|c| c.enb_id)
+            .collect();
+        let mut metrics = std::collections::BTreeMap::new();
+        for key in ["attach.start", "attach.accept", "attach.reject"] {
+            let name = self.metric(key);
+            let v = ctx.metrics().counter(&name);
+            metrics.insert(key.to_string(), v);
+        }
+        let req = json!(orc8r_proto::CheckinRequest {
+            agw_id: self.cfg.id.clone(),
+            cert,
+            db_version: self.db.version,
+            enbs,
+            active_sessions: self.sessions.len() as u64,
+            metrics,
+        });
+        if let Some(client) = self.orc8r.as_mut() {
+            let id = client.call(ctx, orc8r_proto::methods::CHECKIN, req);
+            self.calls.insert(id, CallKind::Checkin);
+        }
+    }
+
+    fn do_bootstrap(&mut self, ctx: &mut Ctx<'_>) {
+        let req = json!(orc8r_proto::BootstrapRequest {
+            agw_id: self.cfg.id.clone(),
+            hw_token: self.cfg.hw_token,
+        });
+        if let Some(client) = self.orc8r.as_mut() {
+            let id = client.call(ctx, orc8r_proto::methods::BOOTSTRAP, req);
+            self.calls.insert(id, CallKind::Bootstrap);
+        }
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let cp = AgwCheckpoint {
+            agw_id: self.cfg.id.clone(),
+            taken_at_us: ctx.now().as_micros(),
+            sessions: self.sessions.clone(),
+            pool: self.pool.clone(),
+            db: self.db.snapshot(),
+            cert: self.cert,
+        };
+        // Publish locally (the backup instance's source) and upload to the
+        // orchestrator when connected.
+        if let Some(client) = self.orc8r.as_mut() {
+            if client.is_connected() {
+                let push = json!(orc8r_proto::CheckpointPush {
+                    agw_id: cp.agw_id.clone(),
+                    state: serde_json::to_value(&cp).expect("checkpoint serializes"),
+                });
+                let id = client.call(ctx, orc8r_proto::methods::CHECKPOINT, push);
+                self.calls.insert(id, CallKind::Checkpoint);
+            }
+        }
+        self.shared.borrow_mut().checkpoint = Some(cp);
+        ctx.timer_in(self.cfg.checkpoint_interval, T_CHECKPOINT);
+    }
+
+    fn handle_rpc_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<RpcClientEvent>) {
+        for e in events {
+            match e {
+                RpcClientEvent::Response { id, body } => {
+                    let Some(kind) = self.calls.remove(&id) else {
+                        continue;
+                    };
+                    match kind {
+                        CallKind::Bootstrap => {
+                            if let Ok(resp) =
+                                serde_json::from_value::<orc8r_proto::BootstrapResponse>(body)
+                            {
+                                self.cert = Some(resp.cert);
+                                self.do_checkin(ctx);
+                            }
+                        }
+                        CallKind::Checkin => {
+                            if let Ok(resp) =
+                                serde_json::from_value::<orc8r_proto::CheckinResponse>(body)
+                            {
+                                if let Some(snap) = resp.snapshot {
+                                    self.db.apply_snapshot(snap);
+                                    let m = self.metric("config.sync");
+                                    ctx.metrics().inc(&m, 1.0);
+                                }
+                            }
+                        }
+                        CallKind::Credit { session } => {
+                            if let Ok(resp) =
+                                serde_json::from_value::<orc8r_proto::CreditResponse>(body)
+                            {
+                                if resp.denied {
+                                    if let Some(s) = self.sessions.get_mut(session) {
+                                        s.blocked = true;
+                                    }
+                                } else {
+                                    self.sessions
+                                        .refill_credit(session, resp.granted, resp.is_final);
+                                }
+                                self.reprogram_dataplane(ctx);
+                            }
+                        }
+                        CallKind::FegAuth { ue } => {
+                            match serde_json::from_value::<orc8r_proto::FegAuthResponse>(body) {
+                                Ok(resp) => self.on_feg_vectors(ctx, ue, resp),
+                                Err(_) => self.fail_attach(ctx, ue, EmmCause::AuthFailure),
+                            }
+                        }
+                        CallKind::Checkpoint | CallKind::CreditReport => {}
+                    }
+                }
+                RpcClientEvent::Failed { id, .. } => {
+                    let Some(kind) = self.calls.remove(&id) else {
+                        continue;
+                    };
+                    match kind {
+                        // Headless operation: config sync failures are
+                        // tolerated; we keep serving from the replica.
+                        CallKind::Checkin | CallKind::Bootstrap => {
+                            let m = self.metric("orc8r.unreachable");
+                            ctx.metrics().inc(&m, 1.0);
+                        }
+                        CallKind::Credit { session } => {
+                            // CAP trade-off (§3.2): allow the session to
+                            // run on stale credit rather than blocking on
+                            // an unreachable OCS.
+                            if let Some(s) = self.sessions.get_mut(session) {
+                                if s.blocked {
+                                    s.blocked = false;
+                                }
+                            }
+                            self.reprogram_dataplane(ctx);
+                            let m = self.metric("ocs.unreachable");
+                            ctx.metrics().inc(&m, 1.0);
+                        }
+                        CallKind::FegAuth { ue } => {
+                            self.fail_attach(ctx, ue, EmmCause::NetworkFailure)
+                        }
+                        CallKind::Checkpoint | CallKind::CreditReport => {}
+                    }
+                }
+                RpcClientEvent::Push {
+                    method, body, ..
+                } => {
+                    if method == orc8r_proto::methods::PUSH_SUBSCRIBERS {
+                        if let Ok(snap) = serde_json::from_value::<DbSnapshot>(body) {
+                            if snap.version > self.db.version {
+                                self.db.apply_snapshot(snap);
+                                let m = self.metric("config.push");
+                                ctx.metrics().inc(&m, 1.0);
+                            }
+                        }
+                    }
+                }
+                RpcClientEvent::Connected | RpcClientEvent::Disconnected => {}
+            }
+        }
+    }
+
+    fn handle_sock_event(&mut self, ctx: &mut Ctx<'_>, ev: SockEvent) {
+        // Offer to the RPC clients first.
+        let ev = if let Some(client) = self.orc8r.as_mut() {
+            match client.try_handle(ctx, ev) {
+                Ok(events) => {
+                    self.handle_rpc_events(ctx, events);
+                    return;
+                }
+                Err(ev) => ev,
+            }
+        } else {
+            ev
+        };
+        let ev = if let Some(client) = self.feg.as_mut() {
+            match client.try_handle(ctx, ev) {
+                Ok(events) => {
+                    self.handle_rpc_events(ctx, events);
+                    return;
+                }
+                Err(ev) => ev,
+            }
+        } else {
+            ev
+        };
+
+        match ev {
+            SockEvent::StreamAccepted {
+                handle,
+                local_port,
+                ..
+            } if local_port == ports::S1AP || local_port == ports::NGAP => {
+                let tech = if local_port == ports::NGAP {
+                    AccessTech::Nr5g
+                } else {
+                    AccessTech::Lte
+                };
+                self.ran_conns.insert(
+                    handle,
+                    RanConn {
+                        framer: LpFramer::new(),
+                        enb_id: None,
+                        tech,
+                    },
+                );
+            }
+            SockEvent::StreamRecv { handle, bytes } => {
+                if let Some(rc) = self.ran_conns.get_mut(&handle) {
+                    let msgs = rc.framer.push(&bytes);
+                    for m in msgs {
+                        if let Ok(s1ap) = S1apMessage::decode(&m) {
+                            self.handle_s1ap(ctx, handle, s1ap);
+                        }
+                    }
+                }
+            }
+            SockEvent::StreamClosed { handle, .. }
+                if self.ran_conns.remove(&handle).is_some() => {
+                    // Drop volatile UE contexts riding that connection.
+                    let gone: Vec<u32> = self
+                        .ue_ctxs
+                        .iter()
+                        .filter(|(_, u)| u.conn == handle)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for ue in gone {
+                        self.ue_ctxs.remove(&ue);
+                    }
+                }
+            SockEvent::DgramRecv {
+                local_port,
+                src,
+                bytes,
+            } => {
+                self.handle_radius(ctx, local_port, src, bytes);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for AgwActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.id();
+                // Discover how many cores serve the user plane (for the
+                // backlog cap).
+                // The host spec isn't directly readable here; default to
+                // a conservative single core and let the utilization
+                // report show the truth. Callers can widen via
+                // `set_up_cores` before adding the actor.
+                for port in [ports::S1AP, ports::NGAP] {
+                    ctx.send(
+                        self.cfg.stack,
+                        Box::new(SockCmd::ListenStream { port, owner: me }),
+                    );
+                }
+                for port in [ports::RADIUS_AUTH, ports::RADIUS_ACCT] {
+                    ctx.send(
+                        self.cfg.stack,
+                        Box::new(SockCmd::ListenDgram { port, owner: me }),
+                    );
+                }
+                if let Some(ep) = self.cfg.orc8r {
+                    self.orc8r = Some(
+                        RpcClient::new(self.cfg.stack, ep, 1).with_config(RpcClientConfig {
+                            per_try_timeout: SimDuration::from_secs(3),
+                            max_retries: 3,
+                            total_timeout: SimDuration::from_secs(15),
+                        }),
+                    );
+                    self.do_bootstrap(ctx);
+                    ctx.timer_in(self.cfg.checkin_interval, T_CHECKIN);
+                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                }
+                if let Some(ep) = self.cfg.feg {
+                    self.feg = Some(RpcClient::new(self.cfg.stack, ep, 2));
+                    if self.cfg.orc8r.is_none() {
+                        ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                    }
+                }
+                // Rebuild the data plane from restored sessions, if any.
+                self.reprogram_dataplane(ctx);
+                ctx.timer_in(self.cfg.fluid_tick, T_FLUID);
+                ctx.timer_in(self.cfg.checkpoint_interval, T_CHECKPOINT);
+            }
+            Event::Timer { tag } => match tag {
+                T_FLUID => self.fluid_tick(ctx),
+                T_CHECKIN => {
+                    self.do_checkin(ctx);
+                    ctx.timer_in(self.cfg.checkin_interval, T_CHECKIN);
+                }
+                T_RPC => {
+                    if let Some(client) = self.orc8r.as_mut() {
+                        let evs = client.on_tick(ctx);
+                        self.handle_rpc_events(ctx, evs);
+                    }
+                    if let Some(client) = self.feg.as_mut() {
+                        let evs = client.on_tick(ctx);
+                        self.handle_rpc_events(ctx, evs);
+                    }
+                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                }
+                T_CHECKPOINT => self.take_checkpoint(ctx),
+                t if t >= T_UE_BASE => {
+                    let ue = (t - T_UE_BASE) as u32;
+                    if let Some(uectx) = self.ue_ctxs.get(&ue) {
+                        if uectx.state != UeState::Active {
+                            let m = self.metric("attach.timeout");
+                            ctx.metrics().inc(&m, 1.0);
+                            self.fail_attach(ctx, ue, EmmCause::Congestion);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Event::CpuDone { tag, payload, .. } => match tag {
+                C_AUTH => {
+                    self.mme_inflight = self.mme_inflight.saturating_sub(1);
+                    let ue = downcast::<u32>(payload, "agw auth");
+                    self.auth_stage_done(ctx, ue);
+                    self.pump_mme(ctx);
+                }
+                C_SESSION => {
+                    self.mme_inflight = self.mme_inflight.saturating_sub(1);
+                    let ue = downcast::<u32>(payload, "agw session");
+                    self.session_stage_done(ctx, ue);
+                    self.pump_mme(ctx);
+                }
+                C_UP => {
+                    let chunk = downcast::<UpChunk>(payload, "agw up");
+                    self.up_chunk_done(ctx, chunk);
+                }
+                _ => {}
+            },
+            Event::Msg { payload, .. } => match try_downcast::<SockEvent>(payload) {
+                Ok(ev) => self.handle_sock_event(ctx, ev),
+                Err(payload) => {
+                    if let Ok(demand) = try_downcast::<FluidDemand>(payload) {
+                        self.pending_demands.push(demand);
+                    }
+                }
+            },
+        }
+    }
+
+    fn name(&self) -> String {
+        self.cfg.id.clone()
+    }
+}
+
+impl AgwActor {
+    /// Tell the AGW how many cores serve its user-plane group, so the
+    /// backlog cap matches the host. Call before adding the actor.
+    pub fn set_up_cores(&mut self, cores: u32) {
+        self.up_cores = cores.max(1);
+    }
+}

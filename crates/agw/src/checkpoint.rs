@@ -1,0 +1,69 @@
+//! AGW runtime-state checkpointing (§3.3).
+//!
+//! The checkpoint carries the state needed for a backup instance to take
+//! over the AGW's sessions: the session table, IP leases, and the
+//! replicated subscriber database. Mid-procedure MME state is *not*
+//! checkpointed — it is ephemeral and recoverable ("a UE can simply
+//! reconnect", §3.4).
+
+use crate::mobilityd::IpPool;
+use crate::sessiond::SessionManager;
+use magma_subscriber::DbSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// A complete serializable AGW runtime checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgwCheckpoint {
+    pub agw_id: String,
+    /// Simulated time the checkpoint was taken (microseconds).
+    pub taken_at_us: u64,
+    pub sessions: SessionManager,
+    pub pool: IpPool,
+    /// Replicated configuration (survives even if the orchestrator is
+    /// unreachable during recovery — headless restart).
+    pub db: DbSnapshot,
+    /// Bootstrap certificate, so the restored instance keeps checking in.
+    pub cert: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_policy::PolicyRule;
+    use magma_sim::SimTime;
+    use magma_subscriber::{SubscriberDb, SubscriberProfile};
+    use magma_wire::{Imsi, Teid, UeIp};
+
+    #[test]
+    fn checkpoint_serializes_and_restores() {
+        let mut sessions = SessionManager::new();
+        let ul = sessions.alloc_teid();
+        sessions.create(
+            Imsi::new(310, 26, 1),
+            crate::sessiond::AccessTech::Lte,
+            UeIp(0x0A000002),
+            ul,
+            Teid(700),
+            PolicyRule::unrestricted("default"),
+            SimTime::from_secs(3),
+        );
+        let mut pool = IpPool::new(0x0A000002, 100);
+        pool.allocate(Imsi::new(310, 26, 1));
+        let mut db = SubscriberDb::new();
+        db.upsert(SubscriberProfile::lte(Imsi::new(310, 26, 1), 7, 1));
+
+        let cp = AgwCheckpoint {
+            agw_id: "agw-1".into(),
+            taken_at_us: 3_000_000,
+            sessions,
+            pool,
+            db: db.snapshot(),
+            cert: Some(1000),
+        };
+        let json = serde_json::to_value(&cp).unwrap();
+        let back: AgwCheckpoint = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.sessions.len(), 1);
+        assert_eq!(back.pool.in_use(), 1);
+    }
+}

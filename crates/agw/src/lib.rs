@@ -1,0 +1,35 @@
+//! # magma-agw — the Magma Access Gateway
+//!
+//! The paper's central artifact (§3): a gateway co-located with RAN
+//! equipment that terminates the radio-specific protocols (S1AP/NAS for
+//! 4G, NGAP for 5G, RADIUS for WiFi) as close to the radio as possible
+//! and maps them onto generic, access-technology-independent functions:
+//!
+//! | module | generic function | 4G / 5G / WiFi analog |
+//! |---|---|---|
+//! | [`actor`] (MME/AMF/AAA front) | access control & management | MME / AMF / RADIUS AAA |
+//! | local [`magma_subscriber::SubscriberDb`] replica | subscriber management | HSS / UDM+AUSF / AAA |
+//! | [`sessiond`] | session & policy management | MME+PCRF / SMF+PCF / AAA |
+//! | [`pipelined`] | data-plane configuration | SGW+PGW / SMF / AP config |
+//! | [`magma_dataplane::Pipeline`] | data plane | SGW+PGW / UPF / AP |
+//! | [`checkpoint`] + check-in | device management & telemetry | (no 3GPP equivalent) |
+//!
+//! An AGW is a small fault domain: it holds the runtime state for the
+//! UEs behind its few eNodeBs, checkpoints that state for a backup
+//! instance, and keeps admitting UEs while disconnected from the
+//! orchestrator (headless operation).
+
+pub mod actor;
+pub mod checkpoint;
+pub mod config;
+pub mod mobilityd;
+pub mod msgs;
+pub mod pipelined;
+pub mod sessiond;
+
+pub use actor::AgwActor;
+pub use checkpoint::AgwCheckpoint;
+pub use config::{AgwConfig, CpuProfile};
+pub use mobilityd::IpPool;
+pub use msgs::{new_agw_handle, AgwHandle, AgwShared, FluidDemand, FluidGrant};
+pub use sessiond::{AccessTech, Session, SessionManager, UsageOutcome};

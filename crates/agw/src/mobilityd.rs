@@ -1,0 +1,106 @@
+//! mobilityd — UE IP address management.
+//!
+//! Each AGW owns a disjoint IP block (configuration state from the
+//! orchestrator); allocation itself is runtime state local to the AGW
+//! (§3.2), which is why attach works headless.
+
+use magma_wire::{Imsi, UeIp};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Allocation pool for one AGW.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpPool {
+    base: u32,
+    size: u32,
+    allocated: BTreeMap<Imsi, UeIp>,
+    free: BTreeSet<u32>,
+}
+
+impl IpPool {
+    /// `base` is the first address (host order), e.g. `0x0A_00_00_02` for
+    /// 10.0.0.2.
+    pub fn new(base: u32, size: u32) -> Self {
+        IpPool {
+            base,
+            size,
+            allocated: BTreeMap::new(),
+            free: (0..size).collect(),
+        }
+    }
+
+    /// Allocate (or return the existing lease for) `imsi`.
+    pub fn allocate(&mut self, imsi: Imsi) -> Option<UeIp> {
+        if let Some(ip) = self.allocated.get(&imsi) {
+            return Some(*ip);
+        }
+        let idx = *self.free.iter().next()?;
+        self.free.remove(&idx);
+        let ip = UeIp(self.base + idx);
+        self.allocated.insert(imsi, ip);
+        Some(ip)
+    }
+
+    pub fn release(&mut self, imsi: Imsi) {
+        if let Some(ip) = self.allocated.remove(&imsi) {
+            self.free.insert(ip.0 - self.base);
+        }
+    }
+
+    pub fn lookup(&self, imsi: Imsi) -> Option<UeIp> {
+        self.allocated.get(&imsi).copied()
+    }
+
+    pub fn in_use(&self) -> usize {
+        self.allocated.len()
+    }
+
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imsi(n: u64) -> Imsi {
+        Imsi::new(310, 26, n)
+    }
+
+    #[test]
+    fn allocate_is_stable_per_imsi() {
+        let mut p = IpPool::new(0x0A000002, 10);
+        let a = p.allocate(imsi(1)).unwrap();
+        let b = p.allocate(imsi(1)).unwrap();
+        assert_eq!(a, b, "same IMSI keeps its lease");
+        assert_eq!(p.in_use(), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_and_release() {
+        let mut p = IpPool::new(100, 2);
+        assert!(p.allocate(imsi(1)).is_some());
+        assert!(p.allocate(imsi(2)).is_some());
+        assert!(p.allocate(imsi(3)).is_none(), "pool exhausted");
+        p.release(imsi(1));
+        let ip = p.allocate(imsi(3)).unwrap();
+        assert_eq!(ip, UeIp(100), "lowest freed address reused");
+    }
+
+    #[test]
+    fn distinct_imsis_distinct_ips() {
+        let mut p = IpPool::new(0, 100);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(seen.insert(p.allocate(imsi(i)).unwrap()));
+        }
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut p = IpPool::new(0, 2);
+        p.release(imsi(9));
+        assert_eq!(p.available(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on the session manager: index consistency, TEID
+//! uniqueness, and checkpoint-serialization fidelity under arbitrary
+//! attach/detach/usage interleavings.
+
+use magma_agw::{AccessTech, SessionManager};
+use magma_policy::PolicyRule;
+use magma_sim::SimTime;
+use magma_wire::{Imsi, Teid, UeIp};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Attach(u64),
+    Detach(u64),
+    Usage(u64, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..30).prop_map(Op::Attach),
+        (1u64..30).prop_map(Op::Detach),
+        ((1u64..30), (0u64..1_000_000)).prop_map(|(n, b)| Op::Usage(n, b)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn indexes_stay_consistent(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut m = SessionManager::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Attach(n) => {
+                    let imsi = Imsi::new(310, 26, n);
+                    let ul = m.alloc_teid();
+                    m.create(
+                        imsi,
+                        AccessTech::Lte,
+                        UeIp(1000 + n as u32),
+                        ul,
+                        Teid(0),
+                        PolicyRule::unrestricted("default"),
+                        now,
+                    );
+                }
+                Op::Detach(n) => {
+                    let id = m.by_imsi(Imsi::new(310, 26, n)).map(|s| s.id);
+                    if let Some(id) = id {
+                        m.remove(id);
+                    }
+                }
+                Op::Usage(n, b) => {
+                    let id = m.by_imsi(Imsi::new(310, 26, n)).map(|s| s.id);
+                    if let Some(id) = id {
+                        m.on_usage(id, now, b, b);
+                    }
+                }
+            }
+            // Invariants after every step:
+            // 1. At most one session per IMSI; indexes agree.
+            let mut imsis = HashSet::new();
+            let mut teids = HashSet::new();
+            for s in m.iter() {
+                prop_assert!(imsis.insert(s.imsi), "duplicate session for {}", s.imsi);
+                prop_assert!(teids.insert(s.ul_teid), "duplicate UL TEID");
+                prop_assert_eq!(m.by_imsi(s.imsi).map(|x| x.id), Some(s.id));
+                prop_assert_eq!(m.by_ul_teid(s.ul_teid).map(|x| x.id), Some(s.id));
+            }
+            // 2. Conservation of lifecycle counters.
+            prop_assert_eq!(
+                m.attaches - m.detaches,
+                m.len() as u64,
+                "created − removed == live"
+            );
+        }
+        // 3. Checkpoint round-trip preserves the whole table.
+        let json = serde_json::to_value(&m).unwrap();
+        let back: SessionManager = serde_json::from_value(json).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,97 @@
+//! **Ablation benches** (DESIGN.md index): regenerate each ablation's
+//! rows and time representative kernels.
+//!
+//! - A: CRUD vs desired-state sync under loss (§3.4)
+//! - B: local GTP termination vs GTP over backhaul (§3.1)
+//! - C: headless operation (§3.2)
+//! - D: AGW failover via checkpoint/restore (§3.3)
+//! - E: quota double-spend bound (§3.4)
+//! - F: linear capacity scaling with AGWs (§4.2)
+//! - GTP-A: home routing vs local breakout (§3.6/§4.3.2)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_epc_baseline::{render_sync, run_sync, sweep, SyncParams, SyncStrategy};
+use magma_feg::{scaling_comparison, GtpaParams};
+use magma_testbed::experiments::{
+    ablation_failover, ablation_gtp, ablation_headless, ablation_quota, scaling,
+};
+
+fn regenerate() {
+    // A — pure, fast.
+    let reports = sweep(&[0.0, 0.02, 0.05, 0.10, 0.20], 5_000, 100, 9);
+    println!("\n{}", render_sync(&reports));
+    let crud_20 = reports
+        .iter()
+        .find(|r| r.strategy == SyncStrategy::Crud && r.loss == 0.20)
+        .unwrap();
+    let desired_20 = reports
+        .iter()
+        .find(|r| r.strategy == SyncStrategy::DesiredState && r.loss == 0.20)
+        .unwrap();
+    assert!(crud_20.final_divergence > 20);
+    assert_eq!(desired_20.final_divergence, 0);
+
+    // B — scaled-down sweep.
+    let b = ablation_gtp::run(4, &[0.0, 0.15, 0.25], 420);
+    println!("{}", ablation_gtp::render(&b));
+    assert!(b.magma.iter().all(|p| p.stuck_ues == 0.0));
+    assert!(b.baseline.last().unwrap().sessions_released > 0.0);
+
+    // C.
+    let cr = ablation_headless::run(21);
+    println!("{}", ablation_headless::render(&cr));
+    assert!(cr.csr > 0.99);
+
+    // D.
+    let d = ablation_failover::run(31);
+    println!("{}", ablation_failover::render(&d));
+    assert_eq!(d.sessions_restored, d.sessions_before_crash);
+
+    // E.
+    let pts: Vec<_> = [1, 2, 4, 8]
+        .iter()
+        .map(|&n| ablation_quota::race(n, 10_000_000, 1_000_000))
+        .collect();
+    println!("{}", ablation_quota::render(&pts));
+    assert!(pts.iter().all(|p| p.overspend <= p.bound as i64));
+
+    // F.
+    let f = scaling::run(6, &[1, 2, 4]);
+    println!("{}", scaling::render(&f));
+    let ratio = f[2].aggregate_mbps / f[0].aggregate_mbps;
+    assert!((ratio - 4.0).abs() < 0.5, "linear scaling, got {ratio:.2}");
+
+    // GTP-A.
+    println!("GTP-A scaling: home routing vs local breakout");
+    println!("agws  home(Gbps)  local(Gbps)");
+    for (n, h, l) in scaling_comparison(100_000_000, GtpaParams::default(), &[100, 400, 1600]) {
+        println!("{n:4} {h:10.1} {l:11.1}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("sync_desired_5k_updates", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_sync(SyncParams {
+                    strategy: SyncStrategy::DesiredState,
+                    loss: 0.05,
+                    n_updates: 5_000,
+                    target_size: 100,
+                    seed: 9,
+                })
+                .mean_divergence,
+            )
+        })
+    });
+    g.bench_function("quota_race_8_agws", |b| {
+        b.iter(|| std::hint::black_box(ablation_quota::race(8, 10_000_000, 1_000_000).consumed))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

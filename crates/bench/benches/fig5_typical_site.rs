@@ -1,0 +1,35 @@
+//! **Figure 5 bench**: regenerates the typical-site CPU/throughput
+//! series (288 UEs @ 3 UE/s, 432 Mbit/s offered) and times a scaled-down
+//! run of the same scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_sim::SimDuration;
+use magma_testbed::experiments::fig5;
+
+fn regenerate() {
+    let r = fig5::run(1, SimDuration::from_secs(300));
+    println!("\n{}", fig5::render(&r));
+    assert_eq!(r.attached, 288, "all UEs attach");
+    assert!(r.csr > 0.999);
+    assert!(
+        (r.steady_mbps - fig5::OFFERED_MBPS).abs() < 20.0,
+        "steady throughput tracks the RAN-limited offered load: {:.0}",
+        r.steady_mbps
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("typical_site_60s_sim", |b| {
+        b.iter(|| {
+            let r = fig5::run(2, SimDuration::from_secs(60));
+            std::hint::black_box(r.attached)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

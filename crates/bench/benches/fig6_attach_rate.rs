@@ -1,0 +1,27 @@
+//! **Figure 6 bench**: regenerates the CSR-vs-attach-rate sweep on the
+//! bare-metal AGW (knee ≈ 2 UE/s) and times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_testbed::experiments::fig6;
+
+fn regenerate() {
+    let r = fig6::run(1, &fig6::default_rates());
+    println!("\n{}", fig6::render(&r));
+    assert!((r.knee_rate - 2.0).abs() < 0.6, "knee at ≈2 UE/s, got {}", r.knee_rate);
+    // CSR falls monotonically-ish past the knee.
+    let last = r.points.last().unwrap();
+    assert!(last.csr < 0.5, "heavily degraded at {} UE/s", last.attach_rate);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("one_point_2ues", |b| {
+        b.iter(|| std::hint::black_box(fig6::run_point(3, 2.0).csr))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

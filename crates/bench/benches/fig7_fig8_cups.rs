@@ -1,0 +1,42 @@
+//! **Figures 7 & 8 bench**: regenerates the CUPS sweep (throughput and
+//! median CSR vs user-plane CPUs on the VM AGW, plus the flexible
+//! configuration) and times one pinned configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_testbed::experiments::cups;
+use magma_testbed::CoreLayout;
+
+fn regenerate() {
+    let r = cups::run(1);
+    println!("\n{}", cups::render_fig7(&r));
+    println!("{}", cups::render_fig8(&r));
+    // Fig 7 shape: ~550 Mbit/s per pinned core until the 2.5G cap.
+    let p1 = r.points.iter().find(|p| p.up_cores == 1).unwrap();
+    let p4 = r.points.iter().find(|p| p.up_cores == 4).unwrap();
+    let p6 = r.points.iter().find(|p| p.up_cores == 6).unwrap();
+    assert!((p1.steady_mbps - 550.0).abs() < 60.0);
+    assert!((p4.steady_mbps - 2200.0).abs() < 150.0);
+    assert!((p6.steady_mbps - cups::TRAFFIC_GEN_CAP_MBPS).abs() < 100.0);
+    // Fig 8 shape: starving the control plane kills CSR; flexible wins both.
+    let p7 = r.points.iter().find(|p| p.up_cores == 7).unwrap();
+    let flex = r.points.iter().find(|p| p.flexible).unwrap();
+    assert!(p7.median_csr < 0.5);
+    assert!(flex.median_csr > 0.9 && flex.steady_mbps > 2_000.0);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut g = c.benchmark_group("cups");
+    g.sample_size(10);
+    g.bench_function("pinned_4up_120s_sim", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cups::run_point(5, CoreLayout::Pinned { cp: 4, up: 4 }).steady_mbps,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

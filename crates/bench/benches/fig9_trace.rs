@@ -1,0 +1,27 @@
+//! **Figure 9 bench**: regenerates the AccessParks-style per-hour usage
+//! trace (Mar–Apr, active subscribers + hourly volume) and times the
+//! generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_testbed::trace::{accessparks_trace, summarize, TraceParams};
+
+fn regenerate() {
+    let trace = accessparks_trace(TraceParams::default());
+    let s = summarize(&trace);
+    println!(
+        "\nFigure 9: {} hours | peak {} active | mean {:.0} | peak {:.1} GB/h | {:.1} TB total | {:.1}x diurnal swing",
+        s.hours, s.peak_active, s.mean_active, s.peak_gb_per_hour, s.total_tb, s.diurnal_swing
+    );
+    assert_eq!(s.hours, 61 * 24);
+    assert!(s.diurnal_swing > 5.0);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig9/generate_two_months", |b| {
+        b.iter(|| std::hint::black_box(accessparks_trace(TraceParams::default()).len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Micro-benchmarks on the hot paths the figures depend on: data-plane
+//! packet processing, EPS-AKA vector generation (the attach pipeline's
+//! crypto), wire codecs, the event queue, and the reliable stream.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use magma_dataplane::{session_rules, DesiredState, FluidEntry, PacketMeta, Pipeline};
+use magma_sim::{SimTime, World};
+use magma_wire::aka;
+use magma_wire::nas::NasMessage;
+use magma_wire::s1ap::{EnbUeId, S1apMessage};
+use magma_wire::{Imsi, Teid, UeIp};
+
+fn dataplane(c: &mut Criterion) {
+    let mut p = Pipeline::new();
+    let mut desired = DesiredState::default();
+    for i in 0..100u64 {
+        desired.rules.extend(session_rules(
+            i,
+            UeIp(1000 + i as u32),
+            Teid(100 + i as u32),
+            Teid(200 + i as u32),
+            None,
+            None,
+            "default",
+        ));
+        desired.sessions.push(FluidEntry {
+            cookie: i,
+            ul_meter: None,
+            dl_meter: None,
+            rule_name: "default".to_string(),
+        });
+    }
+    p.set_desired(&desired);
+
+    let mut g = c.benchmark_group("dataplane");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("uplink_packet_100_sessions", |b| {
+        let pkt = PacketMeta::uplink(Teid(150), UeIp(1050), 1400);
+        b.iter(|| std::hint::black_box(p.process(pkt, SimTime::ZERO)))
+    });
+    g.bench_function("reconcile_same_state", |b| {
+        b.iter(|| {
+            p.set_desired(&desired);
+            std::hint::black_box(p.rule_count())
+        })
+    });
+    g.finish();
+}
+
+fn crypto(c: &mut Criterion) {
+    let (k, opc) = aka::provision(1, 1);
+    let mut g = c.benchmark_group("aka");
+    g.bench_function("generate_vector", |b| {
+        let mut sqn = 0;
+        b.iter(|| {
+            sqn += 1;
+            std::hint::black_box(aka::generate_vector(&k, &opc, sqn, aka::Rand([7; 16])))
+        })
+    });
+    g.bench_function("ue_verify", |b| {
+        let v = aka::generate_vector(&k, &opc, 1, aka::Rand([7; 16]));
+        b.iter(|| std::hint::black_box(aka::ue_verify(&k, &opc, &v.rand, &v.autn, 0)))
+    });
+    g.finish();
+}
+
+fn codecs(c: &mut Criterion) {
+    let nas = NasMessage::AttachRequest {
+        imsi: Imsi::new(310, 26, 42),
+        capabilities: 3,
+    };
+    let s1ap = S1apMessage::InitialUeMessage {
+        enb_ue_id: EnbUeId(5),
+        nas: nas.encode(),
+    };
+    let enc = s1ap.encode();
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("s1ap_encode", |b| {
+        b.iter(|| std::hint::black_box(s1ap.encode().len()))
+    });
+    g.bench_function("s1ap_decode", |b| {
+        b.iter(|| std::hint::black_box(S1apMessage::decode(&enc).unwrap()))
+    });
+    let gtpu = magma_wire::gtp::GtpUPacket::gpdu(Teid(9), Bytes::from(vec![0u8; 1400]));
+    let gtpu_enc = gtpu.encode();
+    g.throughput(Throughput::Bytes(gtpu_enc.len() as u64));
+    g.bench_function("gtpu_roundtrip_1400B", |b| {
+        b.iter(|| {
+            let e = gtpu.encode();
+            std::hint::black_box(magma_wire::gtp::GtpUPacket::decode(&e).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn engine(c: &mut Criterion) {
+    use magma_sim::{Actor, Ctx, Event, SimDuration};
+    /// Self-messaging actor: one event per hop.
+    struct Looper {
+        hops: u32,
+    }
+    impl Actor for Looper {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if let Event::Msg { payload, .. } = event {
+                let v = magma_sim::downcast::<u32>(payload, "looper");
+                if v < self.hops {
+                    let me = ctx.id();
+                    ctx.send_in(me, SimDuration::from_micros(1), Box::new(v + 1));
+                }
+            }
+        }
+    }
+    c.bench_function("engine/100k_events", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let a = w.add_actor(Box::new(Looper { hops: 100_000 }));
+            w.inject(a, Box::new(0u32));
+            std::hint::black_box(w.run_to_quiescence(300_000))
+        })
+    });
+}
+
+criterion_group!(benches, dataplane, crypto, codecs, engine);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! **Tables 1–3 bench**: regenerates the abstraction mapping, the
+//! site-cost BOM, and the traditional-vs-Magma cost comparison (43%
+//! saving), plus the §4.3.2 fleet-growth model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magma_costmodel::{
+    project, render_table3, saving, table2, table3, GrowthParams, LaborParams, Orc8rCostParams,
+    SiteParams,
+};
+
+fn regenerate() {
+    println!("\n{}", magma::render_table1());
+    println!("{}", table2(SiteParams::default()).render());
+    println!("{}", render_table3(LaborParams::default()));
+    let (t, m) = table3(LaborParams::default());
+    assert!((saving(t.total(), m.total()) - 42.6).abs() < 1.0, "the 43% headline");
+    let pts = project(GrowthParams::default(), Orc8rCostParams::default(), 36);
+    println!("{}", magma_costmodel::deployment::render(&pts));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("tables/cost_model", |b| {
+        b.iter(|| {
+            let (t, m) = table3(LaborParams::default());
+            std::hint::black_box(saving(t.total(), m.total()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # magma-bench — benchmark harness
+//!
+//! One Criterion bench per paper table/figure plus the ablations. Each
+//! bench first *regenerates* its figure (printing the same rows/series
+//! the paper reports) and then times a scaled-down kernel so `cargo
+//! bench` also tracks simulator performance. Full-scale regeneration
+//! lives in `cargo run --release --example paper_figures`.

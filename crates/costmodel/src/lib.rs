@@ -1,0 +1,17 @@
+//! # magma-costmodel — deployment cost models
+//!
+//! Parameterized regeneration of the paper's Table 2 (active-RAN CapEx
+//! for a typical site) and Table 3 (per-site installed cost, traditional
+//! core vs Magma — the 43% saving), plus the growth/operating-cost model
+//! for the franchised neutral-host deployment of §4.3.2.
+
+pub mod deployment;
+pub mod tables;
+
+pub use deployment::{
+    agw_enb_ratio, orc8r_monthly, project, FleetPoint, GrowthParams, Orc8rCostParams,
+};
+pub use tables::{
+    agw_cost_share, render_table3, saving, table2, table3, Bom, InstalledCost, LaborParams,
+    LineItem, SiteParams,
+};

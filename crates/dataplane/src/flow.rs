@@ -1,0 +1,219 @@
+//! Flow rules: match fields, actions, priorities — the OpenFlow-analog
+//! programming surface of the Magma data plane (§3.5).
+
+use magma_wire::{Teid, UeIp};
+use serde::{Deserialize, Serialize};
+
+/// Logical port on the data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    /// Port facing the RAN (GTP tunnels from eNodeBs).
+    pub const RAN: PortId = PortId(1);
+    /// Port facing the Internet / SGi.
+    pub const SGI: PortId = PortId(2);
+    /// Punt to the local control plane.
+    pub const LOCAL: PortId = PortId(0xFFFF);
+}
+
+/// Identifies a meter (token-bucket policer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MeterId(pub u32);
+
+/// Traffic direction metadata, set by the classifier table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    Uplink,
+    Downlink,
+}
+
+/// Match criteria; `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowMatch {
+    pub in_port: Option<PortId>,
+    /// GTP tunnel id of an encapsulated packet.
+    pub tun_id: Option<Teid>,
+    pub ipv4_src: Option<UeIp>,
+    pub ipv4_dst: Option<UeIp>,
+    pub direction: Option<Direction>,
+}
+
+impl FlowMatch {
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    pub fn in_port(mut self, p: PortId) -> Self {
+        self.in_port = Some(p);
+        self
+    }
+
+    pub fn tun_id(mut self, t: Teid) -> Self {
+        self.tun_id = Some(t);
+        self
+    }
+
+    pub fn ipv4_src(mut self, ip: UeIp) -> Self {
+        self.ipv4_src = Some(ip);
+        self
+    }
+
+    pub fn ipv4_dst(mut self, ip: UeIp) -> Self {
+        self.ipv4_dst = Some(ip);
+        self
+    }
+
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = Some(d);
+        self
+    }
+
+    /// Does this match cover the packet metadata?
+    pub fn matches(&self, pkt: &PacketMeta) -> bool {
+        if let Some(p) = self.in_port {
+            if pkt.in_port != p {
+                return false;
+            }
+        }
+        if let Some(t) = self.tun_id {
+            if pkt.tun_id != Some(t) {
+                return false;
+            }
+        }
+        if let Some(ip) = self.ipv4_src {
+            if pkt.ipv4_src != Some(ip) {
+                return false;
+            }
+        }
+        if let Some(ip) = self.ipv4_dst {
+            if pkt.ipv4_dst != Some(ip) {
+                return false;
+            }
+        }
+        if let Some(d) = self.direction {
+            if pkt.direction != Some(d) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Actions applied on match, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowAction {
+    /// Strip the GTP header; inner packet continues through the pipeline.
+    PopGtp,
+    /// Encapsulate toward the RAN with the given downlink TEID.
+    PushGtp(Teid),
+    /// Set direction metadata.
+    SetDirection(Direction),
+    /// Apply a token-bucket meter; non-conforming packets drop.
+    Meter(MeterId),
+    /// Account usage against a policy rule (sessiond reads these).
+    CountUsage { rule: String },
+    /// Continue processing in a later table.
+    GotoTable(u8),
+    /// Emit on a port (terminal).
+    Output(PortId),
+    /// Discard (terminal).
+    Drop,
+}
+
+/// A complete rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRule {
+    pub table: u8,
+    /// Higher wins.
+    pub priority: u16,
+    pub m: FlowMatch,
+    pub actions: Vec<FlowAction>,
+    /// Owner cookie (e.g., session id) for bulk removal and diffing.
+    pub cookie: u64,
+}
+
+/// Packet metadata walked through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketMeta {
+    pub in_port: PortId,
+    pub tun_id: Option<Teid>,
+    pub ipv4_src: Option<UeIp>,
+    pub ipv4_dst: Option<UeIp>,
+    pub direction: Option<Direction>,
+    pub size: usize,
+}
+
+impl PacketMeta {
+    /// An uplink GTP-encapsulated packet arriving from the RAN.
+    pub fn uplink(teid: Teid, src: UeIp, size: usize) -> Self {
+        PacketMeta {
+            in_port: PortId::RAN,
+            tun_id: Some(teid),
+            ipv4_src: Some(src),
+            ipv4_dst: None,
+            direction: None,
+            size,
+        }
+    }
+
+    /// A downlink plain IP packet arriving from the Internet.
+    pub fn downlink(dst: UeIp, size: usize) -> Self {
+        PacketMeta {
+            in_port: PortId::SGI,
+            tun_id: None,
+            ipv4_src: None,
+            ipv4_dst: Some(dst),
+            direction: None,
+            size,
+        }
+    }
+}
+
+/// Final disposition of a processed packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Emitted on a port, possibly (re-)encapsulated with a TEID.
+    Out { port: PortId, tunnel: Option<Teid> },
+    /// Dropped (no match, explicit drop, or metered out).
+    Dropped(DropReason),
+    /// Punted to the control plane.
+    Local,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    NoMatch,
+    ExplicitDrop,
+    Metered,
+    TableLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_match_covers_everything() {
+        let m = FlowMatch::any();
+        assert!(m.matches(&PacketMeta::uplink(Teid(1), UeIp(5), 100)));
+        assert!(m.matches(&PacketMeta::downlink(UeIp(9), 100)));
+    }
+
+    #[test]
+    fn specific_fields_filter() {
+        let m = FlowMatch::any().in_port(PortId::RAN).tun_id(Teid(7));
+        assert!(m.matches(&PacketMeta::uplink(Teid(7), UeIp(1), 64)));
+        assert!(!m.matches(&PacketMeta::uplink(Teid(8), UeIp(1), 64)));
+        assert!(!m.matches(&PacketMeta::downlink(UeIp(1), 64)));
+    }
+
+    #[test]
+    fn direction_metadata_matching() {
+        let mut pkt = PacketMeta::downlink(UeIp(1), 64);
+        let m = FlowMatch::any().direction(Direction::Downlink);
+        assert!(!m.matches(&pkt));
+        pkt.direction = Some(Direction::Downlink);
+        assert!(m.matches(&pkt));
+    }
+}

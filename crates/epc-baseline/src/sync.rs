@@ -1,0 +1,215 @@
+//! Ablation A: CRUD vs desired-state synchronization under message loss
+//! (§3.4's session-set example).
+//!
+//! A controller maintains a set of active sessions and must keep a
+//! data-plane replica in sync over an unreliable channel:
+//!
+//! - **CRUD**: each change is sent as a delta ("add session Z"). A lost
+//!   delta leaves the replica permanently diverged — the sender believes
+//!   X, Y, Z are installed while the receiver has only X, Y.
+//! - **Desired state**: each change transmits the complete intended set
+//!   ("the set of sessions is now X, Y, Z"). A lost message is healed by
+//!   the next one.
+//!
+//! The simulation measures divergence (set symmetric difference)
+//! integrated over time, plus bytes on the wire — quantifying the
+//! robustness/overhead trade the paper describes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Which synchronization protocol to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SyncStrategy {
+    Crud,
+    DesiredState,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncParams {
+    pub strategy: SyncStrategy,
+    /// Per-message loss probability.
+    pub loss: f64,
+    /// Number of state changes to apply.
+    pub n_updates: u32,
+    /// Mean live sessions (changes keep the set near this size).
+    pub target_size: usize,
+    pub seed: u64,
+}
+
+/// Outcome of one run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SyncReport {
+    pub strategy: SyncStrategy,
+    pub loss: f64,
+    /// Symmetric difference at the end of the run.
+    pub final_divergence: usize,
+    /// Mean divergence across update steps.
+    pub mean_divergence: f64,
+    /// Fraction of steps with a fully-consistent replica.
+    pub consistent_fraction: f64,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Per-entry wire cost (a flow-rule install is a few hundred bytes).
+const ENTRY_BYTES: u64 = 64;
+const MSG_OVERHEAD: u64 = 48;
+
+/// Run the synchronization simulation.
+pub fn run(p: SyncParams) -> SyncReport {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut controller: BTreeSet<u64> = BTreeSet::new();
+    let mut replica: BTreeSet<u64> = BTreeSet::new();
+    let mut next_id: u64 = 1;
+    let mut total_div: f64 = 0.0;
+    let mut consistent_steps = 0u32;
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+
+    for _ in 0..p.n_updates {
+        // Mutate controller state: grow toward target, then churn.
+        let grow = controller.len() < p.target_size || rng.gen_bool(0.5);
+        let delta: (bool, u64) = if grow || controller.is_empty() {
+            let id = next_id;
+            next_id += 1;
+            controller.insert(id);
+            (true, id)
+        } else {
+            let idx = rng.gen_range(0..controller.len());
+            let id = *controller.iter().nth(idx).unwrap();
+            controller.remove(&id);
+            (false, id)
+        };
+
+        // Transmit.
+        messages += 1;
+        let delivered = !rng.gen_bool(p.loss);
+        match p.strategy {
+            SyncStrategy::Crud => {
+                bytes += MSG_OVERHEAD + ENTRY_BYTES;
+                if delivered {
+                    let (add, id) = delta;
+                    if add {
+                        replica.insert(id);
+                    } else {
+                        replica.remove(&id);
+                    }
+                }
+            }
+            SyncStrategy::DesiredState => {
+                bytes += MSG_OVERHEAD + ENTRY_BYTES * controller.len() as u64;
+                if delivered {
+                    replica = controller.clone();
+                }
+            }
+        }
+
+        let div = controller.symmetric_difference(&replica).count();
+        total_div += div as f64;
+        if div == 0 {
+            consistent_steps += 1;
+        }
+    }
+
+    SyncReport {
+        strategy: p.strategy,
+        loss: p.loss,
+        final_divergence: controller.symmetric_difference(&replica).count(),
+        mean_divergence: total_div / p.n_updates.max(1) as f64,
+        consistent_fraction: consistent_steps as f64 / p.n_updates.max(1) as f64,
+        messages,
+        bytes,
+    }
+}
+
+/// Sweep both strategies over loss rates.
+pub fn sweep(losses: &[f64], n_updates: u32, target: usize, seed: u64) -> Vec<SyncReport> {
+    let mut out = Vec::new();
+    for &loss in losses {
+        for strategy in [SyncStrategy::Crud, SyncStrategy::DesiredState] {
+            out.push(run(SyncParams {
+                strategy,
+                loss,
+                n_updates,
+                target_size: target,
+                seed,
+            }));
+        }
+    }
+    out
+}
+
+pub fn render(reports: &[SyncReport]) -> String {
+    let mut out = String::from(
+        "Ablation A: CRUD vs desired-state sync under loss (§3.4)\n\
+         strategy      loss  final_div  mean_div  consistent  KB\n",
+    );
+    for r in reports {
+        let name = match r.strategy {
+            SyncStrategy::Crud => "crud",
+            SyncStrategy::DesiredState => "desired-state",
+        };
+        out.push_str(&format!(
+            "{:13} {:4.2} {:9} {:9.2} {:10.2} {:6.0}\n",
+            name,
+            r.loss,
+            r.final_divergence,
+            r.mean_divergence,
+            r.consistent_fraction,
+            r.bytes as f64 / 1000.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(strategy: SyncStrategy, loss: f64) -> SyncParams {
+        SyncParams {
+            strategy,
+            loss,
+            n_updates: 2000,
+            target_size: 50,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn no_loss_both_stay_consistent() {
+        for s in [SyncStrategy::Crud, SyncStrategy::DesiredState] {
+            let r = run(params(s, 0.0));
+            assert_eq!(r.final_divergence, 0, "{s:?}");
+            assert_eq!(r.consistent_fraction, 1.0);
+        }
+    }
+
+    #[test]
+    fn crud_diverges_permanently_under_loss() {
+        let crud = run(params(SyncStrategy::Crud, 0.05));
+        let desired = run(params(SyncStrategy::DesiredState, 0.05));
+        assert!(crud.final_divergence > 10, "crud {crud:?}");
+        assert_eq!(desired.final_divergence, 0, "desired heals");
+        assert!(desired.consistent_fraction > 0.9);
+        assert!(crud.mean_divergence > 10.0 * desired.mean_divergence);
+    }
+
+    #[test]
+    fn desired_state_costs_more_bytes() {
+        let crud = run(params(SyncStrategy::Crud, 0.0));
+        let desired = run(params(SyncStrategy::DesiredState, 0.0));
+        assert!(desired.bytes > crud.bytes * 5, "the robustness is paid in bytes");
+    }
+
+    #[test]
+    fn divergence_grows_with_loss() {
+        let lo = run(params(SyncStrategy::Crud, 0.02));
+        let hi = run(params(SyncStrategy::Crud, 0.20));
+        assert!(hi.mean_divergence > lo.mean_divergence);
+    }
+}

@@ -1,0 +1,84 @@
+//! Node addressing.
+//!
+//! The simulated network uses flat node addresses (one per simulated
+//! machine: an AGW host, an eNodeB, the orchestrator cluster, a UE fleet
+//! host, an MNO core). Ports multiplex services within a node, mirroring
+//! TCP/UDP ports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Address of a node (machine) in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeAddr(pub u32);
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A (node, port) pair identifying a service endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub node: NodeAddr,
+    pub port: u16,
+}
+
+impl Endpoint {
+    pub fn new(node: NodeAddr, port: u16) -> Self {
+        Endpoint { node, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// Well-known ports for the reproduced system, loosely mirroring the
+/// services in a real Magma deployment.
+pub mod ports {
+    /// S1AP termination on the AGW (MME); SCTP in 3GPP, stream here.
+    pub const S1AP: u16 = 36412;
+    /// NGAP termination on the AGW (AMF); 5G access.
+    pub const NGAP: u16 = 38412;
+    /// GTP-U user-plane tunnels (datagram).
+    pub const GTPU: u16 = 2152;
+    /// GTP-C control (datagram; used by the traditional-EPC baseline).
+    pub const GTPC: u16 = 2123;
+    /// RADIUS authentication (WiFi AAA).
+    pub const RADIUS_AUTH: u16 = 1812;
+    /// RADIUS accounting.
+    pub const RADIUS_ACCT: u16 = 1813;
+    /// Orchestrator gRPC-analog endpoint.
+    pub const ORC8R: u16 = 8443;
+    /// AGW-local gRPC-analog endpoint (magmad and friends).
+    pub const AGW_GRPC: u16 = 8444;
+    /// Federation gateway endpoint.
+    pub const FEG: u16 = 8445;
+    /// Diameter (S6a) on the MNO HSS.
+    pub const DIAMETER: u16 = 3868;
+    /// First ephemeral port for client connections.
+    pub const EPHEMERAL_BASE: u16 = 49152;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = Endpoint::new(NodeAddr(3), ports::S1AP);
+        assert_eq!(format!("{e}"), "node3:36412");
+    }
+
+    #[test]
+    fn endpoint_ordering_is_total() {
+        let a = Endpoint::new(NodeAddr(1), 10);
+        let b = Endpoint::new(NodeAddr(1), 20);
+        let c = Endpoint::new(NodeAddr(2), 5);
+        assert!(a < b && b < c);
+    }
+}

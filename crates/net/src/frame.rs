@@ -1,0 +1,62 @@
+//! Frames exchanged between node network stacks.
+
+use crate::addr::NodeAddr;
+use crate::stream::StreamFrame;
+use bytes::Bytes;
+
+/// Fixed per-frame overhead charged on the link (Ethernet + IP + transport
+/// headers, amortized).
+pub const FRAME_OVERHEAD: usize = 48;
+
+/// Maximum transport payload per frame; larger stream writes are segmented.
+pub const MTU: usize = 1400;
+
+/// A frame in flight between two nodes.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub src: NodeAddr,
+    pub dst: NodeAddr,
+    pub payload: FramePayload,
+}
+
+#[derive(Debug, Clone)]
+pub enum FramePayload {
+    /// Unreliable datagram (UDP-analog). GTP runs over this.
+    Dgram {
+        src_port: u16,
+        dst_port: u16,
+        bytes: Bytes,
+    },
+    /// Reliable stream machinery (TCP-analog). RPC runs over this.
+    Stream(StreamFrame),
+}
+
+impl Frame {
+    /// Size charged to the link, including overhead.
+    pub fn wire_size(&self) -> usize {
+        FRAME_OVERHEAD
+            + match &self.payload {
+                FramePayload::Dgram { bytes, .. } => bytes.len(),
+                FramePayload::Stream(sf) => sf.wire_size(),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgram_wire_size_includes_overhead() {
+        let f = Frame {
+            src: NodeAddr(0),
+            dst: NodeAddr(1),
+            payload: FramePayload::Dgram {
+                src_port: 1,
+                dst_port: 2,
+                bytes: Bytes::from(vec![0u8; 100]),
+            },
+        };
+        assert_eq!(f.wire_size(), 148);
+    }
+}

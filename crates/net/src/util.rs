@@ -1,0 +1,73 @@
+//! Length-prefix framing for raw byte protocols carried over the stream
+//! transport (e.g., S1AP messages, which ride SCTP in 3GPP).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Prefix a message with its u32 length.
+pub fn lp_encode(msg: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + msg.len());
+    b.put_u32(msg.len() as u32);
+    b.put_slice(msg);
+    b.freeze()
+}
+
+/// Reassembler for length-prefixed messages over arbitrary segmentation.
+#[derive(Debug, Default)]
+pub struct LpFramer {
+    buf: BytesMut,
+}
+
+impl LpFramer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed bytes; returns complete messages.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Bytes> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len =
+                u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if self.buf.len() < 4 + len {
+                break;
+            }
+            let _ = self.buf.split_to(4);
+            out.push(self.buf.split_to(len).freeze());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_fragmentation() {
+        let m1 = lp_encode(b"hello");
+        let m2 = lp_encode(b"world!");
+        let mut all = Vec::new();
+        all.extend_from_slice(&m1);
+        all.extend_from_slice(&m2);
+        let mut f = LpFramer::new();
+        let mut got = Vec::new();
+        for chunk in all.chunks(3) {
+            got.extend(f.push(chunk));
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(&got[0][..], b"hello");
+        assert_eq!(&got[1][..], b"world!");
+    }
+
+    #[test]
+    fn empty_message_ok() {
+        let mut f = LpFramer::new();
+        let got = f.push(&lp_encode(b""));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_empty());
+    }
+}

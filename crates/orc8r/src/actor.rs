@@ -1,0 +1,240 @@
+//! The orchestrator actor: serves the southbound RPC interface and pushes
+//! desired state to connected gateways.
+//!
+//! CPU on the orchestrator is deliberately not modeled: the paper's
+//! evaluation notes "all machines in the orchestrator deployment were
+//! running well under capacity" — the interesting contention is at AGWs.
+
+use crate::proto::*;
+use crate::state::Orc8rHandle;
+use magma_net::{SockEvent, StreamHandle};
+use magma_rpc::{RpcServer, RpcServerEvent};
+use magma_sim::{downcast, Actor, ActorId, Ctx, Event, SimDuration};
+use serde_json::json;
+use std::collections::HashMap;
+
+const TICK: SimDuration = SimDuration(500_000); // 500ms push cadence
+
+struct ConnInfo {
+    agw_id: Option<String>,
+    last_pushed_version: u64,
+}
+
+/// The orchestrator service actor.
+pub struct Orc8rActor {
+    state: Orc8rHandle,
+    server: RpcServer,
+    conns: HashMap<StreamHandle, ConnInfo>,
+}
+
+impl Orc8rActor {
+    pub fn new(state: Orc8rHandle, stack: ActorId, port: u16) -> Self {
+        Orc8rActor {
+            state,
+            server: RpcServer::new(stack, port),
+            conns: HashMap::new(),
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        id: u64,
+        method: String,
+        body: serde_json::Value,
+    ) {
+        let now = ctx.now();
+        match method.as_str() {
+            methods::BOOTSTRAP => {
+                let Ok(req) = serde_json::from_value::<BootstrapRequest>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad bootstrap request");
+                    return;
+                };
+                let cert = self.state.borrow_mut().bootstrap(&req.agw_id, req.hw_token);
+                if let Some(info) = self.conns.get_mut(&conn) {
+                    info.agw_id = Some(req.agw_id.clone());
+                }
+                ctx.metrics().inc("orc8r.bootstraps", 1.0);
+                self.server
+                    .reply(ctx, conn, id, json!(BootstrapResponse { cert }));
+            }
+            methods::CHECKIN => {
+                let Ok(req) = serde_json::from_value::<CheckinRequest>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad checkin request");
+                    return;
+                };
+                let mut st = self.state.borrow_mut();
+                let ok = st.record_checkin(
+                    &req.agw_id,
+                    req.cert,
+                    req.db_version,
+                    req.enbs,
+                    req.active_sessions,
+                    req.metrics,
+                    now,
+                );
+                if !ok {
+                    drop(st);
+                    self.server.reply_err(ctx, conn, id, "unregistered gateway");
+                    return;
+                }
+                if let Some(info) = self.conns.get_mut(&conn) {
+                    info.agw_id = Some(req.agw_id.clone());
+                    info.last_pushed_version = info.last_pushed_version.max(req.db_version);
+                }
+                let latest = st.db.version;
+                let snapshot = if req.db_version < latest {
+                    Some(st.db.snapshot())
+                } else {
+                    None
+                };
+                let resp = CheckinResponse {
+                    latest_version: latest,
+                    snapshot,
+                    checkin_interval_s: st.checkin_interval_s,
+                };
+                drop(st);
+                ctx.metrics().inc("orc8r.checkins", 1.0);
+                self.server.reply(ctx, conn, id, json!(resp));
+            }
+            methods::CHECKPOINT => {
+                let Ok(req) = serde_json::from_value::<CheckpointPush>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad checkpoint");
+                    return;
+                };
+                self.state
+                    .borrow_mut()
+                    .store_checkpoint(&req.agw_id, req.state);
+                self.server.reply(ctx, conn, id, json!({}));
+            }
+            methods::CREDIT_REQUEST => {
+                let Ok(req) = serde_json::from_value::<CreditRequest>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad credit request");
+                    return;
+                };
+                let answer = self
+                    .state
+                    .borrow_mut()
+                    .ocs
+                    .request_credit(magma_wire::Imsi(req.imsi));
+                let resp = match answer {
+                    magma_policy::CreditAnswer::Granted { bytes, is_final } => CreditResponse {
+                        granted: bytes,
+                        is_final,
+                        denied: false,
+                    },
+                    magma_policy::CreditAnswer::Denied => CreditResponse {
+                        granted: 0,
+                        is_final: true,
+                        denied: true,
+                    },
+                };
+                ctx.metrics().inc("orc8r.ocs.requests", 1.0);
+                self.server.reply(ctx, conn, id, json!(resp));
+            }
+            methods::CREDIT_REPORT => {
+                let Ok(req) = serde_json::from_value::<CreditReport>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad credit report");
+                    return;
+                };
+                self.state.borrow_mut().ocs.report_usage(
+                    magma_wire::Imsi(req.imsi),
+                    req.used_bytes,
+                    req.released_quota,
+                );
+                self.server.reply(ctx, conn, id, json!({}));
+            }
+            other => {
+                self.server
+                    .reply_err(ctx, conn, id, &format!("unknown method {other}"));
+            }
+        }
+    }
+
+    /// Push the latest snapshot to any connected gateway whose replica is
+    /// stale (desired-state push, complementing the pull at check-in).
+    fn push_stale(&mut self, ctx: &mut Ctx<'_>) {
+        let (version, snapshot) = {
+            let st = self.state.borrow();
+            (st.db.version, st.db.snapshot())
+        };
+        let stale: Vec<StreamHandle> = self
+            .conns
+            .iter()
+            .filter(|(_, info)| info.agw_id.is_some() && info.last_pushed_version < version)
+            .map(|(h, _)| *h)
+            .collect();
+        for conn in stale {
+            if self.server.push(
+                ctx,
+                conn,
+                version,
+                methods::PUSH_SUBSCRIBERS,
+                json!(snapshot),
+            ) {
+                if let Some(info) = self.conns.get_mut(&conn) {
+                    info.last_pushed_version = version;
+                }
+                ctx.metrics().inc("orc8r.pushes", 1.0);
+            }
+        }
+    }
+}
+
+impl Actor for Orc8rActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                self.server.listen(ctx);
+                ctx.timer_in(TICK, 1);
+                ctx.timer_in(SimDuration::from_secs(5), 2);
+            }
+            Event::Timer { tag: 1 } => {
+                self.push_stale(ctx);
+                ctx.timer_in(TICK, 1);
+            }
+            Event::Timer { tag: 2 } => {
+                let now = ctx.now();
+                self.state.borrow_mut().sample_fleet(now);
+                ctx.timer_in(SimDuration::from_secs(5), 2);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { payload, .. } => {
+                let ev = downcast::<SockEvent>(payload, "orc8r");
+                match self.server.try_handle(ctx, ev) {
+                    Ok(events) => {
+                        for e in events {
+                            match e {
+                                RpcServerEvent::Request {
+                                    conn,
+                                    id,
+                                    method,
+                                    body,
+                                } => self.handle_request(ctx, conn, id, method, body),
+                                RpcServerEvent::ClientConnected { conn } => {
+                                    self.conns.insert(
+                                        conn,
+                                        ConnInfo {
+                                            agw_id: None,
+                                            last_pushed_version: 0,
+                                        },
+                                    );
+                                }
+                                RpcServerEvent::ClientGone { conn } => {
+                                    self.conns.remove(&conn);
+                                }
+                            }
+                        }
+                    }
+                    Err(_other) => {}
+                }
+            }
+            Event::CpuDone { .. } => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "orc8r".to_string()
+    }
+}

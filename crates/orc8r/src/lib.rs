@@ -1,0 +1,18 @@
+//! # magma-orc8r — the Magma orchestrator
+//!
+//! The central point of control (§3.2): authoritative configuration state
+//! (subscribers, policies) in a journaled store, a northbound API for
+//! operators, and a southbound gRPC-analog interface that gateways check
+//! in to. Configuration flows to gateways with the desired-state model —
+//! a stale gateway receives the complete intended state, never a delta —
+//! so lost messages and restarts self-heal (§3.4). Also hosts device
+//! management, best-effort telemetry aggregation, gateway bootstrap, the
+//! online charging service, and uploaded runtime checkpoints.
+
+pub mod actor;
+pub mod proto;
+pub mod state;
+
+pub use actor::Orc8rActor;
+pub use proto::*;
+pub use state::{new_orc8r, Alert, DeviceRecord, FleetSample, JournalEntry, Orc8rHandle, Orc8rState};

@@ -1,0 +1,167 @@
+//! RPC message contracts between AGWs and the orchestrator.
+//!
+//! These are the simulation's "protobuf definitions": serde structs
+//! carried as JSON by `magma-rpc`.
+
+use magma_subscriber::DbSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Method names on the orchestrator endpoint.
+pub mod methods {
+    /// Gateway registration (bootstrapper).
+    pub const BOOTSTRAP: &str = "orc8r.Bootstrap";
+    /// Periodic gateway check-in: state report + config pull.
+    pub const CHECKIN: &str = "orc8r.Checkin";
+    /// Runtime-state checkpoint upload (backup AGW instance, §3.3).
+    pub const CHECKPOINT: &str = "orc8r.Checkpoint";
+    /// Online charging: request a quota.
+    pub const CREDIT_REQUEST: &str = "ocs.CreditRequest";
+    /// Online charging: report usage / release reservation.
+    pub const CREDIT_REPORT: &str = "ocs.CreditReport";
+    /// Server-push frame method for subscriber/config sync.
+    pub const PUSH_SUBSCRIBERS: &str = "sync.Subscribers";
+    /// Federation: fetch auth vectors from the MNO HSS via the FeG.
+    pub const FEG_AUTH: &str = "feg.AuthInfo";
+    /// Federation: register the serving AGW with the MNO HSS.
+    pub const FEG_UPDATE_LOCATION: &str = "feg.UpdateLocation";
+}
+
+/// Federation: authentication-information request (proxied S6a AIR).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FegAuthRequest {
+    pub imsi: u64,
+}
+
+/// One auth vector as carried over the federation RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FegVector {
+    pub rand: magma_wire::aka::Rand,
+    pub autn: magma_wire::aka::Autn,
+    pub xres: magma_wire::aka::Res,
+    pub kasme: magma_wire::aka::Kasme,
+}
+
+/// Federation: authentication-information answer (proxied S6a AIA).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FegAuthResponse {
+    pub vectors: Vec<FegVector>,
+}
+
+/// Federation: update-location request (proxied S6a ULR).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FegLocationRequest {
+    pub imsi: u64,
+    pub agw_id: String,
+}
+
+/// Federation: update-location answer (proxied S6a ULA).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FegLocationResponse {
+    pub ok: bool,
+    pub ambr_dl_kbps: u32,
+    pub ambr_ul_kbps: u32,
+}
+
+/// Gateway registration request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapRequest {
+    pub agw_id: String,
+    /// Hardware-bound identity token (stands in for the challenge-signed
+    /// key of the real bootstrapper).
+    pub hw_token: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapResponse {
+    /// Session certificate the gateway presents on later calls.
+    pub cert: u64,
+}
+
+/// Periodic check-in: the gateway reports its state and asks whether its
+/// replicated configuration is current.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckinRequest {
+    pub agw_id: String,
+    pub cert: u64,
+    /// Version of the gateway's subscriber/config replica.
+    pub db_version: u64,
+    /// Connected RAN equipment (device management, §3.1).
+    pub enbs: Vec<u32>,
+    pub active_sessions: u64,
+    /// Gateway-local metric counters (telemetry, best-effort).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckinResponse {
+    /// Latest config version at the orchestrator.
+    pub latest_version: u64,
+    /// Full snapshot when the gateway's replica is stale (desired-state
+    /// model: the complete intended state, not a delta).
+    pub snapshot: Option<DbSnapshot>,
+    /// Seconds until the next expected check-in.
+    pub checkin_interval_s: u64,
+}
+
+/// Runtime-state checkpoint upload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPush {
+    pub agw_id: String,
+    /// Opaque serialized AGW runtime state.
+    pub state: serde_json::Value,
+}
+
+/// OCS quota request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreditRequest {
+    pub imsi: u64,
+    pub session_id: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreditResponse {
+    pub granted: u64,
+    pub is_final: bool,
+    pub denied: bool,
+}
+
+/// OCS usage report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreditReport {
+    pub imsi: u64,
+    pub session_id: u64,
+    pub used_bytes: u64,
+    pub released_quota: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkin_roundtrips_via_json() {
+        let req = CheckinRequest {
+            agw_id: "agw-1".into(),
+            cert: 42,
+            db_version: 7,
+            enbs: vec![1, 2, 3],
+            active_sessions: 96,
+            metrics: [("attach.ok".to_string(), 12.0)].into_iter().collect(),
+        };
+        let v = serde_json::to_value(&req).unwrap();
+        let back: CheckinRequest = serde_json::from_value(v).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn credit_response_roundtrip() {
+        let r = CreditResponse {
+            granted: 1_000_000,
+            is_final: true,
+            denied: false,
+        };
+        let v = serde_json::to_value(&r).unwrap();
+        assert_eq!(serde_json::from_value::<CreditResponse>(v).unwrap(), r);
+    }
+}

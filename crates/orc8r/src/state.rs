@@ -1,0 +1,319 @@
+//! Orchestrator state: the authoritative configuration store plus the
+//! operational registries (device fleet, metrics, checkpoints, OCS).
+//!
+//! The state lives behind a shared handle ([`Orc8rHandle`]) so that the
+//! **northbound API** — what an operator's NMS or the paper's "other
+//! systems" consume (§3.2) — is directly callable by the test harness
+//! while the [`Orc8rActor`](crate::actor::Orc8rActor) serves the
+//! southbound RPC interface to gateways.
+
+use magma_policy::{OcsServer, PolicyRule};
+use magma_sim::SimTime;
+use magma_subscriber::{SubscriberDb, SubscriberProfile};
+use magma_wire::Imsi;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Shared handle to the orchestrator state.
+pub type Orc8rHandle = Rc<RefCell<Orc8rState>>;
+
+pub fn new_orc8r(quota_bytes: u64) -> Orc8rHandle {
+    Rc::new(RefCell::new(Orc8rState::new(quota_bytes)))
+}
+
+/// Device-management record for one gateway.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRecord {
+    pub registered: bool,
+    pub cert: u64,
+    pub last_checkin: Option<SimTime>,
+    pub reported_version: u64,
+    pub enbs: Vec<u32>,
+    pub active_sessions: u64,
+    pub checkins: u64,
+}
+
+/// A periodic sample of fleet-wide health (metricsd's aggregate view).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSample {
+    pub at: SimTime,
+    pub gateways: usize,
+    pub online: usize,
+    pub enbs: usize,
+    pub sessions: u64,
+}
+
+/// An operational alert raised by the orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    pub at: SimTime,
+    pub gateway: String,
+    pub what: String,
+}
+
+/// A journal entry: every configuration mutation is appended, standing in
+/// for the paper's durable Postgres store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    pub version: u64,
+    pub what: String,
+}
+
+/// The orchestrator's state.
+pub struct Orc8rState {
+    /// Authoritative subscriber + policy store (configuration state).
+    pub db: SubscriberDb,
+    /// Online charging service.
+    pub ocs: OcsServer,
+    /// Device fleet (AGWs seen by the bootstrapper / check-in).
+    pub devices: BTreeMap<String, DeviceRecord>,
+    /// Best-effort telemetry: per-gateway metric counters from check-ins.
+    pub metrics: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Latest uploaded runtime checkpoints, per gateway (§3.3 backup).
+    pub checkpoints: BTreeMap<String, serde_json::Value>,
+    /// Append-only configuration journal.
+    pub journal: Vec<JournalEntry>,
+    /// Gateway check-in cadence handed out in responses.
+    pub checkin_interval_s: u64,
+    /// Periodic fleet-health samples (metricsd history).
+    pub history: Vec<FleetSample>,
+    /// Device-offline alerts (gateway missed 3 consecutive check-ins).
+    pub alerts: Vec<Alert>,
+    next_cert: u64,
+}
+
+impl Orc8rState {
+    pub fn new(quota_bytes: u64) -> Self {
+        Orc8rState {
+            db: SubscriberDb::new(),
+            ocs: OcsServer::new(quota_bytes),
+            devices: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            journal: Vec::new(),
+            checkin_interval_s: 5,
+            history: Vec::new(),
+            alerts: Vec::new(),
+            next_cert: 1000,
+        }
+    }
+
+    // ---- Northbound API (operator-facing) ----
+
+    /// Add or update a subscriber.
+    pub fn upsert_subscriber(&mut self, profile: SubscriberProfile) {
+        let imsi = profile.imsi;
+        self.db.upsert(profile);
+        self.log(format!("upsert_subscriber {imsi}"));
+    }
+
+    pub fn remove_subscriber(&mut self, imsi: Imsi) {
+        self.db.remove(imsi);
+        self.log(format!("remove_subscriber {imsi}"));
+    }
+
+    /// Define or update a network-wide policy rule.
+    pub fn upsert_policy(&mut self, rule: PolicyRule) {
+        let id = rule.id.clone();
+        self.db.upsert_rule(rule);
+        self.log(format!("upsert_policy {id}"));
+    }
+
+    /// Prepaid account provisioning.
+    pub fn provision_balance(&mut self, imsi: Imsi, balance_bytes: u64) {
+        self.ocs.provision(imsi, balance_bytes);
+        self.log(format!("provision_balance {imsi} {balance_bytes}"));
+    }
+
+    /// Fleet summary for dashboards.
+    pub fn fleet_summary(&self) -> (usize, usize, u64) {
+        let gateways = self.devices.len();
+        let enbs = self.devices.values().map(|d| d.enbs.len()).sum();
+        let sessions = self.devices.values().map(|d| d.active_sessions).sum();
+        (gateways, enbs, sessions)
+    }
+
+    /// Gateways considered offline: registered but silent for more than
+    /// three check-in intervals (device management, §3.1: telemetry and
+    /// monitoring as first-class responsibilities).
+    pub fn offline_gateways(&self, now: SimTime) -> Vec<String> {
+        let horizon = magma_sim::SimDuration::from_secs(self.checkin_interval_s * 3);
+        self.devices
+            .iter()
+            .filter(|(_, d)| {
+                d.registered
+                    && d.last_checkin
+                        .map(|t| now.since(t) > horizon)
+                        .unwrap_or(true)
+            })
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Take a fleet-health sample and raise offline alerts (called by the
+    /// orchestrator actor on its tick).
+    pub fn sample_fleet(&mut self, now: SimTime) {
+        let offline = self.offline_gateways(now);
+        let (gateways, enbs, sessions) = self.fleet_summary();
+        self.history.push(FleetSample {
+            at: now,
+            gateways,
+            online: gateways - offline.len(),
+            enbs,
+            sessions,
+        });
+        for gw in offline {
+            // One alert per offline episode: skip if the latest alert for
+            // this gateway is still "open" (no check-in since).
+            let last_checkin = self.devices.get(&gw).and_then(|d| d.last_checkin);
+            let already = self.alerts.iter().rev().find(|a| a.gateway == gw);
+            let fresh = match (already, last_checkin) {
+                (Some(a), Some(c)) => c > a.at,
+                (Some(_), None) => false,
+                (None, _) => true,
+            };
+            if fresh {
+                self.alerts.push(Alert {
+                    at: now,
+                    gateway: gw,
+                    what: "gateway offline: missed 3 check-ins".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Read a gateway-reported metric.
+    pub fn gateway_metric(&self, agw_id: &str, name: &str) -> f64 {
+        self.metrics
+            .get(agw_id)
+            .and_then(|m| m.get(name))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    // ---- Southbound operations (called by the actor) ----
+
+    pub fn bootstrap(&mut self, agw_id: &str, _hw_token: u64) -> u64 {
+        let cert = self.next_cert;
+        self.next_cert += 1;
+        let rec = self.devices.entry(agw_id.to_string()).or_default();
+        rec.registered = true;
+        rec.cert = cert;
+        cert
+    }
+
+    /// Record a check-in; returns whether the gateway's cert is valid.
+    /// (The argument list mirrors the check-in RPC message.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_checkin(
+        &mut self,
+        agw_id: &str,
+        cert: u64,
+        version: u64,
+        enbs: Vec<u32>,
+        sessions: u64,
+        metrics: BTreeMap<String, f64>,
+        now: SimTime,
+    ) -> bool {
+        let Some(rec) = self.devices.get_mut(agw_id) else {
+            return false;
+        };
+        if !rec.registered || rec.cert != cert {
+            return false;
+        }
+        rec.last_checkin = Some(now);
+        rec.reported_version = version;
+        rec.enbs = enbs;
+        rec.active_sessions = sessions;
+        rec.checkins += 1;
+        self.metrics.insert(agw_id.to_string(), metrics);
+        true
+    }
+
+    pub fn store_checkpoint(&mut self, agw_id: &str, state: serde_json::Value) {
+        self.checkpoints.insert(agw_id.to_string(), state);
+    }
+
+    fn log(&mut self, what: String) {
+        self.journal.push(JournalEntry {
+            version: self.db.version,
+            what,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imsi(n: u64) -> Imsi {
+        Imsi::new(310, 26, n)
+    }
+
+    #[test]
+    fn northbound_mutations_journal_and_version() {
+        let h = new_orc8r(1_000_000);
+        let mut s = h.borrow_mut();
+        s.upsert_subscriber(SubscriberProfile::lte(imsi(1), 7, 1));
+        s.upsert_policy(PolicyRule::rate_limited("silver", 5000, 1000));
+        assert_eq!(s.journal.len(), 2);
+        assert_eq!(s.db.version, 2);
+        assert!(s.journal[1].what.contains("silver"));
+    }
+
+    #[test]
+    fn bootstrap_then_checkin() {
+        let mut s = Orc8rState::new(1_000_000);
+        let cert = s.bootstrap("agw-1", 99);
+        assert!(s.record_checkin(
+            "agw-1",
+            cert,
+            0,
+            vec![880],
+            12,
+            BTreeMap::new(),
+            SimTime::from_secs(1)
+        ));
+        // Wrong cert rejected.
+        assert!(!s.record_checkin(
+            "agw-1",
+            cert + 1,
+            0,
+            vec![],
+            0,
+            BTreeMap::new(),
+            SimTime::from_secs(2)
+        ));
+        // Unknown gateway rejected.
+        assert!(!s.record_checkin(
+            "ghost",
+            cert,
+            0,
+            vec![],
+            0,
+            BTreeMap::new(),
+            SimTime::from_secs(2)
+        ));
+        let (gws, enbs, sessions) = s.fleet_summary();
+        assert_eq!((gws, enbs, sessions), (1, 1, 12));
+    }
+
+    #[test]
+    fn metrics_readable_by_name() {
+        let mut s = Orc8rState::new(1);
+        let cert = s.bootstrap("agw-1", 1);
+        let m: BTreeMap<String, f64> = [("attach.ok".to_string(), 5.0)].into_iter().collect();
+        s.record_checkin("agw-1", cert, 0, vec![], 0, m, SimTime::ZERO);
+        assert_eq!(s.gateway_metric("agw-1", "attach.ok"), 5.0);
+        assert_eq!(s.gateway_metric("agw-1", "missing"), 0.0);
+    }
+
+    #[test]
+    fn checkpoints_stored_per_gateway() {
+        let mut s = Orc8rState::new(1);
+        s.store_checkpoint("agw-1", serde_json::json!({"sessions": 3}));
+        assert!(s.checkpoints.contains_key("agw-1"));
+    }
+}

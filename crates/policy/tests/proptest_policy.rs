@@ -1,0 +1,136 @@
+//! Property tests on policy invariants: tiered state only ever returns
+//! one of its two configured limits, credit accounting conserves bytes,
+//! and the OCS never lets outstanding reservations exceed the balance.
+
+use magma_policy::{
+    CreditAnswer, OcsServer, RateLimit, SessionCredit, TieredPolicy, TieredState,
+};
+use magma_sim::{SimDuration, SimTime};
+use magma_wire::Imsi;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = TieredPolicy> {
+    (
+        1_000u32..100_000,
+        100u32..1_000,
+        10_000u64..10_000_000,
+        60u64..7200,
+        30u64..3600,
+    )
+        .prop_map(|(normal, throttled, cap, window, penalty)| TieredPolicy {
+            normal: RateLimit {
+                dl_kbps: normal,
+                ul_kbps: normal / 4,
+            },
+            cap_bytes: cap,
+            window: SimDuration::from_secs(window),
+            throttled: RateLimit {
+                dl_kbps: throttled,
+                ul_kbps: throttled,
+            },
+            penalty: SimDuration::from_secs(penalty),
+        })
+}
+
+proptest! {
+    /// Whatever the usage pattern, the effective limit is always exactly
+    /// the normal or the throttled rate — never anything else.
+    #[test]
+    fn tiered_limit_is_always_one_of_two(
+        policy in arb_policy(),
+        usages in proptest::collection::vec((0u64..600, 0u64..5_000_000), 1..100),
+    ) {
+        let mut st = TieredState::new(policy, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for (dt, bytes) in usages {
+            t += SimDuration::from_secs(dt);
+            let lim = st.on_usage(t, bytes);
+            prop_assert!(
+                lim == policy.normal || lim == policy.throttled,
+                "unexpected limit {lim:?}"
+            );
+            // Consistency: is_throttled agrees with the returned limit.
+            if st.is_throttled(t) {
+                prop_assert_eq!(st.effective(t), policy.throttled);
+            } else {
+                prop_assert_eq!(st.effective(t), policy.normal);
+            }
+        }
+    }
+
+    /// Throttling only begins after the cap is actually exceeded within
+    /// a window.
+    #[test]
+    fn no_throttle_below_cap(
+        policy in arb_policy(),
+        n in 1usize..50,
+    ) {
+        let mut st = TieredState::new(policy, SimTime::ZERO);
+        // Spread usage that sums to just under the cap over one window.
+        let per = policy.cap_bytes / (n as u64 + 1);
+        let step = SimDuration(policy.window.as_micros() / (n as u64 + 1));
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            t += step;
+            let lim = st.on_usage(t, per);
+            prop_assert_eq!(lim, policy.normal, "throttled below cap");
+        }
+    }
+
+    /// SessionCredit: consumed bytes never exceed granted bytes, and
+    /// remaining + used == granted at all times.
+    #[test]
+    fn credit_conserves(
+        grants in proptest::collection::vec(1_000u64..1_000_000, 1..10),
+        consumes in proptest::collection::vec(1u64..2_000_000, 1..50),
+    ) {
+        let mut c = SessionCredit::new(grants[0], false);
+        for g in &grants[1..] {
+            c.refill(*g, false);
+        }
+        let total_granted: u64 = grants.iter().sum();
+        let mut total_consumed = 0u64;
+        for want in consumes {
+            total_consumed += c.consume(want);
+            prop_assert_eq!(c.remaining() + c.used, total_granted);
+        }
+        prop_assert!(total_consumed <= total_granted);
+        prop_assert_eq!(c.used, total_consumed);
+    }
+
+    /// OCS: the sum of all grants never exceeds the provisioned balance,
+    /// regardless of the interleaving of requests and reports.
+    #[test]
+    fn ocs_grants_never_exceed_balance(
+        balance in 1_000_000u64..50_000_000,
+        quota in 100_000u64..5_000_000,
+        ops in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let imsi = Imsi::new(310, 26, 1);
+        let mut ocs = OcsServer::new(quota);
+        ocs.provision(imsi, balance);
+        let mut outstanding: Vec<u64> = Vec::new();
+        let mut total_used = 0u64;
+        for op in ops {
+            if op || outstanding.is_empty() {
+                match ocs.request_credit(imsi) {
+                    CreditAnswer::Granted { bytes, .. } => outstanding.push(bytes),
+                    CreditAnswer::Denied => {}
+                }
+            } else {
+                // Report a grant as fully used.
+                let g = outstanding.pop().unwrap();
+                total_used += g;
+                ocs.report_usage(imsi, g, g);
+            }
+        }
+        let still_out: u64 = outstanding.iter().sum();
+        prop_assert!(
+            total_used + still_out <= balance,
+            "used {total_used} + outstanding {still_out} > balance {balance}"
+        );
+        let acct = ocs.balance(imsi).unwrap();
+        prop_assert_eq!(acct.balance_bytes, balance - total_used);
+        prop_assert_eq!(acct.reserved_bytes, still_out);
+    }
+}

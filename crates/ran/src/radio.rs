@@ -1,0 +1,86 @@
+//! Radio sector model.
+//!
+//! A typical eNodeB in the paper's deployments (Baicells Nova 223, Table
+//! 2) supports at most 96 simultaneously active users and a 20 MHz
+//! channel peaking at 126 Mbit/s under ideal conditions (§4.1). The
+//! sector model enforces both: an admission cap on active UEs and
+//! proportional sharing of the air interface when offered load exceeds
+//! capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity model for one radio sector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorModel {
+    /// Peak aggregate throughput over the air, bits per second.
+    pub capacity_bps: u64,
+    /// Maximum simultaneously active (transmitting) UEs.
+    pub max_active_ues: usize,
+}
+
+impl SectorModel {
+    /// The paper's typical eNodeB: 20 MHz, 2x2 MIMO, 96 users.
+    pub fn typical_enb() -> Self {
+        SectorModel {
+            capacity_bps: 126_000_000,
+            max_active_ues: 96,
+        }
+    }
+
+    /// Ideal-conditions variant used in the Figure 5 reproduction, where
+    /// the paper's offered load of 144 Mbit/s per eNodeB was achieved.
+    pub fn ideal_enb() -> Self {
+        SectorModel {
+            capacity_bps: 150_000_000,
+            max_active_ues: 96,
+        }
+    }
+
+    /// A WiFi AP backhauled sector (AccessParks-style CBRS fixed
+    /// wireless modem).
+    pub fn cbrs_modem() -> Self {
+        SectorModel {
+            capacity_bps: 100_000_000,
+            max_active_ues: 32,
+        }
+    }
+
+    /// Scale per-UE demands so the aggregate fits the air interface.
+    /// Returns the scale factor in `[0, 1]` applied to every demand
+    /// (proportional-fair approximated as proportional sharing).
+    pub fn clip_scale(&self, total_demand_bytes: u64, tick_secs: f64) -> f64 {
+        let cap_bytes = self.capacity_bps as f64 / 8.0 * tick_secs;
+        if total_demand_bytes as f64 <= cap_bytes || total_demand_bytes == 0 {
+            1.0
+        } else {
+            cap_bytes / total_demand_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_no_clip() {
+        let s = SectorModel::typical_enb();
+        // 1 MB in 100ms = 80 Mbit/s < 126.
+        assert_eq!(s.clip_scale(1_000_000, 0.1), 1.0);
+        assert_eq!(s.clip_scale(0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn over_capacity_scales_proportionally() {
+        let s = SectorModel::typical_enb();
+        // 3.15 MB in 100ms = 252 Mbit/s = 2x capacity.
+        let scale = s.clip_scale(3_150_000, 0.1);
+        assert!((scale - 0.5).abs() < 1e-9, "scale={scale}");
+    }
+
+    #[test]
+    fn presets_sensible() {
+        assert!(SectorModel::ideal_enb().capacity_bps > SectorModel::typical_enb().capacity_bps);
+        assert_eq!(SectorModel::typical_enb().max_active_ues, 96);
+    }
+}

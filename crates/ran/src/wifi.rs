@@ -1,0 +1,180 @@
+//! WiFi access point actor: authenticates against the AGW's AAA over
+//! RADIUS and backhauls traffic — the AccessParks deployment shape
+//! (§4.3.1, Figure 10), where the "UE" is a fixed wireless modem serving
+//! a hotspot.
+
+use crate::radio::SectorModel;
+use magma_agw::{FluidDemand, FluidGrant};
+use magma_net::{ports, Endpoint, SockCmd, SockEvent};
+use magma_sim::{try_downcast, Actor, ActorId, Ctx, Event, SimDuration};
+use magma_wire::radius::{acct_status, attr, Attribute, RadiusCode, RadiusPacket};
+use magma_wire::{Teid, UeIp};
+
+const T_FLUID: u64 = 1;
+const T_AUTH: u64 = 2;
+
+/// Custom RADIUS attribute carrying the AGW-assigned tunnel id so the AP
+/// can key its traffic demands (vendor-specific in a real deployment).
+pub const ATTR_TUNNEL_ID: u8 = 200;
+const LOCAL_PORT: u16 = 20000;
+
+/// Configuration for one WiFi AP (or CBRS backhaul modem).
+#[derive(Debug, Clone)]
+pub struct WifiApConfig {
+    pub name: String,
+    pub stack: ActorId,
+    /// AGW AAA endpoint (RADIUS auth port).
+    pub agw_aaa: Endpoint,
+    /// AGW actor for the fluid data path.
+    pub agw_actor: ActorId,
+    pub username: String,
+    pub password: String,
+    pub sector: SectorModel,
+    pub tick: SimDuration,
+    /// Aggregate hotspot demand behind this AP.
+    pub dl_bps: u64,
+    pub ul_bps: u64,
+    /// Delay before first authentication.
+    pub auth_at: SimDuration,
+}
+
+/// The AP actor.
+pub struct WifiApActor {
+    cfg: WifiApConfig,
+    authed: bool,
+    ip: Option<UeIp>,
+    teid: Option<Teid>,
+    ident: u8,
+}
+
+impl WifiApActor {
+    pub fn new(cfg: WifiApConfig) -> Self {
+        WifiApActor {
+            cfg,
+            authed: false,
+            ip: None,
+            teid: None,
+            ident: 0,
+        }
+    }
+
+    fn send_auth(&mut self, ctx: &mut Ctx<'_>) {
+        self.ident = self.ident.wrapping_add(1);
+        let pkt = RadiusPacket::new(RadiusCode::AccessRequest, self.ident)
+            .with_attr(Attribute::string(attr::USER_NAME, &self.cfg.username))
+            .with_attr(Attribute::string(attr::USER_PASSWORD, &self.cfg.password))
+            .with_attr(Attribute::string(attr::ACCT_SESSION_ID, &self.cfg.name))
+            .with_attr(Attribute::string(attr::CALLING_STATION_ID, &self.cfg.name));
+        ctx.send(
+            self.cfg.stack,
+            Box::new(SockCmd::DgramSend {
+                src_port: LOCAL_PORT,
+                dst: self.cfg.agw_aaa,
+                bytes: pkt.encode(),
+            }),
+        );
+    }
+
+    /// Tear down (sends Accounting Stop).
+    pub fn stop_session(&mut self, ctx: &mut Ctx<'_>) {
+        let pkt = RadiusPacket::new(RadiusCode::AccountingRequest, self.ident)
+            .with_attr(Attribute::u32(attr::ACCT_STATUS_TYPE, acct_status::STOP))
+            .with_attr(Attribute::string(attr::ACCT_SESSION_ID, &self.cfg.name));
+        ctx.send(
+            self.cfg.stack,
+            Box::new(SockCmd::DgramSend {
+                src_port: LOCAL_PORT,
+                dst: Endpoint::new(self.cfg.agw_aaa.node, ports::RADIUS_ACCT),
+                bytes: pkt.encode(),
+            }),
+        );
+        self.authed = false;
+    }
+}
+
+impl Actor for WifiApActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                let me = ctx.id();
+                ctx.send(
+                    self.cfg.stack,
+                    Box::new(SockCmd::ListenDgram {
+                        port: LOCAL_PORT,
+                        owner: me,
+                    }),
+                );
+                ctx.timer_in(self.cfg.auth_at, T_AUTH);
+                ctx.timer_in(self.cfg.tick, T_FLUID);
+            }
+            Event::Timer { tag: T_AUTH } => {
+                if !self.authed {
+                    self.send_auth(ctx);
+                    // Retry until accepted (RADIUS is datagram-based).
+                    ctx.timer_in(SimDuration::from_secs(3), T_AUTH);
+                }
+            }
+            Event::Timer { tag: T_FLUID } => {
+                if self.authed {
+                    if let Some(teid) = self.teid {
+                        let tick = self.cfg.tick.as_secs_f64();
+                        let mut ul = (self.cfg.ul_bps as f64 / 8.0 * tick) as u64;
+                        let mut dl = (self.cfg.dl_bps as f64 / 8.0 * tick) as u64;
+                        let scale = self.cfg.sector.clip_scale(ul + dl, tick);
+                        ul = (ul as f64 * scale) as u64;
+                        dl = (dl as f64 * scale) as u64;
+                        let me = ctx.id();
+                        ctx.send(
+                            self.cfg.agw_actor,
+                            Box::new(FluidDemand {
+                                from_ran: me,
+                                demands: vec![(teid, ul, dl)],
+                            }),
+                        );
+                    }
+                }
+                ctx.timer_in(self.cfg.tick, T_FLUID);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { payload, .. } => match try_downcast::<SockEvent>(payload) {
+                Ok(SockEvent::DgramRecv { bytes, .. }) => {
+                    if let Ok(pkt) = RadiusPacket::decode(&bytes) {
+                        match pkt.code {
+                            RadiusCode::AccessAccept => {
+                                self.authed = true;
+                                self.ip = pkt
+                                    .get(attr::FRAMED_IP_ADDRESS)
+                                    .and_then(|a| a.as_u32())
+                                    .map(UeIp);
+                                self.teid = pkt
+                                    .get(ATTR_TUNNEL_ID)
+                                    .and_then(|a| a.as_u32())
+                                    .map(Teid);
+                                let t = ctx.now();
+                                ctx.metrics().record("wifi.ap_authed", t, 1.0);
+                            }
+                            RadiusCode::AccessReject => {
+                                let t = ctx.now();
+                                ctx.metrics().record("wifi.ap_rejected", t, 1.0);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(payload) => {
+                    if let Ok(grant) = try_downcast::<FluidGrant>(payload) {
+                        let now = ctx.now();
+                        let total: u64 = grant.grants.iter().map(|g| g.1 + g.2).sum();
+                        ctx.metrics().record("wifi.achieved_bytes", now, total as f64);
+                    }
+                }
+            },
+            Event::CpuDone { .. } => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        self.cfg.name.clone()
+    }
+}

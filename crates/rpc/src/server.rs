@@ -1,0 +1,142 @@
+//! RPC server: accepts connections on a port, surfaces requests to the
+//! owning actor, and sends responses / push frames back.
+
+use crate::codec::{encode_frame, Framer};
+use crate::msg::{RpcFrame, RpcKind};
+use magma_net::{SockCmd, SockEvent, StreamHandle};
+use magma_sim::{ActorId, Ctx};
+use serde_json::Value;
+use std::collections::HashMap;
+
+/// Events the server surfaces to its owning actor.
+#[derive(Debug)]
+pub enum RpcServerEvent {
+    /// A unary request to answer via [`RpcServer::reply`] /
+    /// [`RpcServer::reply_err`].
+    Request {
+        conn: StreamHandle,
+        id: u64,
+        method: String,
+        body: Value,
+    },
+    /// A client connected (useful for push-stream registration).
+    ClientConnected { conn: StreamHandle },
+    /// A client connection went away; any push streams to it are dead.
+    ClientGone { conn: StreamHandle },
+}
+
+/// An RPC server bound to one listening port. Embed in an actor and
+/// forward `SockEvent`s through [`try_handle`](RpcServer::try_handle).
+pub struct RpcServer {
+    stack: ActorId,
+    port: u16,
+    conns: HashMap<StreamHandle, Framer>,
+    pub requests_served: u64,
+}
+
+impl RpcServer {
+    pub fn new(stack: ActorId, port: u16) -> Self {
+        RpcServer {
+            stack,
+            port,
+            conns: HashMap::new(),
+            requests_served: 0,
+        }
+    }
+
+    /// Register the listening port; call from the owner's `Start` event.
+    pub fn listen(&mut self, ctx: &mut Ctx<'_>) {
+        let owner = ctx.id();
+        ctx.send(
+            self.stack,
+            Box::new(SockCmd::ListenStream {
+                port: self.port,
+                owner,
+            }),
+        );
+    }
+
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Offer a `SockEvent`; `Err` hands it back if it isn't ours.
+    pub fn try_handle(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        ev: SockEvent,
+    ) -> Result<Vec<RpcServerEvent>, SockEvent> {
+        match ev {
+            SockEvent::StreamAccepted {
+                handle, local_port, ..
+            } if local_port == self.port => {
+                self.conns.insert(handle, Framer::new());
+                Ok(vec![RpcServerEvent::ClientConnected { conn: handle }])
+            }
+            SockEvent::StreamRecv { handle, bytes } if self.conns.contains_key(&handle) => {
+                let framer = self.conns.get_mut(&handle).unwrap();
+                let frames = framer.push(&bytes);
+                let mut out = Vec::new();
+                for f in frames {
+                    if f.kind == RpcKind::Request {
+                        self.requests_served += 1;
+                        out.push(RpcServerEvent::Request {
+                            conn: handle,
+                            id: f.id,
+                            method: f.method,
+                            body: f.body,
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            SockEvent::StreamClosed { handle, .. } if self.conns.contains_key(&handle) => {
+                self.conns.remove(&handle);
+                Ok(vec![RpcServerEvent::ClientGone { conn: handle }])
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Send a successful response.
+    pub fn reply(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, id: u64, body: Value) {
+        self.send_frame(ctx, conn, RpcFrame::response(id, body));
+    }
+
+    /// Send an application error.
+    pub fn reply_err(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, id: u64, msg: &str) {
+        self.send_frame(ctx, conn, RpcFrame::error(id, msg));
+    }
+
+    /// Push an unsolicited frame (desired-state sync) to a connected
+    /// client. Returns false if the connection is gone.
+    pub fn push(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        stream_id: u64,
+        method: &str,
+        body: Value,
+    ) -> bool {
+        if !self.conns.contains_key(&conn) {
+            return false;
+        }
+        self.send_frame(ctx, conn, RpcFrame::push(stream_id, method, body));
+        true
+    }
+
+    /// Handles of all live client connections.
+    pub fn clients(&self) -> impl Iterator<Item = StreamHandle> + '_ {
+        self.conns.keys().copied()
+    }
+
+    fn send_frame(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, frame: RpcFrame) {
+        ctx.send(
+            self.stack,
+            Box::new(SockCmd::StreamSend {
+                handle: conn,
+                bytes: encode_frame(&frame),
+            }),
+        );
+    }
+}

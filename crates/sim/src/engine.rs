@@ -1,0 +1,438 @@
+//! The simulation kernel: world construction, the run loop, and the [`Ctx`]
+//! handle through which actors interact with the world.
+
+use crate::actor::{Actor, ActorId, Event, Payload};
+use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
+use crate::event::{EventHandle, EventQueue};
+use crate::metrics::Recorder;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct Slot {
+    actor: Option<Box<dyn Actor>>,
+    name: String,
+}
+
+enum PendingOp {
+    Spawn(ActorId, Box<dyn Actor>),
+    Replace(ActorId, Box<dyn Actor>),
+    Kill(ActorId),
+}
+
+/// Mutable world state shared with actors through [`Ctx`]. Holds everything
+/// except the actors themselves (so an actor can be mutably borrowed while
+/// it manipulates the kernel).
+pub struct Kernel {
+    time: SimTime,
+    queue: EventQueue,
+    rng: SmallRng,
+    metrics: Recorder,
+    hosts: Vec<HostState>,
+    /// Per-actor generation; events captured under an older generation are
+    /// dropped at dispatch. Bumped on crash/replace so a restarted service
+    /// never sees stale in-flight messages.
+    gens: Vec<u32>,
+    next_actor_id: u32,
+    pending: Vec<PendingOp>,
+    log: Vec<(SimTime, String)>,
+    verbose: bool,
+    events_processed: u64,
+}
+
+/// The simulation world: a set of actors, hosts, and a deterministic event
+/// queue, advanced in virtual time.
+pub struct World {
+    actors: Vec<Slot>,
+    kernel: Kernel,
+}
+
+impl World {
+    /// Create a world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            actors: Vec::new(),
+            kernel: Kernel {
+                time: SimTime::ZERO,
+                queue: EventQueue::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                metrics: Recorder::new(),
+                hosts: Vec::new(),
+                gens: Vec::new(),
+                next_actor_id: 0,
+                pending: Vec::new(),
+                log: Vec::new(),
+                verbose: false,
+                events_processed: 0,
+            },
+        }
+    }
+
+    /// Enable in-memory event logging (debugging aid; off by default).
+    pub fn set_verbose(&mut self, v: bool) {
+        self.kernel.verbose = v;
+    }
+
+    /// Register a simulated host machine.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.kernel.hosts.len() as u32);
+        self.kernel.hosts.push(HostState::new(spec));
+        id
+    }
+
+    /// Register an actor; its `Start` event fires at the current time.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId(self.kernel.next_actor_id);
+        self.kernel.next_actor_id += 1;
+        self.kernel.gens.push(0);
+        let name = actor.name();
+        self.actors.push(Slot {
+            actor: Some(actor),
+            name,
+        });
+        let g = self.kernel.gens[id.0 as usize];
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        id
+    }
+
+    /// Inject a message from "outside" the simulation (tests, harness).
+    pub fn inject(&mut self, dst: ActorId, payload: Payload) {
+        let g = self.kernel.gens[dst.0 as usize];
+        self.kernel.queue.push(
+            self.kernel.time,
+            dst,
+            g,
+            Event::Msg { from: dst, payload },
+        );
+    }
+
+    /// Crash an actor: its state is dropped and all in-flight events to it
+    /// are invalidated. The slot stays allocated for a later
+    /// [`restart`](World::restart).
+    pub fn crash(&mut self, id: ActorId) {
+        self.kernel.gens[id.0 as usize] += 1;
+        self.actors[id.0 as usize].actor = None;
+    }
+
+    /// Restart a crashed actor with a fresh instance (typically rebuilt
+    /// from a checkpoint). Delivers `Start` at the current time.
+    pub fn restart(&mut self, id: ActorId, actor: Box<dyn Actor>) {
+        self.kernel.gens[id.0 as usize] += 1;
+        let name = actor.name();
+        self.actors[id.0 as usize] = Slot {
+            actor: Some(actor),
+            name,
+        };
+        let g = self.kernel.gens[id.0 as usize];
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+    }
+
+    /// Whether the actor is currently alive.
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.actors
+            .get(id.0 as usize)
+            .map(|s| s.actor.is_some())
+            .unwrap_or(false)
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.kernel.time
+    }
+
+    pub fn metrics(&self) -> &Recorder {
+        &self.kernel.metrics
+    }
+
+    pub fn metrics_mut(&mut self) -> &mut Recorder {
+        &mut self.kernel.metrics
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed
+    }
+
+    /// Per-group CPU utilization report for a host.
+    pub fn utilization(&self, host: HostId, group: &str) -> Option<UtilizationReport> {
+        let h = self.kernel.hosts.get(host.0 as usize)?;
+        let idx = h.group_index(group)? as usize;
+        Some(cpu::build_report(h, idx, self.kernel.time))
+    }
+
+    /// Drain the debug log (only populated when verbose).
+    pub fn take_log(&mut self) -> Vec<(SimTime, String)> {
+        std::mem::take(&mut self.kernel.log)
+    }
+
+    /// Run until the event queue is exhausted or `deadline` is reached.
+    /// The clock ends exactly at `deadline` even if the queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.kernel.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.kernel.time < deadline {
+            self.kernel.time = deadline;
+        }
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.kernel.time + d;
+        self.run_until(deadline);
+    }
+
+    /// Run until the queue is fully drained (or `max` events, as a runaway
+    /// guard). Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max: u64) -> u64 {
+        let start = self.kernel.events_processed;
+        while !self.kernel.queue.is_empty() {
+            if self.kernel.events_processed - start >= max {
+                break;
+            }
+            self.step();
+        }
+        self.kernel.events_processed - start
+    }
+
+    /// Process exactly one event. Returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(sched) = self.kernel.queue.pop() else {
+            return false;
+        };
+        debug_assert!(sched.time >= self.kernel.time, "time went backwards");
+        self.kernel.time = sched.time;
+        self.kernel.events_processed += 1;
+
+        let event = sched.event;
+
+        // CPU bookkeeping happens regardless of whether the owner is alive:
+        // the core frees and the next queued job starts.
+        if let Event::CpuDone {
+            host,
+            group,
+            queued,
+            ..
+        } = &event
+        {
+            let (host, group, queued) = (*host, *group, *queued);
+            let hs = &mut self.kernel.hosts[host.0 as usize];
+            if let Some((job, done)) = cpu::complete(hs, group, sched.time) {
+                let qd = sched.time.since(job.submitted);
+                self.kernel.queue.push(
+                    done,
+                    job.owner,
+                    job.gen,
+                    Event::CpuDone {
+                        tag: job.tag,
+                        payload: job.payload,
+                        host,
+                        group,
+                        queued: qd,
+                    },
+                );
+            }
+            self.kernel
+                .metrics
+                .observe("sim.cpu.queue_delay_s", queued.as_secs_f64());
+        }
+
+        let idx = sched.target.0 as usize;
+        if self
+            .kernel
+            .gens
+            .get(idx)
+            .map(|g| *g != sched.gen)
+            .unwrap_or(true)
+        {
+            // Stale event for an earlier incarnation of the actor.
+            return true;
+        }
+        let Some(slot) = self.actors.get_mut(idx) else {
+            return true;
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            // Crashed / never existed: event is dropped.
+            return true;
+        };
+
+        {
+            let mut ctx = Ctx {
+                kernel: &mut self.kernel,
+                self_id: sched.target,
+            };
+            actor.handle(&mut ctx, event);
+        }
+        // The actor may have been replaced/killed by itself (rare) — only
+        // put it back if the slot is still empty.
+        if self.actors[idx].actor.is_none() {
+            self.actors[idx].actor = Some(actor);
+        }
+
+        // Apply deferred structural ops.
+        let pending = std::mem::take(&mut self.kernel.pending);
+        for op in pending {
+            match op {
+                PendingOp::Spawn(id, actor) => {
+                    let name = actor.name();
+                    debug_assert_eq!(id.0 as usize, self.actors.len());
+                    self.actors.push(Slot {
+                        actor: Some(actor),
+                        name,
+                    });
+                    let g = self.kernel.gens[id.0 as usize];
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+                }
+                PendingOp::Replace(id, actor) => {
+                    self.kernel.gens[id.0 as usize] += 1;
+                    let name = actor.name();
+                    self.actors[id.0 as usize] = Slot {
+                        actor: Some(actor),
+                        name,
+                    };
+                    let g = self.kernel.gens[id.0 as usize];
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+                }
+                PendingOp::Kill(id) => {
+                    self.kernel.gens[id.0 as usize] += 1;
+                    self.actors[id.0 as usize].actor = None;
+                }
+            }
+        }
+        true
+    }
+
+    /// Name of an actor (for diagnostics).
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.actors[id.0 as usize].name
+    }
+}
+
+/// Handle through which an actor affects the world while processing an
+/// event: scheduling messages and timers, submitting CPU work, recording
+/// metrics, and structural operations (spawn/crash).
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    self_id: ActorId,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn now(&self) -> SimTime {
+        self.kernel.time
+    }
+
+    pub fn id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Send a message delivered at the current instant (after all events
+    /// already scheduled for this instant).
+    pub fn send(&mut self, dst: ActorId, payload: Payload) {
+        self.send_in(dst, SimDuration::ZERO, payload);
+    }
+
+    /// Send a message after a delay.
+    pub fn send_in(&mut self, dst: ActorId, delay: SimDuration, payload: Payload) {
+        let from = self.self_id;
+        let g = self.kernel.gens[dst.0 as usize];
+        self.kernel
+            .queue
+            .push(self.kernel.time + delay, dst, g, Event::Msg { from, payload });
+    }
+
+    /// Arm a timer on this actor; fires as `Event::Timer { tag }`.
+    pub fn timer_in(&mut self, delay: SimDuration, tag: u64) -> EventHandle {
+        let g = self.kernel.gens[self.self_id.0 as usize];
+        self.kernel
+            .queue
+            .push(self.kernel.time + delay, self.self_id, g, Event::Timer { tag })
+    }
+
+    /// Cancel a previously armed timer (or a pending send).
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.kernel.queue.cancel(handle);
+    }
+
+    /// Submit a CPU job on `host` in the named core group. When the job
+    /// completes, `Event::CpuDone { tag, payload, .. }` is delivered back
+    /// to this actor. Panics if the host/group does not exist: that is a
+    /// wiring bug, not a runtime condition.
+    pub fn exec(
+        &mut self,
+        host: HostId,
+        group: &str,
+        demand: SimDuration,
+        tag: u64,
+        payload: Payload,
+    ) {
+        let hs = &mut self.kernel.hosts[host.0 as usize];
+        let gidx = hs
+            .group_index(group)
+            .unwrap_or_else(|| panic!("host {} has no core group '{group}'", hs.spec.name));
+        let speed = hs.groups[gidx as usize].spec.speed;
+        let service = cpu::scaled_service(demand, speed);
+        let gen = self.kernel.gens[self.self_id.0 as usize];
+        let job = Job {
+            owner: self.self_id,
+            gen,
+            tag,
+            payload,
+            service,
+            submitted: self.kernel.time,
+        };
+        if let Some((job, done)) = cpu::submit(hs, gidx, self.kernel.time, job) {
+            self.kernel.queue.push(
+                done,
+                self.self_id,
+                gen,
+                Event::CpuDone {
+                    tag: job.tag,
+                    payload: job.payload,
+                    host,
+                    group: gidx,
+                    queued: SimDuration::ZERO,
+                },
+            );
+        }
+    }
+
+    /// Deterministic RNG shared by the world.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.kernel.rng
+    }
+
+    /// Measurement sink.
+    pub fn metrics(&mut self) -> &mut Recorder {
+        &mut self.kernel.metrics
+    }
+
+    /// Append a debug log line (kept only in verbose mode).
+    pub fn log(&mut self, msg: impl FnOnce() -> String) {
+        if self.kernel.verbose {
+            let m = msg();
+            self.kernel.log.push((self.kernel.time, m));
+        }
+    }
+
+    /// Spawn a new actor; `Start` is delivered at the current instant.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId(self.kernel.next_actor_id);
+        self.kernel.next_actor_id += 1;
+        self.kernel.gens.push(0);
+        self.kernel.pending.push(PendingOp::Spawn(id, actor));
+        id
+    }
+
+    /// Replace another actor with a fresh instance (restart).
+    pub fn replace(&mut self, id: ActorId, actor: Box<dyn Actor>) {
+        self.kernel.pending.push(PendingOp::Replace(id, actor));
+    }
+
+    /// Crash another actor: state dropped, in-flight events invalidated.
+    pub fn kill(&mut self, id: ActorId) {
+        self.kernel.pending.push(PendingOp::Kill(id));
+    }
+}

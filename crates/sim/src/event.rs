@@ -1,0 +1,169 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are totally ordered by `(time, sequence)`: two events scheduled
+//! for the same instant fire in the order they were scheduled, which keeps
+//! runs bit-for-bit deterministic.
+
+use crate::actor::{ActorId, Event};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(pub(crate) u64);
+
+pub(crate) struct Scheduled {
+    pub time: SimTime,
+    pub seq: u64,
+    pub target: ActorId,
+    /// Generation of the target actor at schedule time; stale events
+    /// (target restarted since) are dropped at dispatch.
+    pub gen: u32,
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of simulation events.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, target: ActorId, gen: u32, event: Event) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            target,
+            gen,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pop the next non-cancelled event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Time of the next non-cancelled event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                self.cancelled.remove(&seq);
+                self.heap.pop();
+                continue;
+            }
+            return Some(self.heap.peek().unwrap().time);
+        }
+    }
+
+    /// Number of scheduled (possibly cancelled) events; used by tests
+    /// and diagnostics.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Event;
+
+    fn ev() -> Event {
+        Event::Start
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), ActorId(0), 0, ev());
+        q.push(SimTime::from_secs(1), ActorId(1), 0, ev());
+        q.push(SimTime::from_secs(2), ActorId(2), 0, ev());
+        assert_eq!(q.pop().unwrap().target, ActorId(1));
+        assert_eq!(q.pop().unwrap().target, ActorId(2));
+        assert_eq!(q.pop().unwrap().target, ActorId(0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.push(t, ActorId(i), 0, ev());
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().target, ActorId(i));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev());
+        q.push(SimTime::from_secs(2), ActorId(1), 0, ev());
+        q.cancel(h);
+        assert_eq!(q.pop().unwrap().target, ActorId(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev());
+        q.push(SimTime::from_secs(5), ActorId(1), 0, ev());
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+}

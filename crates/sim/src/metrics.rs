@@ -1,0 +1,244 @@
+//! Measurement recording for experiments.
+//!
+//! The testbed (our Spirent Landslide analog) measures connection success
+//! rate in 5-second bins, achieved throughput over time, and CPU
+//! utilization. The [`Recorder`] collects raw observations during a run;
+//! binning and summary statistics are computed afterwards.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A named time series of `(time, value)` samples.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Series {
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t.as_micros(), v));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of values per fixed-width bin, as `(bin_start, sum)`.
+    pub fn bin_sum(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        self.bin(width, |vs| vs.iter().sum())
+    }
+
+    /// Mean of values per fixed-width bin; empty bins yield 0.
+    pub fn bin_mean(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        self.bin(width, |vs| {
+            if vs.is_empty() {
+                0.0
+            } else {
+                vs.iter().sum::<f64>() / vs.len() as f64
+            }
+        })
+    }
+
+    /// Convert event values (e.g., bytes per sample) into a rate per
+    /// second over fixed-width bins.
+    pub fn bin_rate_per_sec(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        let secs = width.as_secs_f64().max(1e-9);
+        self.bin_sum(width)
+            .into_iter()
+            .map(|(t, s)| (t, s / secs))
+            .collect()
+    }
+
+    fn bin(&self, width: SimDuration, f: impl Fn(&[f64]) -> f64) -> Vec<(SimTime, f64)> {
+        let w = width.as_micros().max(1);
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let last = self.points.iter().map(|(t, _)| *t).max().unwrap();
+        let n = (last / w) as usize + 1;
+        let mut bins: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &(t, v) in &self.points {
+            bins[(t / w) as usize].push(v);
+        }
+        bins.iter()
+            .enumerate()
+            .map(|(i, vs)| (SimTime(i as u64 * w), f(vs)))
+            .collect()
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|(_, v)| *v)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.values().sum::<f64>() / self.points.len() as f64
+    }
+
+    pub fn max(&self) -> f64 {
+        self.values().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// A distribution of observations with percentile queries.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Histogram {
+    pub samples: Vec<f64>,
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// p in [0, 100]. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = (p / 100.0 * (s.len() - 1) as f64).round() as usize;
+        s[rank.min(s.len() - 1)]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Central sink for all measurements taken during a simulation run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    series: BTreeMap<String, Series>,
+    counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample to the named time series.
+    pub fn record(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(t, v);
+    }
+
+    /// Increment a monotonic counter.
+    pub fn inc(&mut self, name: &str, by: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += by;
+    }
+
+    /// Record one observation into a distribution.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(|s| s.as_str())
+    }
+
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_binning_sums_and_rates() {
+        let mut s = Series::default();
+        // 1000 bytes at t=0.2s, 3000 at t=0.7s, 2000 at t=1.1s.
+        s.push(SimTime::from_millis(200), 1000.0);
+        s.push(SimTime::from_millis(700), 3000.0);
+        s.push(SimTime::from_millis(1100), 2000.0);
+        let sums = s.bin_sum(SimDuration::from_secs(1));
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].1, 4000.0);
+        assert_eq!(sums[1].1, 2000.0);
+        let rates = s.bin_rate_per_sec(SimDuration::from_secs(1));
+        assert_eq!(rates[0].1, 4000.0);
+    }
+
+    #[test]
+    fn bin_mean_handles_empty_bins() {
+        let mut s = Series::default();
+        s.push(SimTime::from_secs(0), 10.0);
+        s.push(SimTime::from_secs(2), 20.0);
+        let means = s.bin_mean(SimDuration::from_secs(1));
+        assert_eq!(means.len(), 3);
+        assert_eq!(means[0].1, 10.0);
+        assert_eq!(means[1].1, 0.0);
+        assert_eq!(means[2].1, 20.0);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert!((h.median() - 50.0).abs() <= 1.0);
+        assert_eq!(Histogram::default().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn recorder_counters_and_series() {
+        let mut r = Recorder::new();
+        r.inc("attach.success", 1.0);
+        r.inc("attach.success", 1.0);
+        assert_eq!(r.counter("attach.success"), 2.0);
+        assert_eq!(r.counter("missing"), 0.0);
+        r.record("tp", SimTime::ZERO, 5.0);
+        assert_eq!(r.series("tp").unwrap().len(), 1);
+        r.observe("lat", 3.0);
+        assert_eq!(r.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn series_mean_max() {
+        let mut s = Series::default();
+        s.push(SimTime::ZERO, 1.0);
+        s.push(SimTime::from_secs(1), 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulation time is expressed in integer **microseconds** to keep
+//! event ordering exact and the simulation deterministic. Floating-point
+//! time is only produced at the metrics/reporting boundary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in microseconds since the start
+/// of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+pub const MICROS_PER_MILLI: u64 = 1_000;
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * MICROS_PER_MILLI)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * MICROS_PER_MILLI)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Build a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Scale by a non-negative float (used for CPU speed factors).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, t: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(t.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_sub(d.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < MICROS_PER_MILLI {
+            write!(f, "{}us", self.0)
+        } else if self.0 < MICROS_PER_SEC {
+            write!(f, "{:.3}ms", self.0 as f64 / MICROS_PER_MILLI as f64)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(5);
+        let d = SimDuration::from_millis(1500);
+        assert_eq!((t + d).as_micros(), 6_500_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let t = SimTime::from_secs(1);
+        let later = SimTime::from_secs(2);
+        assert_eq!(t - later, SimDuration::ZERO);
+        assert_eq!(t.since(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.0), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d * 3, SimDuration::from_millis(300));
+        assert_eq!(d / 2, SimDuration::from_millis(50));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+}

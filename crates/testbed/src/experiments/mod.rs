@@ -1,0 +1,15 @@
+//! Experiment runners: one per paper figure/table plus the DESIGN.md
+//! ablations. Each module exposes `run(..)` returning a serializable
+//! result and `render(..)` printing the same rows/series the paper
+//! reports.
+
+pub mod ablation_failover;
+pub mod ablation_gtp;
+pub mod ablation_headless;
+pub mod ablation_quota;
+pub mod cups;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod scaling;
+pub mod workload_mix;

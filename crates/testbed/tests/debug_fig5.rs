@@ -1,0 +1,28 @@
+use magma_ran::TrafficModel;
+use magma_sim::SimTime;
+use magma_testbed::scenario::{build, AgwSpec, ScenarioConfig, SiteSpec};
+
+#[test]
+#[ignore]
+fn dbg() {
+    let site = SiteSpec {
+        traffic: TrafficModel { dl_bps: 1_500_000, ul_bps: 0 },
+        ..SiteSpec::typical()
+    };
+    let cfg = ScenarioConfig::new(1).with_agw(AgwSpec::bare_metal(site));
+    let mut sc = build(cfg);
+    sc.world.run_until(SimTime::from_secs(120));
+    let rec = sc.world.metrics();
+    for c in ["agw0.attach.start","agw0.attach.accept","agw0.attach.reject","agw0.attach.timeout","agw0.enb.connected","agw0.up.dropped_bytes"] {
+        println!("{c} = {}", rec.counter(c));
+    }
+    for s in ["ran.attach_attempt","ran.attach_ok_at","ran.attach_fail_at"] {
+        println!("{s} len = {}", rec.series(s).map(|x| x.len()).unwrap_or(0));
+    }
+    let q = rec.series("agw0.cp_queue").unwrap();
+    println!("cp_queue max = {}", q.max());
+    let lat = rec.histogram("agw0.attach.latency_s");
+    println!("agw attach latency p50 = {:?}", lat.map(|h| h.median()));
+    let util = sc.world.utilization(sc.agws[0].host, "all").unwrap();
+    println!("cpu mean={:.2} peak={:.2}", util.mean(), util.peak());
+}

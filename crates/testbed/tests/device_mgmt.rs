@@ -1,0 +1,68 @@
+//! Device management and telemetry (§3.1, Table 1's "no 3GPP
+//! equivalent" rows): the orchestrator tracks the gateway fleet, samples
+//! its health, and alerts when a gateway goes dark.
+
+use magma_ran::TrafficModel;
+use magma_sim::{SimDuration, SimTime};
+use magma_testbed::scenario::{build, AgwSpec, ScenarioConfig, SiteSpec};
+
+fn site() -> SiteSpec {
+    SiteSpec {
+        enbs: 1,
+        ues_per_enb: 5,
+        attach_rate_per_sec: 1.0,
+        traffic: TrafficModel::http_download(),
+        ..SiteSpec::typical()
+    }
+}
+
+#[test]
+fn fleet_history_tracks_sessions_and_online_count() {
+    let cfg = ScenarioConfig::new(23)
+        .with_agw(AgwSpec::bare_metal(site()))
+        .with_agw(AgwSpec::bare_metal(site()));
+    let mut sc = build(cfg);
+    sc.world.run_until(SimTime::from_secs(60));
+
+    let orc8r = sc.orc8r.borrow();
+    assert!(orc8r.history.len() >= 10, "5s sampling over 60s");
+    let last = orc8r.history.last().unwrap();
+    assert_eq!(last.gateways, 2);
+    assert_eq!(last.online, 2);
+    assert_eq!(last.enbs, 2);
+    assert_eq!(last.sessions, 10);
+    assert!(orc8r.alerts.is_empty(), "healthy fleet raises no alerts");
+    assert!(orc8r.offline_gateways(sc.world.now()).is_empty());
+}
+
+#[test]
+fn partitioned_gateway_raises_offline_alert_then_recovers() {
+    let cfg = ScenarioConfig::new(24).with_agw(AgwSpec::bare_metal(site()));
+    let mut sc = build(cfg);
+    sc.world.run_until(SimTime::from_secs(30));
+    assert!(sc.orc8r.borrow().alerts.is_empty());
+
+    // Partition the gateway's backhaul: check-ins stop.
+    let (a, o) = (sc.agws[0].node, sc.orc8r_node);
+    sc.net.borrow_mut().set_link_up(a, o, false);
+    sc.world.run_until(SimTime::from_secs(90));
+    {
+        let orc8r = sc.orc8r.borrow();
+        let offline = orc8r.offline_gateways(sc.world.now());
+        assert_eq!(offline, vec!["agw0".to_string()]);
+        assert_eq!(orc8r.alerts.len(), 1, "exactly one alert per episode");
+        assert_eq!(orc8r.alerts[0].gateway, "agw0");
+        let last = orc8r.history.last().unwrap();
+        assert_eq!(last.online, 0);
+    }
+
+    // Heal: the gateway checks back in and is online again.
+    sc.net.borrow_mut().set_link_up(a, o, true);
+    sc.world.run_for(SimDuration::from_secs(60));
+    {
+        let orc8r = sc.orc8r.borrow();
+        assert!(orc8r.offline_gateways(sc.world.now()).is_empty());
+        assert_eq!(orc8r.alerts.len(), 1, "no duplicate alerts after recovery");
+        assert_eq!(orc8r.history.last().unwrap().online, 1);
+    }
+}

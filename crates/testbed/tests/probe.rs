@@ -1,0 +1,25 @@
+//! Calibration probe (run with --ignored --nocapture in release mode).
+use magma_sim::SimDuration;
+use magma_testbed::experiments::{cups, fig5, fig6};
+
+#[test]
+#[ignore]
+fn probe_fig5() {
+    let r = fig5::run(1, SimDuration::from_secs(300));
+    println!("{}", fig5::render(&r));
+}
+
+#[test]
+#[ignore]
+fn probe_fig6() {
+    let r = fig6::run(1, &fig6::default_rates());
+    println!("{}", fig6::render(&r));
+}
+
+#[test]
+#[ignore]
+fn probe_cups() {
+    let r = cups::run(1);
+    println!("{}", cups::render_fig7(&r));
+    println!("{}", cups::render_fig8(&r));
+}

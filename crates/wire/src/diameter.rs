@@ -1,0 +1,351 @@
+//! Diameter S6a subset — federation with an MNO's HSS.
+//!
+//! The Federation Gateway (§3.6) speaks 3GPP-defined interfaces toward an
+//! external operator core. S6a carries authentication-information and
+//! update-location exchanges between a serving node (our FeG, proxying for
+//! AGWs) and the MNO HSS. Header layout follows RFC 6733 (version, length,
+//! flags, command code, application id, hop-by-hop and end-to-end ids)
+//! with a simplified AVP encoding.
+
+use crate::aka::{Autn, Kasme, Rand, Res};
+use crate::error::{need, WireError};
+use crate::ids::Imsi;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// S6a command codes (TS 29.272).
+pub mod command {
+    /// Authentication-Information-Request/Answer.
+    pub const AIR: u32 = 318;
+    /// Update-Location-Request/Answer.
+    pub const ULR: u32 = 316;
+    /// Purge-UE-Request/Answer.
+    pub const PUR: u32 = 321;
+}
+
+/// Diameter result codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultCode {
+    Success,
+    UserUnknown,
+    AuthenticationRejected,
+    UnableToComply,
+}
+
+impl ResultCode {
+    fn to_u32(self) -> u32 {
+        match self {
+            ResultCode::Success => 2001,
+            ResultCode::UserUnknown => 5001,
+            ResultCode::AuthenticationRejected => 4001,
+            ResultCode::UnableToComply => 5012,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, WireError> {
+        Ok(match v {
+            2001 => ResultCode::Success,
+            5001 => ResultCode::UserUnknown,
+            4001 => ResultCode::AuthenticationRejected,
+            5012 => ResultCode::UnableToComply,
+            other => {
+                return Err(WireError::BadValue {
+                    field: "diameter.result_code",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+/// Structured S6a messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S6aMessage {
+    /// MME/FeG asks the HSS for authentication vectors.
+    AuthInfoRequest { imsi: Imsi, num_vectors: u8 },
+    AuthInfoAnswer {
+        result: ResultCode,
+        vectors: Vec<WireAuthVector>,
+    },
+    /// MME/FeG registers the UE's current serving node.
+    UpdateLocationRequest { imsi: Imsi, serving_node: u32 },
+    UpdateLocationAnswer {
+        result: ResultCode,
+        /// Subscribed AMBR, kbps.
+        ambr_dl_kbps: u32,
+        ambr_ul_kbps: u32,
+    },
+    PurgeRequest { imsi: Imsi },
+    PurgeAnswer { result: ResultCode },
+}
+
+/// Auth vector as carried in an AIA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireAuthVector {
+    pub rand: Rand,
+    pub autn: Autn,
+    pub xres: Res,
+    pub kasme: Kasme,
+}
+
+impl WireAuthVector {
+    const SIZE: usize = 16 + 16 + 8 + 16;
+
+    fn encode(&self, b: &mut BytesMut) {
+        b.put_slice(&self.rand.0);
+        b.put_slice(&self.autn.0);
+        b.put_slice(&self.xres.0);
+        b.put_slice(&self.kasme.0);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        need(buf, Self::SIZE)?;
+        Ok(WireAuthVector {
+            rand: Rand(buf[..16].try_into().unwrap()),
+            autn: Autn(buf[16..32].try_into().unwrap()),
+            xres: Res(buf[32..40].try_into().unwrap()),
+            kasme: Kasme(buf[40..56].try_into().unwrap()),
+        })
+    }
+}
+
+/// A Diameter packet with hop-by-hop/end-to-end correlation ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiameterPacket {
+    pub hop_by_hop: u32,
+    pub end_to_end: u32,
+    pub message: S6aMessage,
+}
+
+const S6A_APP_ID: u32 = 16777251;
+const FLAG_REQUEST: u8 = 0x80;
+
+impl DiameterPacket {
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        let (code, is_request) = match &self.message {
+            S6aMessage::AuthInfoRequest { imsi, num_vectors } => {
+                body.put_u64(imsi.0);
+                body.put_u8(*num_vectors);
+                (command::AIR, true)
+            }
+            S6aMessage::AuthInfoAnswer { result, vectors } => {
+                body.put_u32(result.to_u32());
+                body.put_u8(vectors.len() as u8);
+                for v in vectors {
+                    v.encode(&mut body);
+                }
+                (command::AIR, false)
+            }
+            S6aMessage::UpdateLocationRequest { imsi, serving_node } => {
+                body.put_u64(imsi.0);
+                body.put_u32(*serving_node);
+                (command::ULR, true)
+            }
+            S6aMessage::UpdateLocationAnswer {
+                result,
+                ambr_dl_kbps,
+                ambr_ul_kbps,
+            } => {
+                body.put_u32(result.to_u32());
+                body.put_u32(*ambr_dl_kbps);
+                body.put_u32(*ambr_ul_kbps);
+                (command::ULR, false)
+            }
+            S6aMessage::PurgeRequest { imsi } => {
+                body.put_u64(imsi.0);
+                (command::PUR, true)
+            }
+            S6aMessage::PurgeAnswer { result } => {
+                body.put_u32(result.to_u32());
+                (command::PUR, false)
+            }
+        };
+        let total = 20 + body.len();
+        let mut b = BytesMut::with_capacity(total);
+        b.put_u8(1); // version
+        // 24-bit length.
+        b.put_slice(&(total as u32).to_be_bytes()[1..]);
+        b.put_u8(if is_request { FLAG_REQUEST } else { 0 });
+        b.put_slice(&code.to_be_bytes()[1..]); // 24-bit command code
+        b.put_u32(S6A_APP_ID);
+        b.put_u32(self.hop_by_hop);
+        b.put_u32(self.end_to_end);
+        b.put_slice(&body);
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        need(buf, 20)?;
+        if buf[0] != 1 {
+            return Err(WireError::BadValue {
+                field: "diameter.version",
+                value: buf[0] as u64,
+            });
+        }
+        let length = u32::from_be_bytes([0, buf[1], buf[2], buf[3]]) as usize;
+        if length < 20 {
+            return Err(WireError::BadLength {
+                declared: length,
+                actual: buf.len(),
+            });
+        }
+        need(buf, length)?;
+        let is_request = buf[4] & FLAG_REQUEST != 0;
+        let code = u32::from_be_bytes([0, buf[5], buf[6], buf[7]]);
+        let hop_by_hop = u32::from_be_bytes(buf[12..16].try_into().unwrap());
+        let end_to_end = u32::from_be_bytes(buf[16..20].try_into().unwrap());
+        let body = &buf[20..length];
+
+        let message = match (code, is_request) {
+            (command::AIR, true) => {
+                need(body, 9)?;
+                S6aMessage::AuthInfoRequest {
+                    imsi: Imsi(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                    num_vectors: body[8],
+                }
+            }
+            (command::AIR, false) => {
+                need(body, 5)?;
+                let result = ResultCode::from_u32(u32::from_be_bytes(
+                    body[..4].try_into().unwrap(),
+                ))?;
+                let n = body[4] as usize;
+                need(body, 5 + n * WireAuthVector::SIZE)?;
+                let mut vectors = Vec::with_capacity(n);
+                for i in 0..n {
+                    vectors.push(WireAuthVector::decode(
+                        &body[5 + i * WireAuthVector::SIZE..],
+                    )?);
+                }
+                S6aMessage::AuthInfoAnswer { result, vectors }
+            }
+            (command::ULR, true) => {
+                need(body, 12)?;
+                S6aMessage::UpdateLocationRequest {
+                    imsi: Imsi(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                    serving_node: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+                }
+            }
+            (command::ULR, false) => {
+                need(body, 12)?;
+                S6aMessage::UpdateLocationAnswer {
+                    result: ResultCode::from_u32(u32::from_be_bytes(
+                        body[..4].try_into().unwrap(),
+                    ))?,
+                    ambr_dl_kbps: u32::from_be_bytes(body[4..8].try_into().unwrap()),
+                    ambr_ul_kbps: u32::from_be_bytes(body[8..12].try_into().unwrap()),
+                }
+            }
+            (command::PUR, true) => {
+                need(body, 8)?;
+                S6aMessage::PurgeRequest {
+                    imsi: Imsi(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                }
+            }
+            (command::PUR, false) => {
+                need(body, 4)?;
+                S6aMessage::PurgeAnswer {
+                    result: ResultCode::from_u32(u32::from_be_bytes(
+                        body[..4].try_into().unwrap(),
+                    ))?,
+                }
+            }
+            (other, _) => return Err(WireError::UnknownType(other as u16)),
+        };
+        Ok(DiameterPacket {
+            hop_by_hop,
+            end_to_end,
+            message,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aka;
+
+    fn vector() -> WireAuthVector {
+        let (k, opc) = aka::provision(1, 1);
+        let v = aka::generate_vector(&k, &opc, 10, Rand([9; 16]));
+        WireAuthVector {
+            rand: v.rand,
+            autn: v.autn,
+            xres: v.xres,
+            kasme: v.kasme,
+        }
+    }
+
+    fn roundtrip(msg: S6aMessage) {
+        let p = DiameterPacket {
+            hop_by_hop: 0x1111,
+            end_to_end: 0x2222,
+            message: msg,
+        };
+        assert_eq!(DiameterPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(S6aMessage::AuthInfoRequest {
+            imsi: Imsi::new(310, 26, 5),
+            num_vectors: 3,
+        });
+        roundtrip(S6aMessage::AuthInfoAnswer {
+            result: ResultCode::Success,
+            vectors: vec![vector(), vector()],
+        });
+        roundtrip(S6aMessage::AuthInfoAnswer {
+            result: ResultCode::UserUnknown,
+            vectors: vec![],
+        });
+        roundtrip(S6aMessage::UpdateLocationRequest {
+            imsi: Imsi::new(310, 26, 5),
+            serving_node: 42,
+        });
+        roundtrip(S6aMessage::UpdateLocationAnswer {
+            result: ResultCode::Success,
+            ambr_dl_kbps: 20_000,
+            ambr_ul_kbps: 5_000,
+        });
+        roundtrip(S6aMessage::PurgeRequest {
+            imsi: Imsi::new(310, 26, 5),
+        });
+        roundtrip(S6aMessage::PurgeAnswer {
+            result: ResultCode::UnableToComply,
+        });
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let p = DiameterPacket {
+            hop_by_hop: 1,
+            end_to_end: 2,
+            message: S6aMessage::AuthInfoAnswer {
+                result: ResultCode::Success,
+                vectors: vec![vector()],
+            },
+        };
+        let enc = p.encode();
+        for cut in 0..enc.len() {
+            assert!(DiameterPacket::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let p = DiameterPacket {
+            hop_by_hop: 1,
+            end_to_end: 2,
+            message: S6aMessage::PurgeAnswer {
+                result: ResultCode::Success,
+            },
+        };
+        let mut enc = p.encode().to_vec();
+        enc[0] = 2;
+        assert!(matches!(
+            DiameterPacket::decode(&enc),
+            Err(WireError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! Decode errors shared by all wire codecs.
+
+use std::fmt;
+
+/// Error produced when decoding a malformed or truncated message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the fixed header or a declared length.
+    Truncated { need: usize, have: usize },
+    /// A field had a value the codec does not understand.
+    BadValue { field: &'static str, value: u64 },
+    /// The message type byte/code is unknown to this protocol.
+    UnknownType(u16),
+    /// A length field is inconsistent with the buffer.
+    BadLength { declared: usize, actual: usize },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated: need {need} bytes, have {have}")
+            }
+            WireError::BadValue { field, value } => {
+                write!(f, "bad value {value} for field {field}")
+            }
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadLength { declared, actual } => {
+                write!(f, "bad length: declared {declared}, actual {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Check that `buf` holds at least `need` bytes.
+pub fn need(buf: &[u8], need_bytes: usize) -> Result<(), WireError> {
+    if buf.len() < need_bytes {
+        Err(WireError::Truncated {
+            need: need_bytes,
+            have: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn need_checks_length() {
+        assert!(need(&[0; 4], 4).is_ok());
+        assert_eq!(
+            need(&[0; 3], 4),
+            Err(WireError::Truncated { need: 4, have: 3 })
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::BadLength {
+            declared: 10,
+            actual: 5,
+        };
+        assert!(format!("{e}").contains("declared 10"));
+    }
+}

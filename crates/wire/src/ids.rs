@@ -1,0 +1,89 @@
+//! Subscriber and session identifiers used across protocols.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// International Mobile Subscriber Identity: up to 15 decimal digits,
+/// stored packed. The first 3 digits are the MCC, next 2-3 the MNC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imsi(pub u64);
+
+impl Imsi {
+    /// Build an IMSI from MCC, MNC, and subscriber number.
+    pub fn new(mcc: u16, mnc: u16, msin: u64) -> Self {
+        debug_assert!(mcc < 1000 && mnc < 1000 && msin < 10_000_000_000);
+        Imsi(mcc as u64 * 10_u64.pow(12) + mnc as u64 * 10_u64.pow(10) + msin)
+    }
+
+    pub fn mcc(&self) -> u16 {
+        (self.0 / 10_u64.pow(12)) as u16
+    }
+
+    pub fn mnc(&self) -> u16 {
+        ((self.0 / 10_u64.pow(10)) % 100) as u16
+    }
+
+    pub fn msin(&self) -> u64 {
+        self.0 % 10_u64.pow(10)
+    }
+}
+
+impl fmt::Display for Imsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IMSI{:015}", self.0)
+    }
+}
+
+/// GTP Tunnel Endpoint Identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Teid(pub u32);
+
+/// EPS bearer identity (4 bits in 3GPP; 5..=15 for dedicated bearers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BearerId(pub u8);
+
+impl BearerId {
+    /// The default bearer created at attach.
+    pub const DEFAULT: BearerId = BearerId(5);
+}
+
+/// A simulated UE IPv4 address (from the AGW's mobilityd pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UeIp(pub u32);
+
+impl UeIp {
+    pub fn octets(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for UeIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Globally Unique Temporary Identity assigned at attach (simplified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Guti(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imsi_parts_roundtrip() {
+        let i = Imsi::new(310, 26, 123456789);
+        assert_eq!(i.mcc(), 310);
+        assert_eq!(i.mnc(), 26);
+        assert_eq!(i.msin(), 123456789);
+        assert_eq!(format!("{i}"), "IMSI310260123456789");
+    }
+
+    #[test]
+    fn ue_ip_display() {
+        let ip = UeIp(0xC0A80001);
+        assert_eq!(format!("{ip}"), "192.168.0.1");
+    }
+}

@@ -1,0 +1,413 @@
+//! NAS (Non-Access Stratum) messages — the UE ↔ core control protocol.
+//!
+//! This is the protocol the MME terminates. The subset covers the full
+//! attach call flow from the paper's §3.1 example (identity, EPS-AKA
+//! authentication, security mode, attach accept with IP assignment),
+//! plus detach and service request. Wire format is a simplified EMM
+//! layout: `[protocol discriminator][message type][fixed fields]`.
+
+use crate::aka::{Autn, Rand, Res};
+use crate::error::{need, WireError};
+use crate::ids::{Guti, Imsi, UeIp};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// EPS Mobility Management protocol discriminator.
+pub const PD_EMM: u8 = 0x07;
+
+mod msg_type {
+    pub const ATTACH_REQUEST: u8 = 0x41;
+    pub const ATTACH_ACCEPT: u8 = 0x42;
+    pub const ATTACH_COMPLETE: u8 = 0x43;
+    pub const ATTACH_REJECT: u8 = 0x44;
+    pub const DETACH_REQUEST: u8 = 0x45;
+    pub const DETACH_ACCEPT: u8 = 0x46;
+    pub const AUTH_REQUEST: u8 = 0x52;
+    pub const AUTH_RESPONSE: u8 = 0x53;
+    pub const AUTH_FAILURE: u8 = 0x5c;
+    pub const SECURITY_MODE_COMMAND: u8 = 0x5d;
+    pub const SECURITY_MODE_COMPLETE: u8 = 0x5e;
+    pub const SERVICE_REQUEST: u8 = 0x4d;
+    pub const SECURED: u8 = 0x60;
+}
+
+/// EMM cause values (subset of TS 24.301 Annex A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmmCause {
+    ImsiUnknown,
+    IllegalUe,
+    NetworkFailure,
+    Congestion,
+    AuthFailure,
+    Other(u8),
+}
+
+impl EmmCause {
+    fn to_u8(self) -> u8 {
+        match self {
+            EmmCause::ImsiUnknown => 2,
+            EmmCause::IllegalUe => 3,
+            EmmCause::NetworkFailure => 17,
+            EmmCause::Congestion => 22,
+            EmmCause::AuthFailure => 20,
+            EmmCause::Other(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            2 => EmmCause::ImsiUnknown,
+            3 => EmmCause::IllegalUe,
+            17 => EmmCause::NetworkFailure,
+            22 => EmmCause::Congestion,
+            20 => EmmCause::AuthFailure,
+            other => EmmCause::Other(other),
+        }
+    }
+}
+
+/// Structured NAS messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NasMessage {
+    AttachRequest {
+        imsi: Imsi,
+        /// Capability bits; bit 0 = supports 5G NAS, bit 1 = VoLTE, etc.
+        capabilities: u16,
+    },
+    AuthenticationRequest {
+        rand: Rand,
+        autn: Autn,
+    },
+    AuthenticationResponse {
+        res: Res,
+    },
+    AuthenticationFailure {
+        cause: EmmCause,
+    },
+    SecurityModeCommand {
+        /// Selected integrity/ciphering algorithm id.
+        algorithm: u8,
+    },
+    SecurityModeComplete,
+    AttachAccept {
+        guti: Guti,
+        ue_ip: UeIp,
+        /// Aggregate maximum bit rate, downlink/uplink, in kbps.
+        ambr_dl_kbps: u32,
+        ambr_ul_kbps: u32,
+    },
+    AttachComplete,
+    AttachReject {
+        cause: EmmCause,
+    },
+    DetachRequest {
+        guti: Guti,
+    },
+    DetachAccept,
+    ServiceRequest {
+        guti: Guti,
+    },
+    /// Integrity-protected NAS (TS 24.301 security-protected messages):
+    /// after Security Mode completes, NAS rides inside this envelope with
+    /// a MAC keyed by the session key. `inner` is an encoded NasMessage.
+    Secured {
+        mac: [u8; 8],
+        inner: Vec<u8>,
+    },
+}
+
+impl NasMessage {
+    /// Wrap a message with an integrity MAC under `kasme`.
+    pub fn secure(self, kasme: &crate::aka::Kasme) -> NasMessage {
+        let inner = self.encode().to_vec();
+        let mac = crate::aka::nas_mac(kasme, &inner);
+        NasMessage::Secured { mac, inner }
+    }
+
+    /// Verify and unwrap a secured message. Non-secured messages pass
+    /// through unchanged (pre-security-mode signalling). Returns `None`
+    /// when the MAC check or inner decode fails.
+    pub fn unsecure(self, kasme: &crate::aka::Kasme) -> Option<NasMessage> {
+        match self {
+            NasMessage::Secured { mac, inner } => {
+                if crate::aka::nas_mac(kasme, &inner) != mac {
+                    return None;
+                }
+                NasMessage::decode(&inner).ok()
+            }
+            other => Some(other),
+        }
+    }
+}
+
+impl NasMessage {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(40);
+        b.put_u8(PD_EMM);
+        match self {
+            NasMessage::AttachRequest { imsi, capabilities } => {
+                b.put_u8(msg_type::ATTACH_REQUEST);
+                b.put_u64(imsi.0);
+                b.put_u16(*capabilities);
+            }
+            NasMessage::AuthenticationRequest { rand, autn } => {
+                b.put_u8(msg_type::AUTH_REQUEST);
+                b.put_slice(&rand.0);
+                b.put_slice(&autn.0);
+            }
+            NasMessage::AuthenticationResponse { res } => {
+                b.put_u8(msg_type::AUTH_RESPONSE);
+                b.put_slice(&res.0);
+            }
+            NasMessage::AuthenticationFailure { cause } => {
+                b.put_u8(msg_type::AUTH_FAILURE);
+                b.put_u8(cause.to_u8());
+            }
+            NasMessage::SecurityModeCommand { algorithm } => {
+                b.put_u8(msg_type::SECURITY_MODE_COMMAND);
+                b.put_u8(*algorithm);
+            }
+            NasMessage::SecurityModeComplete => {
+                b.put_u8(msg_type::SECURITY_MODE_COMPLETE);
+            }
+            NasMessage::AttachAccept {
+                guti,
+                ue_ip,
+                ambr_dl_kbps,
+                ambr_ul_kbps,
+            } => {
+                b.put_u8(msg_type::ATTACH_ACCEPT);
+                b.put_u64(guti.0);
+                b.put_u32(ue_ip.0);
+                b.put_u32(*ambr_dl_kbps);
+                b.put_u32(*ambr_ul_kbps);
+            }
+            NasMessage::AttachComplete => {
+                b.put_u8(msg_type::ATTACH_COMPLETE);
+            }
+            NasMessage::AttachReject { cause } => {
+                b.put_u8(msg_type::ATTACH_REJECT);
+                b.put_u8(cause.to_u8());
+            }
+            NasMessage::DetachRequest { guti } => {
+                b.put_u8(msg_type::DETACH_REQUEST);
+                b.put_u64(guti.0);
+            }
+            NasMessage::DetachAccept => {
+                b.put_u8(msg_type::DETACH_ACCEPT);
+            }
+            NasMessage::ServiceRequest { guti } => {
+                b.put_u8(msg_type::SERVICE_REQUEST);
+                b.put_u64(guti.0);
+            }
+            NasMessage::Secured { mac, inner } => {
+                b.put_u8(msg_type::SECURED);
+                b.put_slice(mac);
+                b.put_u16(inner.len() as u16);
+                b.put_slice(inner);
+            }
+        }
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        need(buf, 2)?;
+        if buf[0] != PD_EMM {
+            return Err(WireError::BadValue {
+                field: "nas.pd",
+                value: buf[0] as u64,
+            });
+        }
+        let body = &buf[2..];
+        let msg = match buf[1] {
+            msg_type::ATTACH_REQUEST => {
+                need(body, 10)?;
+                NasMessage::AttachRequest {
+                    imsi: Imsi(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                    capabilities: u16::from_be_bytes(body[8..10].try_into().unwrap()),
+                }
+            }
+            msg_type::AUTH_REQUEST => {
+                need(body, 32)?;
+                NasMessage::AuthenticationRequest {
+                    rand: Rand(body[..16].try_into().unwrap()),
+                    autn: Autn(body[16..32].try_into().unwrap()),
+                }
+            }
+            msg_type::AUTH_RESPONSE => {
+                need(body, 8)?;
+                NasMessage::AuthenticationResponse {
+                    res: Res(body[..8].try_into().unwrap()),
+                }
+            }
+            msg_type::AUTH_FAILURE => {
+                need(body, 1)?;
+                NasMessage::AuthenticationFailure {
+                    cause: EmmCause::from_u8(body[0]),
+                }
+            }
+            msg_type::SECURITY_MODE_COMMAND => {
+                need(body, 1)?;
+                NasMessage::SecurityModeCommand { algorithm: body[0] }
+            }
+            msg_type::SECURITY_MODE_COMPLETE => NasMessage::SecurityModeComplete,
+            msg_type::ATTACH_ACCEPT => {
+                need(body, 20)?;
+                NasMessage::AttachAccept {
+                    guti: Guti(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                    ue_ip: UeIp(u32::from_be_bytes(body[8..12].try_into().unwrap())),
+                    ambr_dl_kbps: u32::from_be_bytes(body[12..16].try_into().unwrap()),
+                    ambr_ul_kbps: u32::from_be_bytes(body[16..20].try_into().unwrap()),
+                }
+            }
+            msg_type::ATTACH_COMPLETE => NasMessage::AttachComplete,
+            msg_type::ATTACH_REJECT => {
+                need(body, 1)?;
+                NasMessage::AttachReject {
+                    cause: EmmCause::from_u8(body[0]),
+                }
+            }
+            msg_type::DETACH_REQUEST => {
+                need(body, 8)?;
+                NasMessage::DetachRequest {
+                    guti: Guti(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                }
+            }
+            msg_type::DETACH_ACCEPT => NasMessage::DetachAccept,
+            msg_type::SERVICE_REQUEST => {
+                need(body, 8)?;
+                NasMessage::ServiceRequest {
+                    guti: Guti(u64::from_be_bytes(body[..8].try_into().unwrap())),
+                }
+            }
+            msg_type::SECURED => {
+                need(body, 10)?;
+                let mac: [u8; 8] = body[..8].try_into().unwrap();
+                let len = u16::from_be_bytes(body[8..10].try_into().unwrap()) as usize;
+                need(body, 10 + len)?;
+                NasMessage::Secured {
+                    mac,
+                    inner: body[10..10 + len].to_vec(),
+                }
+            }
+            other => return Err(WireError::UnknownType(other as u16)),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<NasMessage> {
+        vec![
+            NasMessage::AttachRequest {
+                imsi: Imsi::new(310, 26, 42),
+                capabilities: 0b11,
+            },
+            NasMessage::AuthenticationRequest {
+                rand: Rand([1; 16]),
+                autn: Autn([2; 16]),
+            },
+            NasMessage::AuthenticationResponse { res: Res([3; 8]) },
+            NasMessage::AuthenticationFailure {
+                cause: EmmCause::AuthFailure,
+            },
+            NasMessage::SecurityModeCommand { algorithm: 2 },
+            NasMessage::SecurityModeComplete,
+            NasMessage::AttachAccept {
+                guti: Guti(77),
+                ue_ip: UeIp(0x0A00002A),
+                ambr_dl_kbps: 10_000,
+                ambr_ul_kbps: 2_000,
+            },
+            NasMessage::AttachComplete,
+            NasMessage::AttachReject {
+                cause: EmmCause::Congestion,
+            },
+            NasMessage::DetachRequest { guti: Guti(77) },
+            NasMessage::DetachAccept,
+            NasMessage::ServiceRequest { guti: Guti(77) },
+        ]
+    }
+
+    #[test]
+    fn all_roundtrip() {
+        for m in all_messages() {
+            let enc = m.encode();
+            let dec = NasMessage::decode(&enc).unwrap();
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn secure_unsecure_roundtrip() {
+        use crate::aka::Kasme;
+        let kasme = Kasme([9; 16]);
+        let msg = NasMessage::AttachAccept {
+            guti: Guti(7),
+            ue_ip: UeIp(1),
+            ambr_dl_kbps: 1,
+            ambr_ul_kbps: 2,
+        };
+        let secured = msg.clone().secure(&kasme);
+        // Wire round trip of the envelope.
+        let dec = NasMessage::decode(&secured.encode()).unwrap();
+        assert_eq!(dec.unsecure(&kasme), Some(msg.clone()));
+        // Wrong key fails.
+        assert_eq!(
+            msg.clone().secure(&kasme).unsecure(&Kasme([1; 16])),
+            None
+        );
+        // Tampered payload fails.
+        if let NasMessage::Secured { mac, mut inner } = msg.clone().secure(&kasme) {
+            inner[0] ^= 0xFF;
+            assert_eq!(NasMessage::Secured { mac, inner }.unsecure(&kasme), None);
+        }
+        // Plain messages pass through.
+        assert_eq!(
+            NasMessage::AttachComplete.unsecure(&kasme),
+            Some(NasMessage::AttachComplete)
+        );
+    }
+
+    #[test]
+    fn wrong_pd_rejected() {
+        let mut enc = NasMessage::AttachComplete.encode().to_vec();
+        enc[0] = 0x02;
+        assert!(matches!(
+            NasMessage::decode(&enc),
+            Err(WireError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_for_all() {
+        for m in all_messages() {
+            let enc = m.encode();
+            for cut in 0..enc.len() {
+                // Some prefixes of a longer message may decode as a shorter
+                // valid message only if type bytes align; with our layout
+                // every cut below the full length must error.
+                assert!(
+                    NasMessage::decode(&enc[..cut]).is_err(),
+                    "message {m:?} cut at {cut} should fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cause_codes_roundtrip() {
+        for c in [
+            EmmCause::ImsiUnknown,
+            EmmCause::IllegalUe,
+            EmmCause::NetworkFailure,
+            EmmCause::Congestion,
+            EmmCause::AuthFailure,
+            EmmCause::Other(99),
+        ] {
+            assert_eq!(EmmCause::from_u8(c.to_u8()), c);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! RADIUS — the WiFi AAA protocol (RFC 2865/2866).
+//!
+//! Magma's carrier-WiFi path terminates RADIUS from WiFi access points at
+//! the AGW's AAA service, mapping it onto the same generic access-control
+//! and subscriber-management functions used by LTE/5G (Table 1). Wire
+//! format is the real one: code, identifier, length, 16-byte
+//! authenticator, then type-length-value attributes.
+
+use crate::error::{need, WireError};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// RADIUS packet codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadiusCode {
+    AccessRequest,
+    AccessAccept,
+    AccessReject,
+    AccountingRequest,
+    AccountingResponse,
+}
+
+impl RadiusCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RadiusCode::AccessRequest => 1,
+            RadiusCode::AccessAccept => 2,
+            RadiusCode::AccessReject => 3,
+            RadiusCode::AccountingRequest => 4,
+            RadiusCode::AccountingResponse => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => RadiusCode::AccessRequest,
+            2 => RadiusCode::AccessAccept,
+            3 => RadiusCode::AccessReject,
+            4 => RadiusCode::AccountingRequest,
+            5 => RadiusCode::AccountingResponse,
+            other => return Err(WireError::UnknownType(other as u16)),
+        })
+    }
+}
+
+/// Common attribute types (RFC 2865 §5, RFC 2866 §5).
+pub mod attr {
+    pub const USER_NAME: u8 = 1;
+    pub const USER_PASSWORD: u8 = 2;
+    pub const NAS_IP_ADDRESS: u8 = 4;
+    pub const FRAMED_IP_ADDRESS: u8 = 8;
+    pub const SESSION_TIMEOUT: u8 = 27;
+    pub const CALLED_STATION_ID: u8 = 30;
+    pub const CALLING_STATION_ID: u8 = 31;
+    pub const ACCT_STATUS_TYPE: u8 = 40;
+    pub const ACCT_INPUT_OCTETS: u8 = 42;
+    pub const ACCT_OUTPUT_OCTETS: u8 = 43;
+    pub const ACCT_SESSION_ID: u8 = 44;
+}
+
+/// Accounting status values.
+pub mod acct_status {
+    pub const START: u32 = 1;
+    pub const STOP: u32 = 2;
+    pub const INTERIM_UPDATE: u32 = 3;
+}
+
+/// One attribute: `(type, value)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub typ: u8,
+    pub value: Bytes,
+}
+
+impl Attribute {
+    pub fn string(typ: u8, s: &str) -> Self {
+        Attribute {
+            typ,
+            value: Bytes::copy_from_slice(s.as_bytes()),
+        }
+    }
+
+    pub fn u32(typ: u8, v: u32) -> Self {
+        Attribute {
+            typ,
+            value: Bytes::copy_from_slice(&v.to_be_bytes()),
+        }
+    }
+
+    pub fn as_u32(&self) -> Option<u32> {
+        if self.value.len() == 4 {
+            Some(u32::from_be_bytes(self.value[..4].try_into().unwrap()))
+        } else {
+            None
+        }
+    }
+
+    pub fn as_str(&self) -> String {
+        String::from_utf8_lossy(&self.value).into_owned()
+    }
+}
+
+/// A RADIUS packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadiusPacket {
+    pub code: RadiusCode,
+    pub identifier: u8,
+    pub authenticator: [u8; 16],
+    pub attributes: Vec<Attribute>,
+}
+
+impl RadiusPacket {
+    pub fn new(code: RadiusCode, identifier: u8) -> Self {
+        RadiusPacket {
+            code,
+            identifier,
+            authenticator: [0; 16],
+            attributes: Vec::new(),
+        }
+    }
+
+    pub fn with_attr(mut self, a: Attribute) -> Self {
+        self.attributes.push(a);
+        self
+    }
+
+    /// First attribute of the given type.
+    pub fn get(&self, typ: u8) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.typ == typ)
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let attrs_len: usize = self.attributes.iter().map(|a| 2 + a.value.len()).sum();
+        let total = 20 + attrs_len;
+        let mut b = BytesMut::with_capacity(total);
+        b.put_u8(self.code.to_u8());
+        b.put_u8(self.identifier);
+        b.put_u16(total as u16);
+        b.put_slice(&self.authenticator);
+        for a in &self.attributes {
+            b.put_u8(a.typ);
+            b.put_u8((2 + a.value.len()) as u8);
+            b.put_slice(&a.value);
+        }
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        need(buf, 20)?;
+        let code = RadiusCode::from_u8(buf[0])?;
+        let identifier = buf[1];
+        let length = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if length < 20 {
+            return Err(WireError::BadLength {
+                declared: length,
+                actual: buf.len(),
+            });
+        }
+        need(buf, length)?;
+        let mut authenticator = [0u8; 16];
+        authenticator.copy_from_slice(&buf[4..20]);
+        let mut attributes = Vec::new();
+        let mut rest = &buf[20..length];
+        while !rest.is_empty() {
+            need(rest, 2)?;
+            let typ = rest[0];
+            let alen = rest[1] as usize;
+            if alen < 2 {
+                return Err(WireError::BadLength {
+                    declared: alen,
+                    actual: rest.len(),
+                });
+            }
+            need(rest, alen)?;
+            attributes.push(Attribute {
+                typ,
+                value: Bytes::copy_from_slice(&rest[2..alen]),
+            });
+            rest = &rest[alen..];
+        }
+        Ok(RadiusPacket {
+            code,
+            identifier,
+            authenticator,
+            attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_request_roundtrip() {
+        let p = RadiusPacket::new(RadiusCode::AccessRequest, 42)
+            .with_attr(Attribute::string(attr::USER_NAME, "ap-17@accessparks"))
+            .with_attr(Attribute::string(attr::CALLING_STATION_ID, "02-00-00-00-00-01"))
+            .with_attr(Attribute::u32(attr::SESSION_TIMEOUT, 3600));
+        let dec = RadiusPacket::decode(&p.encode()).unwrap();
+        assert_eq!(dec, p);
+        assert_eq!(dec.get(attr::USER_NAME).unwrap().as_str(), "ap-17@accessparks");
+        assert_eq!(dec.get(attr::SESSION_TIMEOUT).unwrap().as_u32(), Some(3600));
+    }
+
+    #[test]
+    fn accounting_roundtrip() {
+        let p = RadiusPacket::new(RadiusCode::AccountingRequest, 7)
+            .with_attr(Attribute::u32(attr::ACCT_STATUS_TYPE, acct_status::INTERIM_UPDATE))
+            .with_attr(Attribute::u32(attr::ACCT_INPUT_OCTETS, 123456))
+            .with_attr(Attribute::string(attr::ACCT_SESSION_ID, "sess-0001"));
+        let dec = RadiusPacket::decode(&p.encode()).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn bad_code_rejected() {
+        let mut enc = RadiusPacket::new(RadiusCode::AccessAccept, 1).encode().to_vec();
+        enc[0] = 99;
+        assert_eq!(RadiusPacket::decode(&enc), Err(WireError::UnknownType(99)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let p = RadiusPacket::new(RadiusCode::AccessReject, 1)
+            .with_attr(Attribute::string(attr::USER_NAME, "x"));
+        let enc = p.encode();
+        for cut in 0..enc.len() {
+            assert!(RadiusPacket::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_length_attribute_rejected() {
+        let mut enc = RadiusPacket::new(RadiusCode::AccessRequest, 1)
+            .with_attr(Attribute::string(attr::USER_NAME, "u"))
+            .encode()
+            .to_vec();
+        enc[21] = 0; // corrupt the attribute length
+        assert!(matches!(
+            RadiusPacket::decode(&enc),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,387 @@
+//! S1AP — the eNodeB ↔ MME control interface.
+//!
+//! In 3GPP this runs over SCTP; in Magma the AGW terminates it directly at
+//! the edge (over the LAN between the eNodeB and the co-located AGW). The
+//! subset here covers S1 Setup, NAS transport, initial context setup
+//! (which carries the GTP-U TEIDs that wire up the user plane), and UE
+//! context release. Wire format: `[msg type][fixed fields][u16 NAS len]
+//! [NAS bytes]`.
+
+use crate::error::{need, WireError};
+use crate::ids::Teid;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// eNodeB-assigned UE identifier on the S1 interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnbUeId(pub u32);
+
+/// MME-assigned UE identifier on the S1 interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MmeUeId(pub u32);
+
+mod msg_type {
+    pub const S1_SETUP_REQUEST: u8 = 0x11;
+    pub const S1_SETUP_RESPONSE: u8 = 0x12;
+    pub const S1_SETUP_FAILURE: u8 = 0x13;
+    pub const INITIAL_UE_MESSAGE: u8 = 0x20;
+    pub const DOWNLINK_NAS: u8 = 0x21;
+    pub const UPLINK_NAS: u8 = 0x22;
+    pub const INITIAL_CONTEXT_SETUP_REQUEST: u8 = 0x30;
+    pub const INITIAL_CONTEXT_SETUP_RESPONSE: u8 = 0x31;
+    pub const UE_CONTEXT_RELEASE_COMMAND: u8 = 0x40;
+    pub const UE_CONTEXT_RELEASE_COMPLETE: u8 = 0x41;
+    pub const PATH_SWITCH_REQUEST: u8 = 0x50;
+    pub const PATH_SWITCH_ACK: u8 = 0x51;
+}
+
+/// S1AP messages (subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S1apMessage {
+    /// eNodeB introduces itself to the MME.
+    S1SetupRequest { enb_id: u32, name: String },
+    S1SetupResponse { mme_name: String },
+    S1SetupFailure { cause: u8 },
+    /// First uplink NAS message for a new UE.
+    InitialUeMessage { enb_ue_id: EnbUeId, nas: Bytes },
+    DownlinkNasTransport {
+        enb_ue_id: EnbUeId,
+        mme_ue_id: MmeUeId,
+        nas: Bytes,
+    },
+    UplinkNasTransport {
+        enb_ue_id: EnbUeId,
+        mme_ue_id: MmeUeId,
+        nas: Bytes,
+    },
+    /// Establish the radio bearer + S1-U tunnel; carries the AGW-side
+    /// uplink TEID and piggybacks the Attach Accept NAS message.
+    InitialContextSetupRequest {
+        enb_ue_id: EnbUeId,
+        mme_ue_id: MmeUeId,
+        agw_teid: Teid,
+        nas: Bytes,
+    },
+    /// eNodeB's answer with its downlink TEID.
+    InitialContextSetupResponse {
+        enb_ue_id: EnbUeId,
+        mme_ue_id: MmeUeId,
+        enb_teid: Teid,
+    },
+    UeContextReleaseCommand { mme_ue_id: MmeUeId, cause: u8 },
+    UeContextReleaseComplete { mme_ue_id: MmeUeId },
+    /// Intra-AGW mobility (§3.2: "Magma supports mobility across radios
+    /// served by a common AGW"): the target eNodeB asks the AGW to switch
+    /// the downlink path to its tunnel endpoint.
+    PathSwitchRequest {
+        mme_ue_id: MmeUeId,
+        new_enb_ue_id: EnbUeId,
+        new_enb_teid: Teid,
+    },
+    PathSwitchAck { mme_ue_id: MmeUeId },
+}
+
+fn put_bytes(b: &mut BytesMut, data: &[u8]) {
+    b.put_u16(data.len() as u16);
+    b.put_slice(data);
+}
+
+fn get_bytes(buf: &[u8]) -> Result<(Bytes, &[u8]), WireError> {
+    need(buf, 2)?;
+    let len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    need(buf, 2 + len)?;
+    Ok((
+        Bytes::copy_from_slice(&buf[2..2 + len]),
+        &buf[2 + len..],
+    ))
+}
+
+impl S1apMessage {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            S1apMessage::S1SetupRequest { enb_id, name } => {
+                b.put_u8(msg_type::S1_SETUP_REQUEST);
+                b.put_u32(*enb_id);
+                put_bytes(&mut b, name.as_bytes());
+            }
+            S1apMessage::S1SetupResponse { mme_name } => {
+                b.put_u8(msg_type::S1_SETUP_RESPONSE);
+                put_bytes(&mut b, mme_name.as_bytes());
+            }
+            S1apMessage::S1SetupFailure { cause } => {
+                b.put_u8(msg_type::S1_SETUP_FAILURE);
+                b.put_u8(*cause);
+            }
+            S1apMessage::InitialUeMessage { enb_ue_id, nas } => {
+                b.put_u8(msg_type::INITIAL_UE_MESSAGE);
+                b.put_u32(enb_ue_id.0);
+                put_bytes(&mut b, nas);
+            }
+            S1apMessage::DownlinkNasTransport {
+                enb_ue_id,
+                mme_ue_id,
+                nas,
+            } => {
+                b.put_u8(msg_type::DOWNLINK_NAS);
+                b.put_u32(enb_ue_id.0);
+                b.put_u32(mme_ue_id.0);
+                put_bytes(&mut b, nas);
+            }
+            S1apMessage::UplinkNasTransport {
+                enb_ue_id,
+                mme_ue_id,
+                nas,
+            } => {
+                b.put_u8(msg_type::UPLINK_NAS);
+                b.put_u32(enb_ue_id.0);
+                b.put_u32(mme_ue_id.0);
+                put_bytes(&mut b, nas);
+            }
+            S1apMessage::InitialContextSetupRequest {
+                enb_ue_id,
+                mme_ue_id,
+                agw_teid,
+                nas,
+            } => {
+                b.put_u8(msg_type::INITIAL_CONTEXT_SETUP_REQUEST);
+                b.put_u32(enb_ue_id.0);
+                b.put_u32(mme_ue_id.0);
+                b.put_u32(agw_teid.0);
+                put_bytes(&mut b, nas);
+            }
+            S1apMessage::InitialContextSetupResponse {
+                enb_ue_id,
+                mme_ue_id,
+                enb_teid,
+            } => {
+                b.put_u8(msg_type::INITIAL_CONTEXT_SETUP_RESPONSE);
+                b.put_u32(enb_ue_id.0);
+                b.put_u32(mme_ue_id.0);
+                b.put_u32(enb_teid.0);
+            }
+            S1apMessage::UeContextReleaseCommand { mme_ue_id, cause } => {
+                b.put_u8(msg_type::UE_CONTEXT_RELEASE_COMMAND);
+                b.put_u32(mme_ue_id.0);
+                b.put_u8(*cause);
+            }
+            S1apMessage::UeContextReleaseComplete { mme_ue_id } => {
+                b.put_u8(msg_type::UE_CONTEXT_RELEASE_COMPLETE);
+                b.put_u32(mme_ue_id.0);
+            }
+            S1apMessage::PathSwitchRequest {
+                mme_ue_id,
+                new_enb_ue_id,
+                new_enb_teid,
+            } => {
+                b.put_u8(msg_type::PATH_SWITCH_REQUEST);
+                b.put_u32(mme_ue_id.0);
+                b.put_u32(new_enb_ue_id.0);
+                b.put_u32(new_enb_teid.0);
+            }
+            S1apMessage::PathSwitchAck { mme_ue_id } => {
+                b.put_u8(msg_type::PATH_SWITCH_ACK);
+                b.put_u32(mme_ue_id.0);
+            }
+        }
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        let body = &buf[1..];
+        let u32_at = |b: &[u8], off: usize| -> Result<u32, WireError> {
+            need(b, off + 4)?;
+            Ok(u32::from_be_bytes(b[off..off + 4].try_into().unwrap()))
+        };
+        let msg = match buf[0] {
+            msg_type::S1_SETUP_REQUEST => {
+                let enb_id = u32_at(body, 0)?;
+                let (name, _) = get_bytes(&body[4..])?;
+                S1apMessage::S1SetupRequest {
+                    enb_id,
+                    name: String::from_utf8_lossy(&name).into_owned(),
+                }
+            }
+            msg_type::S1_SETUP_RESPONSE => {
+                let (name, _) = get_bytes(body)?;
+                S1apMessage::S1SetupResponse {
+                    mme_name: String::from_utf8_lossy(&name).into_owned(),
+                }
+            }
+            msg_type::S1_SETUP_FAILURE => {
+                need(body, 1)?;
+                S1apMessage::S1SetupFailure { cause: body[0] }
+            }
+            msg_type::INITIAL_UE_MESSAGE => {
+                let enb_ue_id = EnbUeId(u32_at(body, 0)?);
+                let (nas, _) = get_bytes(&body[4..])?;
+                S1apMessage::InitialUeMessage { enb_ue_id, nas }
+            }
+            msg_type::DOWNLINK_NAS => {
+                let enb_ue_id = EnbUeId(u32_at(body, 0)?);
+                let mme_ue_id = MmeUeId(u32_at(body, 4)?);
+                let (nas, _) = get_bytes(&body[8..])?;
+                S1apMessage::DownlinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas,
+                }
+            }
+            msg_type::UPLINK_NAS => {
+                let enb_ue_id = EnbUeId(u32_at(body, 0)?);
+                let mme_ue_id = MmeUeId(u32_at(body, 4)?);
+                let (nas, _) = get_bytes(&body[8..])?;
+                S1apMessage::UplinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas,
+                }
+            }
+            msg_type::INITIAL_CONTEXT_SETUP_REQUEST => {
+                let enb_ue_id = EnbUeId(u32_at(body, 0)?);
+                let mme_ue_id = MmeUeId(u32_at(body, 4)?);
+                let agw_teid = Teid(u32_at(body, 8)?);
+                let (nas, _) = get_bytes(&body[12..])?;
+                S1apMessage::InitialContextSetupRequest {
+                    enb_ue_id,
+                    mme_ue_id,
+                    agw_teid,
+                    nas,
+                }
+            }
+            msg_type::INITIAL_CONTEXT_SETUP_RESPONSE => S1apMessage::InitialContextSetupResponse {
+                enb_ue_id: EnbUeId(u32_at(body, 0)?),
+                mme_ue_id: MmeUeId(u32_at(body, 4)?),
+                enb_teid: Teid(u32_at(body, 8)?),
+            },
+            msg_type::UE_CONTEXT_RELEASE_COMMAND => {
+                let mme_ue_id = MmeUeId(u32_at(body, 0)?);
+                need(body, 5)?;
+                S1apMessage::UeContextReleaseCommand {
+                    mme_ue_id,
+                    cause: body[4],
+                }
+            }
+            msg_type::UE_CONTEXT_RELEASE_COMPLETE => S1apMessage::UeContextReleaseComplete {
+                mme_ue_id: MmeUeId(u32_at(body, 0)?),
+            },
+            msg_type::PATH_SWITCH_REQUEST => S1apMessage::PathSwitchRequest {
+                mme_ue_id: MmeUeId(u32_at(body, 0)?),
+                new_enb_ue_id: EnbUeId(u32_at(body, 4)?),
+                new_enb_teid: Teid(u32_at(body, 8)?),
+            },
+            msg_type::PATH_SWITCH_ACK => S1apMessage::PathSwitchAck {
+                mme_ue_id: MmeUeId(u32_at(body, 0)?),
+            },
+            other => return Err(WireError::UnknownType(other as u16)),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nas::NasMessage;
+    use crate::ids::Imsi;
+
+    fn all_messages() -> Vec<S1apMessage> {
+        let nas = NasMessage::AttachRequest {
+            imsi: Imsi::new(310, 26, 1),
+            capabilities: 0,
+        }
+        .encode();
+        vec![
+            S1apMessage::S1SetupRequest {
+                enb_id: 880,
+                name: "baicells-nova-223".into(),
+            },
+            S1apMessage::S1SetupResponse {
+                mme_name: "magma-agw-1".into(),
+            },
+            S1apMessage::S1SetupFailure { cause: 3 },
+            S1apMessage::InitialUeMessage {
+                enb_ue_id: EnbUeId(5),
+                nas: nas.clone(),
+            },
+            S1apMessage::DownlinkNasTransport {
+                enb_ue_id: EnbUeId(5),
+                mme_ue_id: MmeUeId(1000),
+                nas: nas.clone(),
+            },
+            S1apMessage::UplinkNasTransport {
+                enb_ue_id: EnbUeId(5),
+                mme_ue_id: MmeUeId(1000),
+                nas: nas.clone(),
+            },
+            S1apMessage::InitialContextSetupRequest {
+                enb_ue_id: EnbUeId(5),
+                mme_ue_id: MmeUeId(1000),
+                agw_teid: Teid(4242),
+                nas,
+            },
+            S1apMessage::InitialContextSetupResponse {
+                enb_ue_id: EnbUeId(5),
+                mme_ue_id: MmeUeId(1000),
+                enb_teid: Teid(777),
+            },
+            S1apMessage::UeContextReleaseCommand {
+                mme_ue_id: MmeUeId(1000),
+                cause: 0,
+            },
+            S1apMessage::UeContextReleaseComplete {
+                mme_ue_id: MmeUeId(1000),
+            },
+            S1apMessage::PathSwitchRequest {
+                mme_ue_id: MmeUeId(1000),
+                new_enb_ue_id: EnbUeId(9),
+                new_enb_teid: Teid(888),
+            },
+            S1apMessage::PathSwitchAck {
+                mme_ue_id: MmeUeId(1000),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_roundtrip() {
+        for m in all_messages() {
+            assert_eq!(S1apMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn nested_nas_survives_transport() {
+        let inner = NasMessage::AttachComplete.encode();
+        let m = S1apMessage::UplinkNasTransport {
+            enb_ue_id: EnbUeId(1),
+            mme_ue_id: MmeUeId(2),
+            nas: inner.clone(),
+        };
+        let dec = S1apMessage::decode(&m.encode()).unwrap();
+        if let S1apMessage::UplinkNasTransport { nas, .. } = dec {
+            assert_eq!(NasMessage::decode(&nas).unwrap(), NasMessage::AttachComplete);
+        } else {
+            panic!("wrong variant");
+        }
+        let _ = inner;
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        for m in all_messages() {
+            let enc = m.encode();
+            for cut in 0..enc.len() {
+                assert!(S1apMessage::decode(&enc[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            S1apMessage::decode(&[0xEE, 0, 0]),
+            Err(WireError::UnknownType(0xEE))
+        );
+    }
+}

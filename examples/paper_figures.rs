@@ -1,0 +1,90 @@
+//! Regenerate every table and figure from the paper's evaluation, plus
+//! the DESIGN.md ablations, and print them in the paper's layout.
+//!
+//! Run with: `cargo run --release --example paper_figures`
+//! (takes a few minutes; pass a figure name to run just one, e.g.
+//! `cargo run --release --example paper_figures fig6`)
+
+use magma::costmodel;
+use magma::testbed::experiments::{
+    ablation_failover, ablation_gtp, ablation_headless, ablation_quota, cups, fig5, fig6, fig9,
+    scaling, workload_mix,
+};
+use magma::sim::SimDuration;
+use magma_epc_baseline as epc;
+
+fn want(args: &[String], name: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = 1;
+
+    if want(&args, "table1") {
+        println!("{}", magma::render_table1());
+    }
+    if want(&args, "table2") {
+        println!("{}", costmodel::table2(costmodel::SiteParams::default()).render());
+        println!();
+    }
+    if want(&args, "table3") {
+        println!("{}", costmodel::render_table3(costmodel::LaborParams::default()));
+        println!();
+    }
+    if want(&args, "fig5") {
+        let r = fig5::run(seed, SimDuration::from_secs(300));
+        println!("{}", fig5::render(&r));
+    }
+    if want(&args, "fig6") {
+        let r = fig6::run(seed, &fig6::default_rates());
+        println!("{}", fig6::render(&r));
+    }
+    if want(&args, "fig7") || want(&args, "fig8") {
+        let r = cups::run(seed);
+        println!("{}", cups::render_fig7(&r));
+        println!("{}", cups::render_fig8(&r));
+    }
+    if want(&args, "fig9") {
+        println!("{}", fig9::render(2022));
+    }
+    if want(&args, "growth") {
+        let pts = costmodel::project(
+            costmodel::GrowthParams::default(),
+            costmodel::Orc8rCostParams::default(),
+            36,
+        );
+        println!("{}", costmodel::deployment::render(&pts));
+    }
+    if want(&args, "ablation_a") {
+        let reports = epc::sweep(&[0.0, 0.02, 0.05, 0.10, 0.20], 5_000, 100, seed);
+        println!("{}", epc::render_sync(&reports));
+    }
+    if want(&args, "ablation_b") {
+        let r = ablation_gtp::run(seed, &[0.0, 0.05, 0.10, 0.15, 0.25], 600);
+        println!("{}", ablation_gtp::render(&r));
+    }
+    if want(&args, "ablation_c") {
+        let r = ablation_headless::run(seed);
+        println!("{}", ablation_headless::render(&r));
+    }
+    if want(&args, "ablation_d") {
+        let r = ablation_failover::run(seed);
+        println!("{}", ablation_failover::render(&r));
+    }
+    if want(&args, "ablation_e") {
+        let pts: Vec<_> = [1, 2, 4, 8]
+            .iter()
+            .map(|&n| ablation_quota::race(n, 10_000_000, 1_000_000))
+            .collect();
+        println!("{}", ablation_quota::render(&pts));
+    }
+    if want(&args, "ablation_f") {
+        let pts = scaling::run(seed, &[1, 2, 4, 8]);
+        println!("{}", scaling::render(&pts));
+    }
+    if want(&args, "ablation_g") {
+        let pts = workload_mix::run(seed, 240);
+        println!("{}", workload_mix::render(&pts));
+    }
+}
