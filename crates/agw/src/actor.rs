@@ -25,7 +25,7 @@ use magma_dataplane::Pipeline;
 use magma_net::{lp_encode, ports, LpFramer, SockCmd, SockEvent, StreamHandle};
 use magma_orc8r::proto as orc8r_proto;
 use magma_rpc::{RpcClient, RpcClientConfig, RpcClientEvent};
-use magma_sim::{downcast, try_downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use magma_sim::{downcast, try_downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime, Span};
 use magma_subscriber::{DbSnapshot, SubscriberDb};
 use magma_wire::aka::{Kasme, Rand, Res};
 use magma_wire::nas::{EmmCause, NasMessage};
@@ -89,6 +89,9 @@ struct UeCtx {
     guti: u64,
     session_id: Option<u64>,
     started: SimTime,
+    /// Stage timing for the attach procedure (S1AP → NAS auth → session
+    /// setup → bearer install); dropped unrecorded if the attach fails.
+    span: Option<Span>,
 }
 
 enum MmeWork {
@@ -349,6 +352,8 @@ impl AgwActor {
     ) {
         let m = self.metric("attach.start");
         ctx.metrics().inc(&m, 1.0);
+        let m = self.metric("mme.attach_start");
+        ctx.registry().counter_add(&m, 1.0);
         let tech = self
             .ran_conns
             .get(&conn)
@@ -398,6 +403,7 @@ impl AgwActor {
                 guti: 0,
                 session_id: None,
                 started: ctx.now(),
+                span: Some(Span::begin(self.metric("mme.attach"), ctx.now())),
             },
         );
         ctx.timer_in(self.cfg.ue_proc_timeout, T_UE_BASE + ue as u64);
@@ -452,9 +458,15 @@ impl AgwActor {
     /// The auth CPU stage finished: produce a challenge (locally from the
     /// replicated HSS, or via the FeG in federated mode).
     fn auth_stage_done(&mut self, ctx: &mut Ctx<'_>, ue: u32) {
-        let Some(uectx) = self.ue_ctxs.get(&ue) else {
+        let now = ctx.now();
+        let Some(uectx) = self.ue_ctxs.get_mut(&ue) else {
             return;
         };
+        // S1AP stage ends here: initial message ingested, auth vector
+        // computed; what follows is the NAS auth round trip.
+        if let Some(span) = uectx.span.as_mut() {
+            span.mark("s1ap", now);
+        }
         let imsi = uectx.imsi;
         if self.cfg.feg.is_some() && self.db.get(imsi).is_none() {
             // Federated subscriber: fetch vectors from the MNO HSS.
@@ -559,15 +571,31 @@ impl AgwActor {
             (UeState::AwaitSmc, NasMessage::SecurityModeComplete) => {
                 uectx.state = UeState::PendingSession;
                 uectx.secured = uectx.kasme.is_some();
+                // NAS auth stage ends: challenge + security mode round
+                // trips are done; session setup begins.
+                let now = ctx.now();
+                if let Some(span) = uectx.span.as_mut() {
+                    span.mark("nas_auth", now);
+                }
                 self.submit_mme(ctx, MmeWork::Session(ue));
             }
             (UeState::AwaitCtxSetup, NasMessage::AttachComplete) => {
                 uectx.state = UeState::Active;
-                let latency = ctx.now().since(uectx.started).as_secs_f64();
+                let now = ctx.now();
+                let latency = now.since(uectx.started).as_secs_f64();
+                // Bearer install stage ends: the eNodeB confirmed the GTP
+                // tunnel and the UE completed the attach.
+                let span = uectx.span.take();
+                if let Some(mut span) = span {
+                    span.mark("bearer_install", now);
+                    span.finish(ctx.registry());
+                }
                 let m = self.metric("attach.accept");
                 ctx.metrics().inc(&m, 1.0);
                 let m = self.metric("attach.latency_s");
                 ctx.metrics().observe(&m, latency);
+                let m = self.metric("mme.attach_accept");
+                ctx.registry().counter_add(&m, 1.0);
             }
             (_, NasMessage::DetachRequest { guti }) => {
                 self.handle_detach(ctx, ue, guti);
@@ -591,6 +619,8 @@ impl AgwActor {
         let enb_ue_id = uectx.enb_ue_id;
 
         let Some(ue_ip) = self.pool.allocate(imsi) else {
+            let m = self.metric("mobilityd.alloc_fail");
+            ctx.registry().counter_add(&m, 1.0);
             self.fail_attach(ctx, ue, EmmCause::Congestion);
             return;
         };
@@ -611,12 +641,21 @@ impl AgwActor {
             .sessions
             .create(imsi, tech, ue_ip, ul_teid, Teid(0), rule, ctx.now());
 
+        let m = self.metric("sessiond.attach");
+        ctx.registry().counter_add(&m, 1.0);
+
         let guti = self.next_guti;
         self.next_guti += 1;
+        let now = ctx.now();
         if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
             uectx.guti = guti;
             uectx.session_id = Some(sid);
             uectx.state = UeState::AwaitCtxSetup;
+            // Session setup stage ends: IP allocated, session created,
+            // policy resolved; bearer install (ICS round trip) begins.
+            if let Some(span) = uectx.span.as_mut() {
+                span.mark("session_setup", now);
+            }
         }
         self.by_guti.insert(guti, ue);
 
@@ -679,12 +718,16 @@ impl AgwActor {
             self.reprogram_dataplane(ctx);
             let m = self.metric("detach");
             ctx.metrics().inc(&m, 1.0);
+            let m = self.metric("mme.detach");
+            ctx.registry().counter_add(&m, 1.0);
         }
     }
 
     /// Remove a session, reporting any outstanding online credit.
     fn finish_session(&mut self, ctx: &mut Ctx<'_>, sid: u64) {
         if let Some(s) = self.sessions.remove(sid) {
+            let m = self.metric("sessiond.closed");
+            ctx.registry().counter_add(&m, 1.0);
             if let Some(credit) = &s.credit {
                 let report = json!(orc8r_proto::CreditReport {
                     imsi: s.imsi.0,
@@ -712,11 +755,15 @@ impl AgwActor {
         }
         let m = self.metric("attach.reject");
         ctx.metrics().inc(&m, 1.0);
+        let m = self.metric("mme.attach_reject");
+        ctx.registry().counter_add(&m, 1.0);
     }
 
-    fn reprogram_dataplane(&mut self, _ctx: &mut Ctx<'_>) {
+    fn reprogram_dataplane(&mut self, ctx: &mut Ctx<'_>) {
         let desired = pipelined::compile(&self.sessions);
         self.pipeline.set_desired(&desired);
+        let m = self.metric("pipelined.reprogram");
+        ctx.registry().counter_add(&m, 1.0);
     }
 
     // ---- WiFi AAA (RADIUS) ----
@@ -847,6 +894,10 @@ impl AgwActor {
                 }
             }
             let result = self.pipeline.fluid_tick(now, &by_cookie);
+            let m = self.metric("dataplane.ul_bytes");
+            ctx.registry().counter_add(&m, result.total_ul as f64);
+            let m = self.metric("dataplane.dl_bytes");
+            ctx.registry().counter_add(&m, result.total_dl as f64);
 
             // Capacity gate: total bytes beyond the backlog cap are
             // dropped (the AGW's NIC/CPU queue overflows).
@@ -861,6 +912,8 @@ impl AgwActor {
                 scale = room as f64 / total as f64;
                 let m = self.metric("up.dropped_bytes");
                 ctx.metrics().inc(&m, (total - room) as f64);
+                let m = self.metric("dataplane.dropped_bytes");
+                ctx.registry().counter_add(&m, (total - room) as f64);
                 total = room;
             }
             if total > 0 || !result.grants.is_empty() {
@@ -923,6 +976,13 @@ impl AgwActor {
         let m = self.metric("cp_queue");
         ctx.metrics()
             .record(&m, now, self.mme_queue.len() as f64);
+        let m = self.metric("sessiond.sessions");
+        ctx.registry().gauge_set(&m, self.sessions.len() as f64);
+        let m = self.metric("mme.cp_queue");
+        ctx.registry().gauge_set(&m, self.mme_queue.len() as f64);
+        let m = self.metric("mobilityd.ips_in_use");
+        ctx.registry().gauge_set(&m, self.pool.in_use() as f64);
+        self.pipeline.observe_into(ctx.registry(), &self.cfg.id);
         {
             let mut sh = self.shared.borrow_mut();
             sh.active_sessions = self.sessions.len();
@@ -1308,6 +1368,8 @@ impl Actor for AgwActor {
                         if uectx.state != UeState::Active {
                             let m = self.metric("attach.timeout");
                             ctx.metrics().inc(&m, 1.0);
+                            let m = self.metric("mme.attach_timeout");
+                            ctx.registry().counter_add(&m, 1.0);
                             self.fail_attach(ctx, ue, EmmCause::Congestion);
                         }
                     }

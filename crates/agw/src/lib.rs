@@ -13,6 +13,7 @@
 //! | [`pipelined`] | data-plane configuration | SGW+PGW / SMF / AP config |
 //! | [`magma_dataplane::Pipeline`] | data plane | SGW+PGW / UPF / AP |
 //! | [`checkpoint`] + check-in | device management & telemetry | (no 3GPP equivalent) |
+//! | [`metricsd`] | telemetry export to the orchestrator | (Magma's metricsd/eventd) |
 //!
 //! An AGW is a small fault domain: it holds the runtime state for the
 //! UEs behind its few eNodeBs, checkpoints that state for a backup
@@ -22,6 +23,7 @@
 pub mod actor;
 pub mod checkpoint;
 pub mod config;
+pub mod metricsd;
 pub mod mobilityd;
 pub mod msgs;
 pub mod pipelined;
@@ -30,6 +32,7 @@ pub mod sessiond;
 pub use actor::AgwActor;
 pub use checkpoint::AgwCheckpoint;
 pub use config::{AgwConfig, CpuProfile};
+pub use metricsd::{MetricsdActor, MetricsdConfig};
 pub use mobilityd::IpPool;
 pub use msgs::{new_agw_handle, AgwHandle, AgwShared, FluidDemand, FluidGrant};
 pub use sessiond::{AccessTech, Session, SessionManager, UsageOutcome};

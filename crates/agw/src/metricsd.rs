@@ -1,0 +1,274 @@
+//! `metricsd`: the gateway telemetry daemon.
+//!
+//! Real Magma runs a `metricsd` service on every AGW that samples the
+//! per-service metric registries and streams them to the orchestrator,
+//! where operators observe CSR, throughput, and CPU saturation. This
+//! actor reproduces that loop in the simulation:
+//!
+//! - every `interval` it samples host CPU utilization into gauges and
+//!   snapshots the world registry's `"<agw_id>."` namespace (stripping
+//!   the prefix, so instruments merge across gateways at the orc8r);
+//! - snapshot serialization is charged to the gateway's control-plane
+//!   cores via [`Ctx::try_exec`], so telemetry competes with attaches
+//!   for CPU exactly like the real daemon;
+//! - snapshots are pushed over the shared `magma-rpc`/`magma-net` path
+//!   (its own RPC stream on the AGW's network stack), consuming modeled
+//!   backhaul bandwidth;
+//! - pushes are queued FIFO with one in flight; when the orchestrator
+//!   is down or the backhaul partitioned, snapshots accumulate (up to
+//!   `max_queue`, dropping oldest) and drain in order after
+//!   reconnection — no telemetry gap across a crash window.
+
+use crate::config::AgwConfig;
+use magma_net::{Endpoint, SockEvent};
+use magma_orc8r::proto as orc8r_proto;
+use magma_rpc::{RpcClient, RpcClientConfig, RpcClientEvent};
+use magma_sim::{try_downcast, Actor, ActorId, Ctx, Event, HostId, SimDuration};
+use serde_json::json;
+use std::collections::VecDeque;
+
+// Timer tags.
+const T_SAMPLE: u64 = 1;
+const T_RPC: u64 = 2;
+// CPU tags.
+const C_SNAPSHOT: u64 = 1;
+
+/// Configuration for one gateway's metricsd.
+#[derive(Debug, Clone)]
+pub struct MetricsdConfig {
+    /// Gateway id; also the registry prefix this daemon exports.
+    pub agw_id: String,
+    /// Host whose CPU is sampled and charged.
+    pub host: HostId,
+    /// The AGW's network stack (shared; metricsd owns its own stream).
+    pub stack: ActorId,
+    /// Core group charged for snapshot serialization.
+    pub cp_group: String,
+    /// Orchestrator endpoint; `None` disables pushing (sampling only).
+    pub orc8r: Option<Endpoint>,
+    /// Sampling/push cadence (the paper's orchestrator polls on the
+    /// order of seconds; 5s matches the check-in default).
+    pub interval: SimDuration,
+    /// CPU time to serialize one snapshot.
+    pub snapshot_cost: SimDuration,
+    /// Max snapshots held while the orchestrator is unreachable.
+    pub max_queue: usize,
+}
+
+impl MetricsdConfig {
+    pub fn new(agw_id: &str, host: HostId, stack: ActorId) -> Self {
+        MetricsdConfig {
+            agw_id: agw_id.to_string(),
+            host,
+            stack,
+            cp_group: "all".to_string(),
+            orc8r: None,
+            interval: SimDuration::from_secs(5),
+            snapshot_cost: SimDuration::from_millis(2),
+            max_queue: 120,
+        }
+    }
+
+    /// Derive a metricsd config matching an AGW's wiring.
+    pub fn for_agw(cfg: &AgwConfig) -> Self {
+        let mut md = MetricsdConfig::new(&cfg.id, cfg.host, cfg.stack);
+        md.cp_group = cfg.cp_group.clone();
+        md.orc8r = cfg.orc8r;
+        md
+    }
+
+    pub fn with_orc8r(mut self, ep: Endpoint) -> Self {
+        self.orc8r = Some(ep);
+        self
+    }
+}
+
+/// The metricsd service actor.
+pub struct MetricsdActor {
+    cfg: MetricsdConfig,
+    orc8r: Option<RpcClient>,
+    /// Snapshots awaiting delivery, oldest first.
+    queue: VecDeque<orc8r_proto::MetricsPush>,
+    /// RPC id of the in-flight push (always the queue front).
+    outstanding: Option<u64>,
+    next_seq: u64,
+}
+
+impl MetricsdActor {
+    pub fn new(cfg: MetricsdConfig) -> Self {
+        MetricsdActor {
+            cfg,
+            orc8r: None,
+            queue: VecDeque::new(),
+            outstanding: None,
+            next_seq: 1,
+        }
+    }
+
+    fn metric(&self, suffix: &str) -> String {
+        format!("{}.{suffix}", self.cfg.agw_id)
+    }
+
+    /// Sample per-group CPU utilization into gauges. Uses the last
+    /// *completed* utilization bucket: the in-progress bucket only
+    /// integrates busy time at job boundaries and would under-report.
+    fn sample_cpu(&mut self, ctx: &mut Ctx<'_>) {
+        let groups = ctx.host_groups(self.cfg.host);
+        let mut busy_weighted = 0.0;
+        let mut cores_total = 0.0;
+        for (name, cores) in &groups {
+            let Some(rep) = ctx.utilization(self.cfg.host, name) else {
+                continue;
+            };
+            let util = if rep.series.len() >= 2 {
+                rep.series[rep.series.len() - 2].1
+            } else {
+                rep.series.last().map(|(_, u)| *u).unwrap_or(0.0)
+            };
+            let gauge = self.metric(&format!("cpu.{name}.percent"));
+            ctx.registry().gauge_set(&gauge, util * 100.0);
+            busy_weighted += util * *cores as f64;
+            cores_total += *cores as f64;
+        }
+        if cores_total > 0.0 {
+            let gauge = self.metric("cpu.percent");
+            ctx.registry()
+                .gauge_set(&gauge, busy_weighted / cores_total * 100.0);
+        }
+    }
+
+    /// Snapshot the gateway's registry namespace and enqueue it.
+    fn take_snapshot(&mut self, ctx: &mut Ctx<'_>) {
+        let snapshot = ctx.registry().snapshot_prefixed(&self.cfg.agw_id);
+        let push = orc8r_proto::MetricsPush {
+            agw_id: self.cfg.agw_id.clone(),
+            seq: self.next_seq,
+            taken_at_us: ctx.now().0,
+            snapshot,
+        };
+        self.next_seq += 1;
+        if self.queue.len() >= self.cfg.max_queue {
+            // Shed the oldest snapshot that is not already in flight.
+            let victim = usize::from(self.outstanding.is_some());
+            if self.queue.remove(victim).is_some() {
+                let m = self.metric("metricsd.dropped");
+                ctx.registry().counter_add(&m, 1.0);
+            }
+        }
+        self.queue.push_back(push);
+        let m = self.metric("metricsd.snapshots");
+        ctx.registry().counter_add(&m, 1.0);
+        self.flush(ctx);
+    }
+
+    /// Push the queue front if nothing is in flight. One outstanding
+    /// call keeps delivery in order; the RPC client retries it across
+    /// reconnects within its total timeout.
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.outstanding.is_some() {
+            return;
+        }
+        let (Some(client), Some(front)) = (self.orc8r.as_mut(), self.queue.front()) else {
+            return;
+        };
+        let id = client.call(ctx, orc8r_proto::methods::METRICS_PUSH, json!(front));
+        self.outstanding = Some(id);
+    }
+
+    fn handle_rpc_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<RpcClientEvent>) {
+        for ev in events {
+            match ev {
+                RpcClientEvent::Response { id, .. } => {
+                    if self.outstanding == Some(id) {
+                        self.outstanding = None;
+                        self.queue.pop_front();
+                        let m = self.metric("metricsd.push_ok");
+                        ctx.registry().counter_add(&m, 1.0);
+                        self.flush(ctx);
+                    }
+                }
+                RpcClientEvent::Failed { id, .. } => {
+                    if self.outstanding == Some(id) {
+                        // Keep the snapshot queued; the next sample tick
+                        // (or reconnect) re-pushes it.
+                        self.outstanding = None;
+                        let m = self.metric("metricsd.push_fail");
+                        ctx.registry().counter_add(&m, 1.0);
+                    }
+                }
+                RpcClientEvent::Connected => self.flush(ctx),
+                RpcClientEvent::Disconnected | RpcClientEvent::Push { .. } => {}
+            }
+        }
+    }
+}
+
+impl Actor for MetricsdActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {
+                if let Some(ep) = self.cfg.orc8r {
+                    self.orc8r = Some(
+                        RpcClient::new(self.cfg.stack, ep, 1).with_config(RpcClientConfig {
+                            per_try_timeout: SimDuration::from_secs(3),
+                            max_retries: 3,
+                            total_timeout: SimDuration::from_secs(15),
+                        }),
+                    );
+                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                }
+                ctx.timer_in(self.cfg.interval, T_SAMPLE);
+            }
+            Event::Timer { tag } => match tag {
+                T_SAMPLE => {
+                    self.sample_cpu(ctx);
+                    // Serializing the snapshot costs control-plane CPU;
+                    // the snapshot itself is taken when the job
+                    // completes. A misconfigured core group degrades to
+                    // an immediate (free) snapshot instead of killing
+                    // the gateway.
+                    let submitted = ctx.try_exec(
+                        self.cfg.host,
+                        &self.cfg.cp_group,
+                        self.cfg.snapshot_cost,
+                        C_SNAPSHOT,
+                        Box::new(()),
+                    );
+                    if let Err(err) = submitted {
+                        ctx.log(|| format!("metricsd: {err}"));
+                        let m = self.metric("metricsd.exec_err");
+                        ctx.registry().counter_add(&m, 1.0);
+                        self.take_snapshot(ctx);
+                    }
+                    ctx.timer_in(self.cfg.interval, T_SAMPLE);
+                }
+                T_RPC => {
+                    if let Some(client) = self.orc8r.as_mut() {
+                        let evs = client.on_tick(ctx);
+                        self.handle_rpc_events(ctx, evs);
+                    }
+                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                }
+                _ => {}
+            },
+            Event::CpuDone { tag, .. } => {
+                if tag == C_SNAPSHOT {
+                    self.take_snapshot(ctx);
+                }
+            }
+            Event::Msg { payload, .. } => {
+                if let Ok(ev) = try_downcast::<SockEvent>(payload) {
+                    if let Some(client) = self.orc8r.as_mut() {
+                        if let Ok(events) = client.try_handle(ctx, ev) {
+                            self.handle_rpc_events(ctx, events);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}-metricsd", self.cfg.agw_id)
+    }
+}

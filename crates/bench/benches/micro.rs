@@ -122,5 +122,55 @@ fn engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dataplane, crypto, codecs, engine);
+fn registry(c: &mut Criterion) {
+    use magma_sim::{Registry, Span};
+    let mut g = c.benchmark_group("registry");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("counter_add_hot", |b| {
+        let mut reg = Registry::new();
+        reg.counter_add("agw0.mme.attach_accept", 1.0);
+        b.iter(|| reg.counter_add("agw0.mme.attach_accept", 1.0))
+    });
+    g.bench_function("histogram_observe", |b| {
+        let mut reg = Registry::new();
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 0.0137) % 30.0;
+            reg.observe("agw0.mme.attach.total_s", v)
+        })
+    });
+    g.bench_function("span_attach_stages", |b| {
+        let mut reg = Registry::new();
+        b.iter(|| {
+            let mut s = Span::begin("mme.attach", SimTime(0));
+            s.mark("s1ap", SimTime(1_000));
+            s.mark("nas_auth", SimTime(20_000));
+            s.mark("session_setup", SimTime(25_000));
+            s.mark("bearer_install", SimTime(27_000));
+            s.finish(&mut reg);
+        })
+    });
+    g.bench_function("snapshot_200_instruments", |b| {
+        let mut reg = Registry::new();
+        for i in 0..100 {
+            reg.counter_add(&format!("agw0.svc.c{i}"), i as f64);
+            reg.gauge_set(&format!("agw0.svc.g{i}"), i as f64);
+        }
+        for i in 0..1000 {
+            reg.observe("agw0.mme.attach.total_s", (i as f64) * 0.003);
+        }
+        b.iter(|| std::hint::black_box(reg.snapshot_prefixed("agw0")))
+    });
+    g.bench_function("quantile_p99", |b| {
+        let mut reg = Registry::new();
+        for i in 0..10_000 {
+            reg.observe("h", (i as f64) * 0.0007);
+        }
+        let h = reg.histogram("h").unwrap().clone();
+        b.iter(|| std::hint::black_box(h.quantile(0.99)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dataplane, crypto, codecs, engine, registry);
 criterion_main!(benches);

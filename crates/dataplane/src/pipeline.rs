@@ -191,6 +191,35 @@ impl Pipeline {
         self.stats.get(&cookie).copied().unwrap_or_default()
     }
 
+    /// Export the pipeline's operational state into a metric registry
+    /// under `<prefix>.dataplane.*` (gauges for table occupancy, the
+    /// cumulative drop and reconcile totals as monotone values). Called
+    /// by the owning gateway each fluid tick so `metricsd` snapshots
+    /// carry the data-plane view.
+    pub fn observe_into(&self, reg: &mut magma_sim::Registry, prefix: &str) {
+        reg.gauge_set(&format!("{prefix}.dataplane.rules"), self.rule_count() as f64);
+        reg.gauge_set(
+            &format!("{prefix}.dataplane.sessions"),
+            self.session_count() as f64,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.dataplane.meters"),
+            self.meter_count() as f64,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.dataplane.reconcile_ops"),
+            self.reconcile_ops as f64,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.dataplane.drops_no_match"),
+            self.drops_no_match as f64,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.dataplane.drops_metered"),
+            self.drops_metered as f64,
+        );
+    }
+
     /// Packet-mode processing: walk the tables.
     pub fn process(&mut self, mut pkt: PacketMeta, now: SimTime) -> Verdict {
         let mut table = 0usize;
@@ -425,6 +454,20 @@ mod tests {
                 rule_name: "default".to_string(),
             }],
         }
+    }
+
+    #[test]
+    fn observe_into_exports_pipeline_gauges() {
+        let mut p = Pipeline::new();
+        p.set_desired(&ue_state(1, UeIp(1001), None));
+        let mut reg = magma_sim::Registry::new();
+        p.observe_into(&mut reg, "agw0");
+        assert_eq!(
+            reg.gauge("agw0.dataplane.rules"),
+            Some(p.rule_count() as f64)
+        );
+        assert_eq!(reg.gauge("agw0.dataplane.sessions"), Some(1.0));
+        assert!(reg.gauge("agw0.dataplane.reconcile_ops").unwrap() > 0.0);
     }
 
     #[test]

@@ -145,6 +145,30 @@ impl Orc8rActor {
                 );
                 self.server.reply(ctx, conn, id, json!({}));
             }
+            methods::METRICS_PUSH => {
+                let Ok(req) = serde_json::from_value::<MetricsPush>(body) else {
+                    self.server.reply_err(ctx, conn, id, "bad metrics push");
+                    return;
+                };
+                let (accepted, last_seq) = {
+                    let mut st = self.state.borrow_mut();
+                    let accepted = st.metrics_store.ingest(
+                        &req.agw_id,
+                        req.seq,
+                        magma_sim::SimTime(req.taken_at_us),
+                        req.snapshot,
+                    );
+                    let last_seq = st
+                        .metrics_store
+                        .gateway(&req.agw_id)
+                        .map(|g| g.last_seq)
+                        .unwrap_or(0);
+                    (accepted, last_seq)
+                };
+                ctx.metrics().inc("orc8r.metrics_pushes", 1.0);
+                self.server
+                    .reply(ctx, conn, id, json!(MetricsAck { accepted, last_seq }));
+            }
             other => {
                 self.server
                     .reply_err(ctx, conn, id, &format!("unknown method {other}"));

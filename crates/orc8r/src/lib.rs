@@ -10,9 +10,11 @@
 //! online charging service, and uploaded runtime checkpoints.
 
 pub mod actor;
+pub mod metrics;
 pub mod proto;
 pub mod state;
 
 pub use actor::Orc8rActor;
+pub use metrics::{GatewayMetrics, MetricsStore};
 pub use proto::*;
 pub use state::{new_orc8r, Alert, DeviceRecord, FleetSample, JournalEntry, Orc8rHandle, Orc8rState};

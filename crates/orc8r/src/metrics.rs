@@ -1,0 +1,196 @@
+//! Orchestrator-side metrics store: the landing zone for gateway
+//! `metricsd` pushes and the northbound query surface over them.
+//!
+//! The real orc8r feeds gateway metrics into Prometheus and answers
+//! operator queries ("CPU% across gateways", "attach p99 by stage");
+//! here the store keeps the latest [`RegistrySnapshot`] per gateway and
+//! answers the same queries by reading gauges per gateway and merging
+//! histograms across them (bucket-wise, since every gateway uses the
+//! same bounds for a given instrument).
+//!
+//! Snapshot names arrive *without* the gateway prefix (`metricsd` strips
+//! it before pushing), so `mme.attach.total_s` from `agw0` and `agw1`
+//! are the same instrument and merge cleanly.
+
+use magma_sim::{BucketHistogram, RegistrySnapshot, SimTime};
+use std::collections::BTreeMap;
+
+/// Telemetry state for one gateway.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayMetrics {
+    /// Most recent snapshot (counters/gauges are cumulative, so the
+    /// latest one subsumes the history).
+    pub latest: RegistrySnapshot,
+    /// Highest sequence number stored.
+    pub last_seq: u64,
+    /// Gateway-side sim time of the latest snapshot.
+    pub last_at: Option<SimTime>,
+    /// Distinct snapshots accepted.
+    pub pushes: u64,
+    /// Redelivered snapshots dropped by sequence-number dedupe.
+    pub duplicates: u64,
+}
+
+/// Latest-snapshot store keyed by gateway id, plus fleet-wide queries.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsStore {
+    gateways: BTreeMap<String, GatewayMetrics>,
+}
+
+impl MetricsStore {
+    pub fn new() -> Self {
+        MetricsStore::default()
+    }
+
+    /// Store a pushed snapshot. Returns `false` (and changes nothing but
+    /// the duplicate counter) when `seq` is not newer than what is
+    /// already stored — an RPC retry redelivered an old push.
+    pub fn ingest(
+        &mut self,
+        agw_id: &str,
+        seq: u64,
+        taken_at: SimTime,
+        snapshot: RegistrySnapshot,
+    ) -> bool {
+        let gm = self.gateways.entry(agw_id.to_string()).or_default();
+        if gm.pushes > 0 && seq <= gm.last_seq {
+            gm.duplicates += 1;
+            return false;
+        }
+        gm.latest = snapshot;
+        gm.last_seq = seq;
+        gm.last_at = Some(taken_at);
+        gm.pushes += 1;
+        true
+    }
+
+    pub fn gateway(&self, agw_id: &str) -> Option<&GatewayMetrics> {
+        self.gateways.get(agw_id)
+    }
+
+    /// All gateways that have pushed at least once, in id order.
+    pub fn gateways(&self) -> impl Iterator<Item = (&str, &GatewayMetrics)> {
+        self.gateways.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A gauge's latest value on every gateway that reports it.
+    pub fn gauge_by_gateway(&self, name: &str) -> Vec<(String, f64)> {
+        self.gateways
+            .iter()
+            .filter_map(|(id, gm)| {
+                gm.latest.gauges.get(name).map(|v| (id.clone(), *v))
+            })
+            .collect()
+    }
+
+    /// A counter's latest value on every gateway that reports it.
+    pub fn counter_by_gateway(&self, name: &str) -> Vec<(String, f64)> {
+        self.gateways
+            .iter()
+            .filter_map(|(id, gm)| {
+                gm.latest.counters.get(name).map(|v| (id.clone(), *v))
+            })
+            .collect()
+    }
+
+    /// Sum of a counter across the fleet.
+    pub fn counter_total(&self, name: &str) -> f64 {
+        self.counter_by_gateway(name).iter().map(|(_, v)| v).sum()
+    }
+
+    /// Overall CPU% per gateway — the query behind the paper's CPU
+    /// saturation plots (Figures 7/8), served from pushed telemetry.
+    pub fn cpu_percent_by_gateway(&self) -> Vec<(String, f64)> {
+        self.gauge_by_gateway("cpu.percent")
+    }
+
+    /// Merge a histogram instrument across every gateway reporting it.
+    /// Gateways whose bucket bounds disagree with the first reporter are
+    /// skipped (cannot happen when all run the same code).
+    pub fn merged_histogram(&self, name: &str) -> Option<BucketHistogram> {
+        let mut merged: Option<BucketHistogram> = None;
+        for gm in self.gateways.values() {
+            if let Some(h) = gm.latest.histograms.get(name) {
+                match &mut merged {
+                    None => merged = Some(h.clone()),
+                    Some(m) => {
+                        m.merge(h);
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Quantiles (`q` in `[0, 1]`) of a fleet-merged histogram, e.g.
+    /// `quantiles("mme.attach.total_s", &[0.5, 0.95, 0.99])` answers
+    /// "attach p99 by stage" across the whole deployment.
+    pub fn quantiles(&self, name: &str, qs: &[f64]) -> Option<Vec<f64>> {
+        let h = self.merged_histogram(name)?;
+        if h.is_empty() {
+            return None;
+        }
+        Some(qs.iter().map(|q| h.quantile(*q)).collect())
+    }
+
+    /// Union of histogram instrument names across the fleet, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .gateways
+            .values()
+            .flat_map(|gm| gm.latest.histograms.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_sim::Registry;
+
+    fn snap(accepts: f64, cpu: f64, latency: f64) -> RegistrySnapshot {
+        let mut r = Registry::new();
+        r.counter_add("mme.attach_accept", accepts);
+        r.gauge_set("cpu.percent", cpu);
+        r.observe("mme.attach.total_s", latency);
+        r.snapshot()
+    }
+
+    #[test]
+    fn ingest_keeps_latest_and_dedupes_by_seq() {
+        let mut s = MetricsStore::new();
+        assert!(s.ingest("agw0", 1, SimTime(5_000_000), snap(1.0, 10.0, 0.1)));
+        assert!(s.ingest("agw0", 2, SimTime(10_000_000), snap(3.0, 20.0, 0.2)));
+        // RPC retry redelivers seq 2: dropped.
+        assert!(!s.ingest("agw0", 2, SimTime(10_000_000), snap(9.0, 99.0, 0.9)));
+
+        let gm = s.gateway("agw0").unwrap();
+        assert_eq!(gm.pushes, 2);
+        assert_eq!(gm.duplicates, 1);
+        assert_eq!(gm.last_seq, 2);
+        assert_eq!(gm.latest.counters.get("mme.attach_accept"), Some(&3.0));
+    }
+
+    #[test]
+    fn fleet_queries_read_across_gateways() {
+        let mut s = MetricsStore::new();
+        s.ingest("agw0", 1, SimTime(1), snap(5.0, 30.0, 0.1));
+        s.ingest("agw1", 1, SimTime(1), snap(7.0, 80.0, 0.4));
+
+        assert_eq!(
+            s.cpu_percent_by_gateway(),
+            vec![("agw0".to_string(), 30.0), ("agw1".to_string(), 80.0)]
+        );
+        assert_eq!(s.counter_total("mme.attach_accept"), 12.0);
+
+        let merged = s.merged_histogram("mme.attach.total_s").unwrap();
+        assert_eq!(merged.count, 2);
+        let qs = s.quantiles("mme.attach.total_s", &[0.5, 0.99]).unwrap();
+        assert!(qs[0] <= qs[1]);
+        assert!(s.quantiles("missing", &[0.5]).is_none());
+        assert_eq!(s.histogram_names(), vec!["mme.attach.total_s".to_string()]);
+    }
+}

@@ -25,6 +25,8 @@ pub mod methods {
     pub const FEG_AUTH: &str = "feg.AuthInfo";
     /// Federation: register the serving AGW with the MNO HSS.
     pub const FEG_UPDATE_LOCATION: &str = "feg.UpdateLocation";
+    /// Telemetry: a gateway `metricsd` registry snapshot.
+    pub const METRICS_PUSH: &str = "metricsd.Push";
 }
 
 /// Federation: authentication-information request (proxied S6a AIR).
@@ -135,6 +137,29 @@ pub struct CreditReport {
     pub released_quota: u64,
 }
 
+/// Telemetry push: one registry snapshot sampled by a gateway's
+/// `metricsd`. Pushes ride the same RPC stream as everything else, so
+/// they consume modeled backhaul bandwidth and queue across partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsPush {
+    pub agw_id: String,
+    /// Monotonic per-gateway sequence number, starting at 1; lets the
+    /// orchestrator drop redelivered snapshots after an RPC retry.
+    pub seq: u64,
+    /// Sim time (µs) the snapshot was taken on the gateway.
+    pub taken_at_us: u64,
+    pub snapshot: magma_sim::RegistrySnapshot,
+}
+
+/// Acknowledgement for a [`MetricsPush`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsAck {
+    /// False when the push was a duplicate (already-seen sequence).
+    pub accepted: bool,
+    /// Highest sequence the orchestrator has stored for this gateway.
+    pub last_seq: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +177,31 @@ mod tests {
         let v = serde_json::to_value(&req).unwrap();
         let back: CheckinRequest = serde_json::from_value(v).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn metrics_push_roundtrips_via_json() {
+        let mut reg = magma_sim::Registry::new();
+        reg.counter_add("agw0.mme.attach_accept", 3.0);
+        reg.gauge_set("agw0.cpu.percent", 42.5);
+        reg.observe("agw0.mme.attach.total_s", 0.21);
+        let push = MetricsPush {
+            agw_id: "agw0".into(),
+            seq: 1,
+            taken_at_us: 5_000_000,
+            snapshot: reg.snapshot_prefixed("agw0"),
+        };
+        let v = serde_json::to_value(&push).unwrap();
+        let back: MetricsPush = serde_json::from_value(v).unwrap();
+        assert_eq!(back, push);
+        // An empty histogram must also survive the trip (min/max are 0.0,
+        // never ±inf, which JSON cannot carry).
+        let empty = magma_sim::BucketHistogram::default();
+        let v = serde_json::to_value(&empty).unwrap();
+        assert_eq!(
+            serde_json::from_value::<magma_sim::BucketHistogram>(v).unwrap(),
+            empty
+        );
     }
 
     #[test]

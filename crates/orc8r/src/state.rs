@@ -7,6 +7,7 @@
 //! while the [`Orc8rActor`](crate::actor::Orc8rActor) serves the
 //! southbound RPC interface to gateways.
 
+use crate::metrics::MetricsStore;
 use magma_policy::{OcsServer, PolicyRule};
 use magma_sim::SimTime;
 use magma_subscriber::{SubscriberDb, SubscriberProfile};
@@ -71,6 +72,9 @@ pub struct Orc8rState {
     pub devices: BTreeMap<String, DeviceRecord>,
     /// Best-effort telemetry: per-gateway metric counters from check-ins.
     pub metrics: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Typed telemetry pushed in-band by each gateway's `metricsd`:
+    /// latest registry snapshot per gateway plus fleet-wide queries.
+    pub metrics_store: MetricsStore,
     /// Latest uploaded runtime checkpoints, per gateway (§3.3 backup).
     pub checkpoints: BTreeMap<String, serde_json::Value>,
     /// Append-only configuration journal.
@@ -91,6 +95,7 @@ impl Orc8rState {
             ocs: OcsServer::new(quota_bytes),
             devices: BTreeMap::new(),
             metrics: BTreeMap::new(),
+            metrics_store: MetricsStore::new(),
             checkpoints: BTreeMap::new(),
             journal: Vec::new(),
             checkin_interval_s: 5,
@@ -191,6 +196,17 @@ impl Orc8rState {
             .and_then(|m| m.get(name))
             .copied()
             .unwrap_or(0.0)
+    }
+
+    /// Northbound: per-gateway CPU%, from `metricsd` pushes.
+    pub fn cpu_percent_by_gateway(&self) -> Vec<(String, f64)> {
+        self.metrics_store.cpu_percent_by_gateway()
+    }
+
+    /// Northbound: fleet-merged quantiles of a pushed histogram, e.g.
+    /// `("mme.attach.total_s", &[0.5, 0.95, 0.99])` for attach p99.
+    pub fn metric_quantiles(&self, name: &str, qs: &[f64]) -> Option<Vec<f64>> {
+        self.metrics_store.quantiles(name, qs)
     }
 
     // ---- Southbound operations (called by the actor) ----

@@ -312,6 +312,10 @@ impl EnodebActor {
             if let Some(start) = self.slots[idx].attempt_started.take() {
                 let m = self.metric("attach_ok_at");
                 ctx.metrics().record(&m, start, now.since(start).as_secs_f64());
+                let m = self.metric("attach_ok");
+                ctx.registry().counter_add(&m, 1.0);
+                let m = self.metric("attach.latency_s");
+                ctx.registry().observe(&m, now.since(start).as_secs_f64());
             }
             if let Some((lo, hi)) = self.cfg.session_lifetime_s {
                 let life = SimDuration::from_secs(ctx.rng().gen_range(lo..=hi.max(lo + 1)));
@@ -322,6 +326,8 @@ impl EnodebActor {
             if let Some(start) = self.slots[idx].attempt_started.take() {
                 let m = self.metric("attach_fail_at");
                 ctx.metrics().record(&m, start, 1.0);
+                let m = self.metric("attach_fail");
+                ctx.registry().counter_add(&m, 1.0);
             }
             if self.cfg.reattach {
                 let backoff = SimDuration::from_millis(ctx.rng().gen_range(2000..5000));
@@ -390,6 +396,10 @@ impl EnodebActor {
             .count();
         let m = self.metric("attached");
         ctx.metrics().record(&m, now, attached as f64);
+        // Gauges are last-writer-wins, so they get a per-eNB namespace
+        // (counters and histograms above are shared and accumulate).
+        let m = self.metric(&format!("enb{}.attached_ues", self.cfg.enb_id));
+        ctx.registry().gauge_set(&m, attached as f64);
         if stuck > 0 {
             let m = self.metric("stuck");
             ctx.metrics().record(&m, now, stuck as f64);
@@ -482,6 +492,8 @@ impl Actor for EnodebActor {
                         if let Some(start) = self.slots[idx].attempt_started.take() {
                             let m = self.metric("attach_fail_at");
                             ctx.metrics().record(&m, start, 1.0);
+                            let m = self.metric("attach_fail");
+                            ctx.registry().counter_add(&m, 1.0);
                         }
                         if self.cfg.reattach {
                             let backoff =

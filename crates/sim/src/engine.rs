@@ -5,9 +5,11 @@ use crate::actor::{Actor, ActorId, Event, Payload};
 use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
 use crate::event::{EventHandle, EventQueue};
 use crate::metrics::Recorder;
+use crate::registry::Registry;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::fmt;
 
 struct Slot {
     actor: Option<Box<dyn Actor>>,
@@ -28,6 +30,7 @@ pub struct Kernel {
     queue: EventQueue,
     rng: SmallRng,
     metrics: Recorder,
+    registry: Registry,
     hosts: Vec<HostState>,
     /// Per-actor generation; events captured under an older generation are
     /// dropped at dispatch. Bumped on crash/replace so a restarted service
@@ -57,6 +60,7 @@ impl World {
                 queue: EventQueue::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 metrics: Recorder::new(),
+                registry: Registry::new(),
                 hosts: Vec::new(),
                 gens: Vec::new(),
                 next_actor_id: 0,
@@ -145,6 +149,16 @@ impl World {
 
     pub fn metrics_mut(&mut self) -> &mut Recorder {
         &mut self.kernel.metrics
+    }
+
+    /// The world-wide instrument registry ([`Registry`]): typed counters,
+    /// gauges, and histograms, namespaced by service prefix.
+    pub fn registry(&self) -> &Registry {
+        &self.kernel.registry
+    }
+
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.kernel.registry
     }
 
     pub fn events_processed(&self) -> u64 {
@@ -359,7 +373,8 @@ impl<'a> Ctx<'a> {
     /// Submit a CPU job on `host` in the named core group. When the job
     /// completes, `Event::CpuDone { tag, payload, .. }` is delivered back
     /// to this actor. Panics if the host/group does not exist: that is a
-    /// wiring bug, not a runtime condition.
+    /// wiring bug, not a runtime condition. Use [`try_exec`](Ctx::try_exec)
+    /// to surface the misconfiguration as an error instead.
     pub fn exec(
         &mut self,
         host: HostId,
@@ -368,10 +383,36 @@ impl<'a> Ctx<'a> {
         tag: u64,
         payload: Payload,
     ) {
-        let hs = &mut self.kernel.hosts[host.0 as usize];
-        let gidx = hs
-            .group_index(group)
-            .unwrap_or_else(|| panic!("host {} has no core group '{group}'", hs.spec.name));
+        if let Err(e) = self.try_exec(host, group, demand, tag, payload) {
+            panic!("exec: {e}");
+        }
+    }
+
+    /// Fallible variant of [`exec`](Ctx::exec): reports which host and
+    /// core group were misconfigured (and what groups the host actually
+    /// has) instead of aborting the simulation.
+    pub fn try_exec(
+        &mut self,
+        host: HostId,
+        group: &str,
+        demand: SimDuration,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), ExecError> {
+        let Some(hs) = self.kernel.hosts.get_mut(host.0 as usize) else {
+            return Err(ExecError {
+                host: format!("host#{}", host.0),
+                group: group.to_string(),
+                available: Vec::new(),
+            });
+        };
+        let Some(gidx) = hs.group_index(group) else {
+            return Err(ExecError {
+                host: hs.spec.name.clone(),
+                group: group.to_string(),
+                available: hs.spec.groups.iter().map(|g| g.name.clone()).collect(),
+            });
+        };
         let speed = hs.groups[gidx as usize].spec.speed;
         let service = cpu::scaled_service(demand, speed);
         let gen = self.kernel.gens[self.self_id.0 as usize];
@@ -397,6 +438,7 @@ impl<'a> Ctx<'a> {
                 },
             );
         }
+        Ok(())
     }
 
     /// Deterministic RNG shared by the world.
@@ -407,6 +449,36 @@ impl<'a> Ctx<'a> {
     /// Measurement sink.
     pub fn metrics(&mut self) -> &mut Recorder {
         &mut self.kernel.metrics
+    }
+
+    /// Typed instrument registry (counters / gauges / histograms).
+    pub fn registry(&mut self) -> &mut Registry {
+        &mut self.kernel.registry
+    }
+
+    /// Per-group CPU utilization report for a host, as of the current
+    /// sim time (same data [`World::utilization`] exposes, but usable
+    /// from inside an actor — this is what `metricsd` samples).
+    pub fn utilization(&self, host: HostId, group: &str) -> Option<UtilizationReport> {
+        let h = self.kernel.hosts.get(host.0 as usize)?;
+        let idx = h.group_index(group)? as usize;
+        Some(cpu::build_report(h, idx, self.kernel.time))
+    }
+
+    /// The core groups of a host as `(name, cores)`, in declaration
+    /// order; empty if the host id is unknown.
+    pub fn host_groups(&self, host: HostId) -> Vec<(String, u32)> {
+        self.kernel
+            .hosts
+            .get(host.0 as usize)
+            .map(|h| {
+                h.spec
+                    .groups
+                    .iter()
+                    .map(|g| (g.name.clone(), g.cores))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Append a debug log line (kept only in verbose mode).
@@ -436,3 +508,34 @@ impl<'a> Ctx<'a> {
         self.kernel.pending.push(PendingOp::Kill(id));
     }
 }
+
+/// A CPU job was submitted against a host or core group that does not
+/// exist — a scenario wiring bug. Reports which host and group were
+/// named and which groups the host actually has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Name of the host (or `host#<id>` if the id itself is unknown).
+    pub host: String,
+    /// The core group that was requested.
+    pub group: String,
+    /// Core groups the host actually defines (empty for an unknown host).
+    pub available: Vec<String>,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host '{}' has no core group '{}' (available: {})",
+            self.host,
+            self.group,
+            if self.available.is_empty() {
+                "none".to_string()
+            } else {
+                self.available.join(", ")
+            }
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}

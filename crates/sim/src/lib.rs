@@ -19,13 +19,15 @@ pub mod cpu;
 pub mod engine;
 mod event;
 pub mod metrics;
+pub mod registry;
 pub mod time;
 
 pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
-pub use engine::{Ctx, World};
+pub use engine::{Ctx, ExecError, World};
 pub use event::EventHandle;
 pub use metrics::{Histogram, Recorder, Series};
+pub use registry::{BucketHistogram, Registry, RegistrySnapshot, Span, DEFAULT_SECONDS_BOUNDS};
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]
@@ -217,6 +219,107 @@ mod tests {
             w.events_processed()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    /// Probes a deliberately wrong core group via `try_exec` and records
+    /// what it saw, so the test can assert on the error without panicking.
+    struct GroupProbe {
+        host: HostId,
+    }
+
+    impl Actor for GroupProbe {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            if let Event::Start = event {
+                let err = ctx
+                    .try_exec(
+                        self.host,
+                        "nope",
+                        SimDuration::from_millis(1),
+                        0,
+                        Box::new(()),
+                    )
+                    .unwrap_err();
+                assert_eq!(err.host, "h");
+                assert_eq!(err.group, "nope");
+                assert_eq!(err.available, vec!["all".to_string()]);
+                assert!(err.to_string().contains("no core group 'nope'"));
+                ctx.registry().counter_add("probe.bad_group", 1.0);
+
+                // Unknown host id reports too, instead of indexing OOB.
+                let err = ctx
+                    .try_exec(
+                        HostId(99),
+                        "all",
+                        SimDuration::from_millis(1),
+                        0,
+                        Box::new(()),
+                    )
+                    .unwrap_err();
+                assert_eq!(err.host, "host#99");
+                assert!(err.available.is_empty());
+
+                // A valid submission still goes through the same path.
+                ctx.try_exec(
+                    self.host,
+                    "all",
+                    SimDuration::from_millis(1),
+                    1,
+                    Box::new(()),
+                )
+                .unwrap();
+            } else if let Event::CpuDone { .. } = event {
+                ctx.registry().counter_add("probe.done", 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn try_exec_reports_missing_group_instead_of_panicking() {
+        let mut w = World::new(1);
+        let host = w.add_host(HostSpec::uniform("h", 1, 1.0));
+        w.add_actor(Box::new(GroupProbe { host }));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.registry().counter("probe.bad_group"), 1.0);
+        assert_eq!(w.registry().counter("probe.done"), 1.0);
+    }
+
+    #[test]
+    fn registry_snapshots_are_deterministic_across_seeded_runs() {
+        let run = |seed| {
+            struct R {
+                host: HostId,
+            }
+            impl Actor for R {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+                    match event {
+                        Event::Start => {
+                            for i in 0..8 {
+                                ctx.exec(
+                                    self.host,
+                                    "all",
+                                    SimDuration::from_millis(10 + i),
+                                    i,
+                                    Box::new(()),
+                                );
+                            }
+                        }
+                        Event::CpuDone { queued, .. } => {
+                            let now = ctx.now();
+                            ctx.registry().counter_add("r.done", 1.0);
+                            ctx.registry().gauge_set("r.t_us", now.0 as f64);
+                            ctx.registry().observe("r.queued_s", queued.as_secs_f64());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let mut w = World::new(seed);
+            let host = w.add_host(HostSpec::uniform("h", 2, 1.0));
+            w.add_actor(Box::new(R { host }));
+            w.run_until(SimTime::from_secs(1));
+            w.registry().snapshot()
+        };
+        assert_eq!(run(3), run(3));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Figure-ready export of the orchestrator's metrics store.
+//!
+//! Everything here reads *orchestrator-side* state: the numbers were
+//! sampled by each gateway's `metricsd`, serialized, and pushed over the
+//! simulated backhaul. Exports are deterministic — the store and every
+//! snapshot are `BTreeMap`-backed, and `serde_json`'s map preserves key
+//! order — so two same-seed runs produce byte-identical JSON.
+
+use magma_orc8r::Orc8rState;
+use serde_json::{json, Map, Value};
+use std::fmt::Write as _;
+
+/// The attach span's stage taxonomy, in procedure order, plus the total.
+/// Each maps to the merged histogram `mme.attach.<stage>_s`.
+pub const ATTACH_STAGES: [&str; 5] =
+    ["s1ap", "nas_auth", "session_setup", "bearer_install", "total"];
+
+fn stage_histogram_name(stage: &str) -> String {
+    format!("mme.attach.{stage}_s")
+}
+
+/// Export the orchestrator's metrics-store view as JSON: per-gateway
+/// health (CPU%, sessions, push bookkeeping) and fleet-merged attach
+/// stage quantiles.
+pub fn orc8r_metrics_json(st: &Orc8rState) -> Value {
+    let mut gateways = Map::new();
+    for (id, gm) in st.metrics_store.gateways() {
+        let g = &gm.latest.gauges;
+        let c = &gm.latest.counters;
+        gateways.insert(
+            id.to_string(),
+            json!({
+                "cpu_percent": g.get("cpu.percent").copied().unwrap_or(0.0),
+                "sessions": g.get("sessiond.sessions").copied().unwrap_or(0.0),
+                "attach_accept": c.get("mme.attach_accept").copied().unwrap_or(0.0),
+                "attach_reject": c.get("mme.attach_reject").copied().unwrap_or(0.0),
+                "pushes": gm.pushes,
+                "last_seq": gm.last_seq,
+                "last_at_us": gm.last_at.map(|t| t.0).unwrap_or(0),
+            }),
+        );
+    }
+
+    let mut stages = Map::new();
+    for stage in ATTACH_STAGES {
+        let name = stage_histogram_name(stage);
+        let Some(h) = st.metrics_store.merged_histogram(&name) else {
+            continue;
+        };
+        if h.is_empty() {
+            continue;
+        }
+        stages.insert(
+            stage.to_string(),
+            json!({
+                "count": h.count,
+                "mean_s": h.mean(),
+                "p50_s": h.quantile(0.5),
+                "p95_s": h.quantile(0.95),
+                "p99_s": h.quantile(0.99),
+            }),
+        );
+    }
+
+    json!({
+        "gateways": Value::Object(gateways),
+        "attach_stages": Value::Object(stages),
+    })
+}
+
+/// Render the same queries as a console table (what an operator's NMS
+/// would display).
+pub fn render_orc8r_metrics(st: &Orc8rState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== orc8r metrics (from metricsd pushes) ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>8} {:>8}",
+        "gateway", "cpu%", "sessions", "pushes", "last_seq"
+    );
+    for (id, gm) in st.metrics_store.gateways() {
+        let g = &gm.latest.gauges;
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8.1} {:>10.0} {:>8} {:>8}",
+            id,
+            g.get("cpu.percent").copied().unwrap_or(0.0),
+            g.get("sessiond.sessions").copied().unwrap_or(0.0),
+            gm.pushes,
+            gm.last_seq,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>10} {:>10}",
+        "attach stage", "count", "p50", "p95", "p99"
+    );
+    for stage in ATTACH_STAGES {
+        let name = stage_histogram_name(stage);
+        let Some(h) = st.metrics_store.merged_histogram(&name) else {
+            continue;
+        };
+        if h.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9.1}ms {:>9.1}ms {:>9.1}ms",
+            stage,
+            h.count,
+            h.quantile(0.5) * 1e3,
+            h.quantile(0.95) * 1e3,
+            h.quantile(0.99) * 1e3,
+        );
+    }
+    out
+}

@@ -7,9 +7,11 @@
 //! one runner per paper figure/table plus the ablations from DESIGN.md.
 
 pub mod experiments;
+pub mod export;
 pub mod measure;
 pub mod scenario;
 pub mod trace;
 
+pub use export::{orc8r_metrics_json, render_orc8r_metrics, ATTACH_STAGES};
 pub use measure::{cpu_percent, csr_bins, mean_attach_latency, mean_over, median_csr, overall_csr, throughput_mbps, CsrBin};
 pub use scenario::{build, AgwInstance, AgwSpec, CoreLayout, Scenario, ScenarioConfig, SiteSpec, SIM_SEED};

@@ -6,7 +6,9 @@
 //! replica before the run, "as is typical for network operator
 //! deployments of Magma".
 
-use magma_agw::{new_agw_handle, AgwActor, AgwConfig, AgwHandle, CpuProfile};
+use magma_agw::{
+    new_agw_handle, AgwActor, AgwConfig, AgwHandle, CpuProfile, MetricsdActor, MetricsdConfig,
+};
 use magma_net::{new_net, Endpoint, LinkProfile, NetHandle, NetStack, NodeAddr, ports};
 use magma_orc8r::{new_orc8r, Orc8rActor, Orc8rHandle};
 use magma_policy::PolicyRule;
@@ -107,6 +109,9 @@ pub struct ScenarioConfig {
     pub prepaid_balance: Option<u64>,
     /// Override the AGW fluid tick / checkin cadence if needed.
     pub checkin_interval: SimDuration,
+    /// Cadence at which each gateway's metricsd samples its registry and
+    /// pushes the snapshot to the orchestrator.
+    pub metrics_interval: SimDuration,
 }
 
 impl ScenarioConfig {
@@ -119,6 +124,7 @@ impl ScenarioConfig {
             quota_bytes: 1_000_000,
             prepaid_balance: None,
             checkin_interval: SimDuration::from_secs(5),
+            metrics_interval: SimDuration::from_secs(5),
         }
     }
 
@@ -143,6 +149,8 @@ pub struct AgwInstance {
     pub stack: ActorId,
     pub handle: AgwHandle,
     pub enbs: Vec<ActorId>,
+    /// The gateway's metricsd telemetry daemon.
+    pub metricsd: ActorId,
     /// Configuration used, for restarts.
     pub cfg: AgwConfig,
     pub up_cores: u32,
@@ -239,6 +247,13 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         actor.set_up_cores(up_cores);
         let agw_actor = world.add_actor(Box::new(actor));
 
+        // Telemetry daemon: samples the gateway's registry namespace and
+        // pushes it to the orchestrator over the same backhaul (its own
+        // stream on the shared network stack).
+        let mut md_cfg = MetricsdConfig::for_agw(&agw_cfg);
+        md_cfg.interval = cfg.metrics_interval;
+        let metricsd = world.add_actor(Box::new(MetricsdActor::new(md_cfg)));
+
         // Per-eNB attach rate splits the site's aggregate rate.
         let per_enb_rate = spec.site.attach_rate_per_sec / spec.site.enbs.max(1) as f64;
         let mut enbs = Vec::new();
@@ -276,6 +291,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
             stack,
             handle,
             enbs,
+            metricsd,
             cfg: agw_cfg,
             up_cores,
         });

@@ -1,0 +1,125 @@
+//! The observability layer end to end: gateway registries feed spans and
+//! instruments, `metricsd` pushes snapshots across the simulated
+//! backhaul, the orchestrator store answers fleet queries, and exports
+//! are deterministic across same-seed runs.
+
+use magma::prelude::*;
+use magma::testbed::{orc8r_metrics_json, ATTACH_STAGES};
+
+fn small_site() -> SiteSpec {
+    SiteSpec {
+        enbs: 1,
+        ues_per_enb: 12,
+        attach_rate_per_sec: 2.0,
+        ..SiteSpec::typical()
+    }
+}
+
+#[test]
+fn metricsd_pushes_reach_orc8r_and_answer_queries() {
+    let cfg = ScenarioConfig::new(21).with_agw(AgwSpec::bare_metal(small_site()));
+    let mut d = magma::deploy(cfg);
+    d.world.run_until(SimTime::from_secs(60));
+
+    let st = d.orc8r.borrow();
+    let gm = st
+        .metrics_store
+        .gateway("agw0")
+        .expect("agw0 pushed telemetry");
+    // ~12 sampling intervals of 5s in 60s; allow slack for startup.
+    assert!(gm.pushes >= 8, "only {} pushes landed", gm.pushes);
+    assert_eq!(gm.last_seq, gm.pushes, "contiguous in-order delivery");
+
+    // CPU gauges were sampled on the gateway and traveled in-band.
+    assert!(gm.latest.gauges.contains_key("cpu.percent"));
+    let cpus = st.cpu_percent_by_gateway();
+    assert_eq!(cpus.len(), 1);
+    assert!(cpus[0].1 >= 0.0 && cpus[0].1 <= 100.0);
+
+    // All 12 UEs attached; the counters came through the push path.
+    let accepts = gm.latest.counters.get("mme.attach_accept").copied();
+    assert_eq!(accepts, Some(12.0));
+    assert!(gm.latest.counters.get("sessiond.attach").copied() >= Some(12.0));
+
+    // Every attach stage histogram is populated and quantiles are sane.
+    for stage in ATTACH_STAGES {
+        let name = format!("mme.attach.{stage}_s");
+        let qs = st
+            .metrics_store
+            .quantiles(&name, &[0.5, 0.95, 0.99])
+            .unwrap_or_else(|| panic!("no histogram for {name}"));
+        assert!(
+            qs[0] > 0.0 && qs[0] <= qs[1] && qs[1] <= qs[2],
+            "{name}: p50={} p95={} p99={}",
+            qs[0],
+            qs[1],
+            qs[2]
+        );
+        let h = st.metrics_store.merged_histogram(&name).unwrap();
+        assert_eq!(h.count, 12, "{name} observed once per successful attach");
+    }
+
+    // Stage times sum to the total on average (same 12 procedures).
+    let mean_of = |stage: &str| {
+        st.metrics_store
+            .merged_histogram(&format!("mme.attach.{stage}_s"))
+            .unwrap()
+            .mean()
+    };
+    let stage_sum: f64 = ["s1ap", "nas_auth", "session_setup", "bearer_install"]
+        .iter()
+        .map(|s| mean_of(s))
+        .sum();
+    assert!(
+        (stage_sum - mean_of("total")).abs() < 1e-9,
+        "stage means {stage_sum} vs total {}",
+        mean_of("total")
+    );
+
+    // RAN-side registry instruments agree with the gateway's view.
+    assert_eq!(d.world.registry().counter("ran.attach_ok"), 12.0);
+    assert_eq!(d.world.registry().counter("ran.attach_fail"), 0.0);
+}
+
+#[test]
+fn same_seed_runs_export_identical_snapshots() {
+    let run = |seed: u64| {
+        let cfg = ScenarioConfig::new(seed)
+            .with_agw(AgwSpec::bare_metal(small_site()))
+            .with_agw(AgwSpec::vm(small_site(), CoreLayout::Pinned { cp: 2, up: 2 }));
+        let mut d = magma::deploy(cfg);
+        d.world.run_until(SimTime::from_secs(45));
+        let st = d.orc8r.borrow();
+        serde_json::to_string(&orc8r_metrics_json(&st)).unwrap()
+    };
+    let a = run(7);
+    assert_eq!(a, run(7), "same seed, same exported bytes");
+    assert_ne!(a, run(8), "different seed perturbs the export");
+}
+
+#[test]
+fn spans_record_exactly_once_per_accepted_attach() {
+    // Spans are success-conditioned: exactly one observation lands in
+    // every stage histogram per accepted attach (failed or timed-out
+    // procedures drop their span unrecorded).
+    let cfg = ScenarioConfig::new(31).with_agw(AgwSpec::bare_metal(small_site()));
+    let mut d = magma::deploy(cfg);
+    d.world.run_until(SimTime::from_secs(50));
+
+    let st = d.orc8r.borrow();
+    let gm = st.metrics_store.gateway("agw0").expect("telemetry landed");
+    let accepts = gm
+        .latest
+        .counters
+        .get("mme.attach_accept")
+        .copied()
+        .unwrap_or(0.0);
+    assert!(accepts > 0.0);
+    for stage in ATTACH_STAGES {
+        let h = st
+            .metrics_store
+            .merged_histogram(&format!("mme.attach.{stage}_s"))
+            .unwrap();
+        assert_eq!(h.count as f64, accepts, "stage {stage}");
+    }
+}
