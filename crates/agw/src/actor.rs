@@ -25,7 +25,10 @@ use magma_dataplane::Pipeline;
 use magma_net::{lp_encode, ports, LpFramer, SockCmd, SockEvent, StreamHandle};
 use magma_orc8r::proto as orc8r_proto;
 use magma_rpc::{RpcClient, RpcClientConfig, RpcClientEvent};
-use magma_sim::{downcast, try_downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime, Span};
+use magma_sim::eventd::kind as event_kind;
+use magma_sim::{
+    downcast, try_downcast, Actor, ActorId, Ctx, Event, Severity, SimDuration, SimTime, Span,
+};
 use magma_subscriber::{DbSnapshot, SubscriberDb};
 use magma_wire::aka::{Kasme, Rand, Res};
 use magma_wire::nas::{EmmCause, NasMessage};
@@ -48,6 +51,8 @@ const C_AUTH: u64 = 1;
 const C_SESSION: u64 = 2;
 const C_UP: u64 = 3;
 const C_MISC: u64 = 4;
+const C_DETACH: u64 = 5;
+const C_HANDOVER: u64 = 6;
 
 /// Which RPC call an outstanding client request belongs to.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +102,26 @@ struct UeCtx {
 enum MmeWork {
     Auth(u32),
     Session(u32),
+    Detach(DetachJob),
+    PathSwitch(PathSwitchJob),
+}
+
+/// CPU-gated detach teardown: the span began when the Detach Request
+/// arrived, so MME queue wait counts toward the procedure, mirroring
+/// the attach span.
+struct DetachJob {
+    ue: u32,
+    span: Span,
+}
+
+/// CPU-gated S1AP Path Switch (X2 handover completion at the MME).
+struct PathSwitchJob {
+    ue: u32,
+    /// Stream to the *target* eNodeB (the path switch requester).
+    conn: StreamHandle,
+    new_enb_ue_id: EnbUeId,
+    new_enb_teid: Teid,
+    span: Span,
 }
 
 struct RanConn {
@@ -126,6 +151,9 @@ pub struct AgwActor {
     pending_demands: Vec<FluidDemand>,
     up_inflight_bytes: u64,
     up_cores: u32,
+    /// Edge trigger for the dataplane-overload event: set on the first
+    /// tick that drops bytes, cleared on a drop-free tick.
+    up_overloaded: bool,
     // Orchestrator / federation clients.
     orc8r: Option<RpcClient>,
     feg: Option<RpcClient>,
@@ -195,6 +223,7 @@ impl AgwActor {
             pending_demands: Vec::new(),
             up_inflight_bytes: 0,
             up_cores: 1,
+            up_overloaded: false,
             orc8r: None,
             feg: None,
             cert,
@@ -226,11 +255,13 @@ impl AgwActor {
                 break;
             };
             self.mme_inflight += 1;
-            let (tag, ue, cost) = match work {
-                MmeWork::Auth(ue) => (C_AUTH, ue, self.cfg.profile.attach_auth),
-                MmeWork::Session(ue) => (C_SESSION, ue, self.cfg.profile.attach_session),
+            let (tag, cost, payload): (u64, SimDuration, magma_sim::Payload) = match work {
+                MmeWork::Auth(ue) => (C_AUTH, self.cfg.profile.attach_auth, Box::new(ue)),
+                MmeWork::Session(ue) => (C_SESSION, self.cfg.profile.attach_session, Box::new(ue)),
+                MmeWork::Detach(job) => (C_DETACH, self.cfg.profile.nas_msg, Box::new(job)),
+                MmeWork::PathSwitch(job) => (C_HANDOVER, self.cfg.profile.nas_msg, Box::new(job)),
             };
-            ctx.exec(self.cfg.host, &self.cfg.cp_group, cost, tag, Box::new(ue));
+            ctx.exec(self.cfg.host, &self.cfg.cp_group, cost, tag, payload);
         }
     }
 
@@ -324,19 +355,22 @@ impl AgwActor {
                 new_enb_teid,
             } => {
                 // Intra-AGW mobility: move the UE's S1 context to the
-                // target eNodeB and repoint the downlink tunnel.
+                // target eNodeB and repoint the downlink tunnel. The
+                // switch is CPU-gated through the MME queue so handover
+                // latency shows congestion, with a span over the wait.
                 let ue = mme_ue_id.0;
-                self.charge_misc(ctx);
-                if let Some(uectx) = self.ue_ctxs.get_mut(&ue) {
-                    uectx.conn = conn;
-                    uectx.enb_ue_id = new_enb_ue_id;
-                    if let Some(sid) = uectx.session_id {
-                        self.sessions.set_dl_teid(sid, new_enb_teid);
-                        self.reprogram_dataplane(ctx);
-                    }
-                    self.send_s1ap(ctx, conn, &S1apMessage::PathSwitchAck { mme_ue_id });
-                    let m = self.metric("handover");
-                    ctx.metrics().inc(&m, 1.0);
+                if self.ue_ctxs.contains_key(&ue) {
+                    let span = Span::begin(self.metric("mme.handover"), ctx.now());
+                    self.submit_mme(
+                        ctx,
+                        MmeWork::PathSwitch(PathSwitchJob {
+                            ue,
+                            conn,
+                            new_enb_ue_id,
+                            new_enb_teid,
+                            span,
+                        }),
+                    );
                 }
             }
             _ => {}
@@ -384,6 +418,17 @@ impl AgwActor {
             self.send_s1ap(ctx, conn, &msg);
             let m = self.metric("attach.reject");
             ctx.metrics().inc(&m, 1.0);
+            let gw = self.cfg.id.clone();
+            ctx.emit_event(
+                &gw,
+                event_kind::ATTACH_FAILURE,
+                Severity::Warning,
+                &[
+                    ("imsi", imsi.0.to_string()),
+                    ("emm_cause", u32::from(cause.to_u8()).to_string()),
+                    ("cause", format!("{cause:?}")),
+                ],
+            );
             return;
         }
 
@@ -598,7 +643,7 @@ impl AgwActor {
                 ctx.registry().counter_add(&m, 1.0);
             }
             (_, NasMessage::DetachRequest { guti }) => {
-                self.handle_detach(ctx, ue, guti);
+                self.begin_detach(ctx, ue, guti);
             }
             _ => {}
         }
@@ -704,11 +749,25 @@ impl AgwActor {
         }
     }
 
-    fn handle_detach(&mut self, ctx: &mut Ctx<'_>, ue: u32, _guti: Guti) {
+    /// Detach Request received: queue the teardown behind the MME's CPU
+    /// like the attach stages, with a span covering queue wait + work.
+    fn begin_detach(&mut self, ctx: &mut Ctx<'_>, ue: u32, _guti: Guti) {
+        if !self.ue_ctxs.contains_key(&ue) {
+            return;
+        }
+        let span = Span::begin(self.metric("mme.detach"), ctx.now());
+        self.submit_mme(ctx, MmeWork::Detach(DetachJob { ue, span }));
+    }
+
+    /// The detach CPU stage finished: tear down the session, release the
+    /// IP, and acknowledge the UE.
+    fn finish_detach(&mut self, ctx: &mut Ctx<'_>, mut job: DetachJob) {
+        let ue = job.ue;
         if let Some(uectx) = self.ue_ctxs.get(&ue) {
             let imsi = uectx.imsi;
             let guti = uectx.guti;
-            if let Some(sid) = uectx.session_id {
+            let sid = uectx.session_id;
+            if let Some(sid) = sid {
                 self.finish_session(ctx, sid);
             }
             self.pool.release(imsi);
@@ -720,7 +779,41 @@ impl AgwActor {
             ctx.metrics().inc(&m, 1.0);
             let m = self.metric("mme.detach");
             ctx.registry().counter_add(&m, 1.0);
+            let now = ctx.now();
+            job.span.mark("teardown", now);
+            job.span.finish(ctx.registry());
         }
+    }
+
+    /// The path-switch CPU stage finished: repoint the S1 context and the
+    /// downlink tunnel at the target eNodeB.
+    fn path_switch_done(&mut self, ctx: &mut Ctx<'_>, mut job: PathSwitchJob) {
+        let ue = job.ue;
+        let Some(uectx) = self.ue_ctxs.get_mut(&ue) else {
+            // UE detached or was torn down while the switch was queued.
+            return;
+        };
+        uectx.conn = job.conn;
+        uectx.enb_ue_id = job.new_enb_ue_id;
+        let sid = uectx.session_id;
+        if let Some(sid) = sid {
+            self.sessions.set_dl_teid(sid, job.new_enb_teid);
+            self.reprogram_dataplane(ctx);
+        }
+        self.send_s1ap(
+            ctx,
+            job.conn,
+            &S1apMessage::PathSwitchAck {
+                mme_ue_id: MmeUeId(ue),
+            },
+        );
+        let m = self.metric("handover");
+        ctx.metrics().inc(&m, 1.0);
+        let m = self.metric("mme.handover_ok");
+        ctx.registry().counter_add(&m, 1.0);
+        let now = ctx.now();
+        job.span.mark("path_switch", now);
+        job.span.finish(ctx.registry());
     }
 
     /// Remove a session, reporting any outstanding online credit.
@@ -745,7 +838,9 @@ impl AgwActor {
 
     fn fail_attach(&mut self, ctx: &mut Ctx<'_>, ue: u32, cause: EmmCause) {
         self.send_nas(ctx, ue, NasMessage::AttachReject { cause });
+        let mut imsi = None;
         if let Some(uectx) = self.ue_ctxs.remove(&ue) {
+            imsi = Some(uectx.imsi);
             self.pool.release(uectx.imsi);
             if let Some(sid) = uectx.session_id {
                 self.finish_session(ctx, sid);
@@ -757,6 +852,18 @@ impl AgwActor {
         ctx.metrics().inc(&m, 1.0);
         let m = self.metric("mme.attach_reject");
         ctx.registry().counter_add(&m, 1.0);
+        let gw = self.cfg.id.clone();
+        let imsi_field = imsi.map(|i| i.0.to_string()).unwrap_or_default();
+        ctx.emit_event(
+            &gw,
+            event_kind::ATTACH_FAILURE,
+            Severity::Warning,
+            &[
+                ("imsi", imsi_field),
+                ("emm_cause", u32::from(cause.to_u8()).to_string()),
+                ("cause", format!("{cause:?}")),
+            ],
+        );
     }
 
     fn reprogram_dataplane(&mut self, ctx: &mut Ctx<'_>) {
@@ -914,7 +1021,19 @@ impl AgwActor {
                 ctx.metrics().inc(&m, (total - room) as f64);
                 let m = self.metric("dataplane.dropped_bytes");
                 ctx.registry().counter_add(&m, (total - room) as f64);
+                if !self.up_overloaded {
+                    self.up_overloaded = true;
+                    let gw = self.cfg.id.clone();
+                    ctx.emit_event(
+                        &gw,
+                        event_kind::DATAPLANE_OVERLOAD,
+                        Severity::Warning,
+                        &[("dropped_bytes", (total - room).to_string())],
+                    );
+                }
                 total = room;
+            } else {
+                self.up_overloaded = false;
             }
             if total > 0 || !result.grants.is_empty() {
                 // Build per-RAN grant lists and session usage.
@@ -1119,7 +1238,7 @@ impl AgwActor {
         ctx.timer_in(self.cfg.checkpoint_interval, T_CHECKPOINT);
     }
 
-    fn handle_rpc_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<RpcClientEvent>) {
+    fn handle_rpc_events(&mut self, ctx: &mut Ctx<'_>, peer: &str, events: Vec<RpcClientEvent>) {
         for e in events {
             match e {
                 RpcClientEvent::Response { id, body } => {
@@ -1213,7 +1332,18 @@ impl AgwActor {
                         }
                     }
                 }
-                RpcClientEvent::Connected | RpcClientEvent::Disconnected => {}
+                RpcClientEvent::Connected => {
+                    if peer == "orc8r" {
+                        let gw = self.cfg.id.clone();
+                        ctx.emit_event(&gw, event_kind::ORC8R_CONNECTED, Severity::Info, &[]);
+                    }
+                }
+                RpcClientEvent::Disconnected => {
+                    if peer == "orc8r" {
+                        let gw = self.cfg.id.clone();
+                        ctx.emit_event(&gw, event_kind::ORC8R_DISCONNECTED, Severity::Warning, &[]);
+                    }
+                }
             }
         }
     }
@@ -1223,7 +1353,7 @@ impl AgwActor {
         let ev = if let Some(client) = self.orc8r.as_mut() {
             match client.try_handle(ctx, ev) {
                 Ok(events) => {
-                    self.handle_rpc_events(ctx, events);
+                    self.handle_rpc_events(ctx, "orc8r", events);
                     return;
                 }
                 Err(ev) => ev,
@@ -1234,7 +1364,7 @@ impl AgwActor {
         let ev = if let Some(client) = self.feg.as_mut() {
             match client.try_handle(ctx, ev) {
                 Ok(events) => {
-                    self.handle_rpc_events(ctx, events);
+                    self.handle_rpc_events(ctx, "feg", events);
                     return;
                 }
                 Err(ev) => ev,
@@ -1276,14 +1406,29 @@ impl AgwActor {
             SockEvent::StreamClosed { handle, .. }
                 if self.ran_conns.remove(&handle).is_some() => {
                     // Drop volatile UE contexts riding that connection.
-                    let gone: Vec<u32> = self
+                    let mut gone: Vec<u32> = self
                         .ue_ctxs
                         .iter()
                         .filter(|(_, u)| u.conn == handle)
                         .map(|(id, _)| *id)
                         .collect();
+                    gone.sort_unstable();
+                    let gw = self.cfg.id.clone();
                     for ue in gone {
-                        self.ue_ctxs.remove(&ue);
+                        if let Some(uectx) = self.ue_ctxs.remove(&ue) {
+                            if let Some(sid) = uectx.session_id {
+                                ctx.emit_event(
+                                    &gw,
+                                    event_kind::BEARER_DROP,
+                                    Severity::Warning,
+                                    &[
+                                        ("imsi", uectx.imsi.0.to_string()),
+                                        ("session_id", sid.to_string()),
+                                        ("reason", "s1_conn_lost".to_string()),
+                                    ],
+                                );
+                            }
+                        }
                     }
                 }
             SockEvent::DgramRecv {
@@ -1353,11 +1498,11 @@ impl Actor for AgwActor {
                 T_RPC => {
                     if let Some(client) = self.orc8r.as_mut() {
                         let evs = client.on_tick(ctx);
-                        self.handle_rpc_events(ctx, evs);
+                        self.handle_rpc_events(ctx, "orc8r", evs);
                     }
                     if let Some(client) = self.feg.as_mut() {
                         let evs = client.on_tick(ctx);
-                        self.handle_rpc_events(ctx, evs);
+                        self.handle_rpc_events(ctx, "feg", evs);
                     }
                     ctx.timer_in(SimDuration::from_millis(250), T_RPC);
                 }
@@ -1392,6 +1537,18 @@ impl Actor for AgwActor {
                 C_UP => {
                     let chunk = downcast::<UpChunk>(payload, "agw up");
                     self.up_chunk_done(ctx, chunk);
+                }
+                C_DETACH => {
+                    self.mme_inflight = self.mme_inflight.saturating_sub(1);
+                    let job = downcast::<DetachJob>(payload, "agw detach");
+                    self.finish_detach(ctx, job);
+                    self.pump_mme(ctx);
+                }
+                C_HANDOVER => {
+                    self.mme_inflight = self.mme_inflight.saturating_sub(1);
+                    let job = downcast::<PathSwitchJob>(payload, "agw handover");
+                    self.path_switch_done(ctx, job);
+                    self.pump_mme(ctx);
                 }
                 _ => {}
             },

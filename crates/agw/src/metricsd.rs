@@ -53,6 +53,9 @@ pub struct MetricsdConfig {
     pub snapshot_cost: SimDuration,
     /// Max snapshots held while the orchestrator is unreachable.
     pub max_queue: usize,
+    /// Max structured events batched into one push; the remainder stays
+    /// in the kernel ring for the next push.
+    pub max_events_per_push: usize,
 }
 
 impl MetricsdConfig {
@@ -66,6 +69,7 @@ impl MetricsdConfig {
             interval: SimDuration::from_secs(5),
             snapshot_cost: SimDuration::from_millis(2),
             max_queue: 120,
+            max_events_per_push: 256,
         }
     }
 
@@ -92,6 +96,9 @@ pub struct MetricsdActor {
     /// RPC id of the in-flight push (always the queue front).
     outstanding: Option<u64>,
     next_seq: u64,
+    /// Highest event id already batched into a push (the `eventd`
+    /// drain cursor over the kernel ring).
+    last_event_id: u64,
 }
 
 impl MetricsdActor {
@@ -102,6 +109,7 @@ impl MetricsdActor {
             queue: VecDeque::new(),
             outstanding: None,
             next_seq: 1,
+            last_event_id: 0,
         }
     }
 
@@ -137,22 +145,42 @@ impl MetricsdActor {
         }
     }
 
-    /// Snapshot the gateway's registry namespace and enqueue it.
+    /// Snapshot the gateway's registry namespace, drain this gateway's
+    /// structured events past the cursor, and enqueue the push.
     fn take_snapshot(&mut self, ctx: &mut Ctx<'_>) {
+        let events = ctx.events().since(
+            &self.cfg.agw_id,
+            self.last_event_id,
+            self.cfg.max_events_per_push,
+        );
+        if let Some(last) = events.last() {
+            self.last_event_id = last.id;
+        }
+        if !events.is_empty() {
+            let m = self.metric("metricsd.events_shipped");
+            ctx.registry().counter_add(&m, events.len() as f64);
+        }
         let snapshot = ctx.registry().snapshot_prefixed(&self.cfg.agw_id);
         let push = orc8r_proto::MetricsPush {
             agw_id: self.cfg.agw_id.clone(),
             seq: self.next_seq,
             taken_at_us: ctx.now().0,
             snapshot,
+            events,
         };
         self.next_seq += 1;
         if self.queue.len() >= self.cfg.max_queue {
             // Shed the oldest snapshot that is not already in flight.
             let victim = usize::from(self.outstanding.is_some());
-            if self.queue.remove(victim).is_some() {
+            if let Some(shed) = self.queue.remove(victim) {
                 let m = self.metric("metricsd.dropped");
                 ctx.registry().counter_add(&m, 1.0);
+                // Its event batch is lost with it: the cursor is already
+                // past those ids. Account for them.
+                if !shed.events.is_empty() {
+                    let m = self.metric("metricsd.events_dropped");
+                    ctx.registry().counter_add(&m, shed.events.len() as f64);
+                }
             }
         }
         self.queue.push_back(push);

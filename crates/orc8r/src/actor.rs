@@ -152,12 +152,19 @@ impl Orc8rActor {
                 };
                 let (accepted, last_seq) = {
                     let mut st = self.state.borrow_mut();
+                    let taken_at = magma_sim::SimTime(req.taken_at_us);
                     let accepted = st.metrics_store.ingest(
                         &req.agw_id,
                         req.seq,
-                        magma_sim::SimTime(req.taken_at_us),
+                        taken_at,
                         req.snapshot,
+                        req.events,
                     );
+                    if accepted {
+                        // Gateway-metric rules run on the sample's own
+                        // clock, so drained backlogs replay faithfully.
+                        st.evaluate_alert_rules_on_ingest(&req.agw_id, taken_at);
+                    }
                     let last_seq = st
                         .metrics_store
                         .gateway(&req.agw_id)

@@ -10,11 +10,18 @@
 //! online charging service, and uploaded runtime checkpoints.
 
 pub mod actor;
+pub mod alerting;
 pub mod metrics;
 pub mod proto;
 pub mod state;
 
 pub use actor::Orc8rActor;
-pub use metrics::{GatewayMetrics, MetricsStore};
+pub use alerting::{AlertEngine, AlertMetric, AlertRule, AlertTransition};
+pub use metrics::{
+    GatewayMetrics, MetricsStore, ScalarSample, EVENTS_CAP, HISTORY_CAP, WINDOW_10M, WINDOW_1M,
+};
 pub use proto::*;
-pub use state::{new_orc8r, Alert, DeviceRecord, FleetSample, JournalEntry, Orc8rHandle, Orc8rState};
+pub use state::{
+    new_orc8r, Alert, DeviceRecord, FleetSample, JournalEntry, Orc8rHandle, Orc8rState,
+    OFFLINE_RULE,
+};

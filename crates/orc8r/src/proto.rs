@@ -149,6 +149,11 @@ pub struct MetricsPush {
     /// Sim time (µs) the snapshot was taken on the gateway.
     pub taken_at_us: u64,
     pub snapshot: magma_sim::RegistrySnapshot,
+    /// Structured events (`eventd`) emitted on the gateway since the
+    /// previous push — shipped in-band with the snapshot and deduped by
+    /// the same `seq`, so a retried push never double-delivers events.
+    #[serde(default)]
+    pub events: Vec<magma_sim::StructuredEvent>,
 }
 
 /// Acknowledgement for a [`MetricsPush`].
@@ -185,15 +190,29 @@ mod tests {
         reg.counter_add("agw0.mme.attach_accept", 3.0);
         reg.gauge_set("agw0.cpu.percent", 42.5);
         reg.observe("agw0.mme.attach.total_s", 0.21);
+        let mut events = magma_sim::EventLog::new(8);
+        events.emit(
+            magma_sim::SimTime(4_000_000),
+            "agw0",
+            magma_sim::eventd::kind::ATTACH_FAILURE,
+            magma_sim::Severity::Warning,
+            &[("emm_cause", "22".to_string())],
+        );
         let push = MetricsPush {
             agw_id: "agw0".into(),
             seq: 1,
             taken_at_us: 5_000_000,
             snapshot: reg.snapshot_prefixed("agw0"),
+            events: events.since("agw0", 0, 64),
         };
         let v = serde_json::to_value(&push).unwrap();
         let back: MetricsPush = serde_json::from_value(v).unwrap();
         assert_eq!(back, push);
+        // Pushes predating the events field still decode (empty batch).
+        let mut v = serde_json::to_value(&push).unwrap();
+        v.as_object_mut().unwrap().remove("events");
+        let old: MetricsPush = serde_json::from_value(v).unwrap();
+        assert!(old.events.is_empty());
         // An empty histogram must also survive the trip (min/max are 0.0,
         // never ±inf, which JSON cannot carry).
         let empty = magma_sim::BucketHistogram::default();

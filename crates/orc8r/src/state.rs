@@ -7,9 +7,10 @@
 //! while the [`Orc8rActor`](crate::actor::Orc8rActor) serves the
 //! southbound RPC interface to gateways.
 
+use crate::alerting::{AlertEngine, AlertRule, AlertTransition};
 use crate::metrics::MetricsStore;
 use magma_policy::{OcsServer, PolicyRule};
-use magma_sim::SimTime;
+use magma_sim::{Severity, SimTime};
 use magma_subscriber::{SubscriberDb, SubscriberProfile};
 use magma_wire::Imsi;
 use serde::{Deserialize, Serialize};
@@ -46,12 +47,33 @@ pub struct FleetSample {
     pub sessions: u64,
 }
 
-/// An operational alert raised by the orchestrator.
+/// Rule name used for device-management offline alerts (the built-in
+/// "missed 3 check-ins" episode, predating the declarative rules).
+pub const OFFLINE_RULE: &str = "offline";
+
+/// An operational alert raised by the orchestrator. One `Alert` spans a
+/// whole episode: raised when its rule starts firing, stamped with
+/// `resolved_at` when the breach clears. An episode that never clears
+/// stays open (`resolved_at == None`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Alert {
     pub at: SimTime,
     pub gateway: String,
     pub what: String,
+    /// Name of the [`AlertRule`] (or [`OFFLINE_RULE`]) that raised it.
+    #[serde(default)]
+    pub rule: String,
+    #[serde(default)]
+    pub severity: Severity,
+    /// When the episode resolved; `None` while still firing.
+    #[serde(default)]
+    pub resolved_at: Option<SimTime>,
+}
+
+impl Alert {
+    pub fn is_open(&self) -> bool {
+        self.resolved_at.is_none()
+    }
 }
 
 /// A journal entry: every configuration mutation is appended, standing in
@@ -83,8 +105,14 @@ pub struct Orc8rState {
     pub checkin_interval_s: u64,
     /// Periodic fleet-health samples (metricsd history).
     pub history: Vec<FleetSample>,
-    /// Device-offline alerts (gateway missed 3 consecutive check-ins).
+    /// Alert episodes, in raise order: device-offline alerts plus
+    /// everything the declarative `alert_rules` fire.
     pub alerts: Vec<Alert>,
+    /// Declarative threshold rules evaluated against `metrics_store`
+    /// (empty by default — scenarios opt in).
+    pub alert_rules: Vec<AlertRule>,
+    /// Hysteresis state for `alert_rules`.
+    pub alert_engine: AlertEngine,
     next_cert: u64,
 }
 
@@ -101,6 +129,8 @@ impl Orc8rState {
             checkin_interval_s: 5,
             history: Vec::new(),
             alerts: Vec::new(),
+            alert_rules: Vec::new(),
+            alert_engine: AlertEngine::new(),
             next_cert: 1000,
         }
     }
@@ -157,8 +187,9 @@ impl Orc8rState {
             .collect()
     }
 
-    /// Take a fleet-health sample and raise offline alerts (called by the
-    /// orchestrator actor on its tick).
+    /// Take a fleet-health sample, maintain offline-alert episodes, and
+    /// evaluate staleness alert rules (called by the orchestrator actor
+    /// on its tick).
     pub fn sample_fleet(&mut self, now: SimTime) {
         let offline = self.offline_gateways(now);
         let (gateways, enbs, sessions) = self.fleet_summary();
@@ -169,24 +200,102 @@ impl Orc8rState {
             enbs,
             sessions,
         });
-        for gw in offline {
-            // One alert per offline episode: skip if the latest alert for
-            // this gateway is still "open" (no check-in since).
-            let last_checkin = self.devices.get(&gw).and_then(|d| d.last_checkin);
-            let already = self.alerts.iter().rev().find(|a| a.gateway == gw);
-            let fresh = match (already, last_checkin) {
-                (Some(a), Some(c)) => c > a.at,
-                (Some(_), None) => false,
-                (None, _) => true,
-            };
-            if fresh {
+        // One alert per offline episode: open when a gateway goes
+        // silent, resolve the open episode when it is heard from again.
+        for gw in &offline {
+            if !self.has_open_alert(gw, OFFLINE_RULE) {
                 self.alerts.push(Alert {
                     at: now,
-                    gateway: gw,
+                    gateway: gw.clone(),
                     what: "gateway offline: missed 3 check-ins".to_string(),
+                    rule: OFFLINE_RULE.to_string(),
+                    severity: Severity::Critical,
+                    resolved_at: None,
                 });
             }
         }
+        let back_online: Vec<String> = self
+            .devices
+            .keys()
+            .filter(|gw| !offline.contains(gw))
+            .cloned()
+            .collect();
+        for gw in back_online {
+            self.resolve_alert(&gw, OFFLINE_RULE, now);
+        }
+        self.evaluate_staleness_rules(now);
+    }
+
+    // ---- Alerting over pushed telemetry ----
+
+    /// Whether (gateway, rule) has an unresolved alert episode.
+    pub fn has_open_alert(&self, gateway: &str, rule: &str) -> bool {
+        self.alerts
+            .iter()
+            .any(|a| a.is_open() && a.gateway == gateway && a.rule == rule)
+    }
+
+    /// Alerts that are currently firing (unresolved episodes).
+    pub fn firing_alerts(&self) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.is_open()).collect()
+    }
+
+    /// All episodes (fired and resolved) of one rule, in raise order.
+    pub fn alerts_for_rule(&self, rule: &str) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.rule == rule).collect()
+    }
+
+    fn resolve_alert(&mut self, gateway: &str, rule: &str, at: SimTime) {
+        for a in self.alerts.iter_mut() {
+            if a.is_open() && a.gateway == gateway && a.rule == rule {
+                a.resolved_at = Some(at);
+            }
+        }
+    }
+
+    fn apply_transitions(&mut self, transitions: Vec<AlertTransition>) {
+        for t in transitions {
+            if t.firing {
+                if !self.has_open_alert(&t.gateway, &t.rule) {
+                    self.alerts.push(Alert {
+                        at: t.at,
+                        gateway: t.gateway,
+                        what: format!("{}: value {:.3} over threshold", t.rule, t.value),
+                        rule: t.rule,
+                        severity: t.severity,
+                        resolved_at: None,
+                    });
+                }
+            } else {
+                self.resolve_alert(&t.gateway, &t.rule, t.at);
+            }
+        }
+    }
+
+    /// Evaluate gauge/rate/quantile rules for `gateway` after one of its
+    /// pushes was accepted. `clock` is the gateway-side sample time, so
+    /// queued pushes draining after a partition replay the episode with
+    /// faithful timing.
+    pub fn evaluate_alert_rules_on_ingest(&mut self, gateway: &str, clock: SimTime) {
+        if self.alert_rules.is_empty() {
+            return;
+        }
+        let transitions =
+            self.alert_engine
+                .on_ingest(&self.alert_rules, &self.metrics_store, gateway, clock);
+        self.apply_transitions(transitions);
+    }
+
+    /// Evaluate staleness rules for every known gateway against the
+    /// orchestrator clock.
+    pub fn evaluate_staleness_rules(&mut self, now: SimTime) {
+        if self.alert_rules.is_empty() {
+            return;
+        }
+        let transitions = self
+            .alert_engine
+            .on_tick(&self.alert_rules, &self.metrics_store, now);
+        self.apply_transitions(transitions);
     }
 
     /// Read a gateway-reported metric.

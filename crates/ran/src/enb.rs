@@ -10,7 +10,8 @@ use crate::radio::SectorModel;
 use crate::ue::{UePhase, UeSim};
 use magma_agw::{FluidDemand, FluidGrant};
 use magma_net::{lp_encode, Endpoint, LpFramer, SockCmd, SockEvent, StreamHandle};
-use magma_sim::{try_downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use magma_sim::eventd::kind as event_kind;
+use magma_sim::{try_downcast, Actor, ActorId, Ctx, Event, Severity, SimDuration, SimTime};
 use magma_wire::nas::NasMessage;
 use magma_wire::s1ap::{EnbUeId, MmeUeId, S1apMessage};
 use magma_wire::Teid;
@@ -286,6 +287,14 @@ impl EnodebActor {
                     self.slots[idx].ul_teid = None;
                     let m = self.metric("session_lost");
                     ctx.metrics().inc(&m, 1.0);
+                    let gw = self.cfg.metrics_prefix.clone();
+                    let imsi = self.slots[idx].ue.imsi.0.to_string();
+                    ctx.emit_event(
+                        &gw,
+                        event_kind::SESSION_LOST,
+                        Severity::Warning,
+                        &[("imsi", imsi), ("enb", self.cfg.enb_id.to_string())],
+                    );
                     self.send_s1ap(ctx, &S1apMessage::UeContextReleaseComplete { mme_ue_id });
                     if self.cfg.reattach && self.slots[idx].ue.phase == UePhase::Detached {
                         let backoff =
@@ -304,6 +313,10 @@ impl EnodebActor {
             return;
         };
         let was_attached = self.slots[idx].ue.is_attached();
+        let reject_cause = match &nas {
+            NasMessage::AttachReject { cause } => Some(*cause),
+            _ => None,
+        };
         let resp = self.slots[idx].ue.on_nas(nas);
         let now = ctx.now();
         let phase = self.slots[idx].ue.phase;
@@ -329,6 +342,17 @@ impl EnodebActor {
                 let m = self.metric("attach_fail");
                 ctx.registry().counter_add(&m, 1.0);
             }
+            let gw = self.cfg.metrics_prefix.clone();
+            let imsi = self.slots[idx].ue.imsi.0.to_string();
+            let cause = reject_cause
+                .map(|c| format!("{c:?}"))
+                .unwrap_or_else(|| "rejected".to_string());
+            ctx.emit_event(
+                &gw,
+                event_kind::ATTACH_FAILURE,
+                Severity::Warning,
+                &[("imsi", imsi), ("cause", cause)],
+            );
             if self.cfg.reattach {
                 let backoff = SimDuration::from_millis(ctx.rng().gen_range(2000..5000));
                 ctx.timer_in(backoff, T_REATTACH_BASE + idx as u64);
@@ -495,6 +519,14 @@ impl Actor for EnodebActor {
                             let m = self.metric("attach_fail");
                             ctx.registry().counter_add(&m, 1.0);
                         }
+                        let gw = self.cfg.metrics_prefix.clone();
+                        let imsi = self.slots[idx].ue.imsi.0.to_string();
+                        ctx.emit_event(
+                            &gw,
+                            event_kind::ATTACH_FAILURE,
+                            Severity::Warning,
+                            &[("imsi", imsi), ("cause", "timeout".to_string())],
+                        );
                         if self.cfg.reattach {
                             let backoff =
                                 SimDuration::from_millis(ctx.rng().gen_range(2000..5000));

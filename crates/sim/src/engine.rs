@@ -4,6 +4,7 @@
 use crate::actor::{Actor, ActorId, Event, Payload};
 use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
 use crate::event::{EventHandle, EventQueue};
+use crate::eventd::{self, EventLog, Severity};
 use crate::metrics::Recorder;
 use crate::registry::Registry;
 use crate::time::{SimDuration, SimTime};
@@ -31,6 +32,7 @@ pub struct Kernel {
     rng: SmallRng,
     metrics: Recorder,
     registry: Registry,
+    events: EventLog,
     hosts: Vec<HostState>,
     /// Per-actor generation; events captured under an older generation are
     /// dropped at dispatch. Bumped on crash/replace so a restarted service
@@ -61,6 +63,7 @@ impl World {
                 rng: SmallRng::seed_from_u64(seed),
                 metrics: Recorder::new(),
                 registry: Registry::new(),
+                events: EventLog::default(),
                 hosts: Vec::new(),
                 gens: Vec::new(),
                 next_actor_id: 0,
@@ -116,6 +119,14 @@ impl World {
     pub fn crash(&mut self, id: ActorId) {
         self.kernel.gens[id.0 as usize] += 1;
         self.actors[id.0 as usize].actor = None;
+        let name = self.actors[id.0 as usize].name.clone();
+        self.kernel.events.emit(
+            self.kernel.time,
+            &name,
+            eventd::kind::SERVICE_CRASH,
+            Severity::Critical,
+            &[("service", name.clone())],
+        );
     }
 
     /// Restart a crashed actor with a fresh instance (typically rebuilt
@@ -125,10 +136,17 @@ impl World {
         let name = actor.name();
         self.actors[id.0 as usize] = Slot {
             actor: Some(actor),
-            name,
+            name: name.clone(),
         };
         let g = self.kernel.gens[id.0 as usize];
         self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        self.kernel.events.emit(
+            self.kernel.time,
+            &name,
+            eventd::kind::SERVICE_RESTART,
+            Severity::Warning,
+            &[("service", name.clone())],
+        );
     }
 
     /// Whether the actor is currently alive.
@@ -159,6 +177,16 @@ impl World {
 
     pub fn registry_mut(&mut self) -> &mut Registry {
         &mut self.kernel.registry
+    }
+
+    /// The world-wide structured-event log ([`EventLog`]): what the
+    /// gateways' `eventd` ships alongside metric snapshots.
+    pub fn events(&self) -> &EventLog {
+        &self.kernel.events
+    }
+
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.kernel.events
     }
 
     pub fn events_processed(&self) -> u64 {
@@ -454,6 +482,26 @@ impl<'a> Ctx<'a> {
     /// Typed instrument registry (counters / gauges / histograms).
     pub fn registry(&mut self) -> &mut Registry {
         &mut self.kernel.registry
+    }
+
+    /// Structured-event log shared by the world (the `eventd` ring).
+    pub fn events(&mut self) -> &mut EventLog {
+        &mut self.kernel.events
+    }
+
+    /// Emit a structured event stamped with the current sim time.
+    /// `gateway` is the emitter's namespace prefix (`agw0`, `ran`),
+    /// matching the metric naming convention — a gateway's `metricsd`
+    /// ships only the events under its own prefix.
+    pub fn emit_event(
+        &mut self,
+        gateway: &str,
+        kind: &str,
+        severity: Severity,
+        fields: &[(&str, String)],
+    ) -> u64 {
+        let now = self.kernel.time;
+        self.kernel.events.emit(now, gateway, kind, severity, fields)
     }
 
     /// Per-group CPU utilization report for a host, as of the current

@@ -18,6 +18,7 @@ pub mod actor;
 pub mod cpu;
 pub mod engine;
 mod event;
+pub mod eventd;
 pub mod metrics;
 pub mod registry;
 pub mod time;
@@ -26,8 +27,12 @@ pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
 pub use engine::{Ctx, ExecError, World};
 pub use event::EventHandle;
+pub use eventd::{EventLog, Severity, StructuredEvent, DEFAULT_EVENT_CAP};
 pub use metrics::{Histogram, Recorder, Series};
-pub use registry::{BucketHistogram, Registry, RegistrySnapshot, Span, DEFAULT_SECONDS_BOUNDS};
+pub use registry::{
+    BucketHistogram, Registry, RegistrySnapshot, Span, DEFAULT_MAX_INSTRUMENTS_PER_PREFIX,
+    DEFAULT_SECONDS_BOUNDS, OVERFLOW_COUNTER,
+};
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]

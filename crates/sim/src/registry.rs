@@ -176,15 +176,44 @@ pub struct RegistrySnapshot {
     pub histograms: BTreeMap<String, BucketHistogram>,
 }
 
+/// Default cap on instruments per namespace prefix — see
+/// [`Registry::set_max_instruments_per_prefix`].
+pub const DEFAULT_MAX_INSTRUMENTS_PER_PREFIX: usize = 256;
+
+/// Name (under each prefix) of the counter recording registrations the
+/// cardinality guard rejected. Exempt from the cap itself, and shipped
+/// to the orchestrator like any other counter.
+pub const OVERFLOW_COUNTER: &str = "registry_overflow_total";
+
 /// A registry of named instruments. One lives inside the simulation
 /// kernel (reachable via `Ctx::registry()`), shared by every actor in
 /// the world the way Magma services share a host's metric namespace —
 /// name prefixes (`agw0.`, `ran.`) keep services apart.
-#[derive(Debug, Default)]
+///
+/// Each prefix may create at most a bounded number of distinct
+/// instruments (default [`DEFAULT_MAX_INSTRUMENTS_PER_PREFIX`]); excess
+/// registrations are dropped and tallied in
+/// `<prefix>.registry_overflow_total`, so a service that interpolates
+/// unbounded labels into metric names cannot bloat `metricsd` pushes.
+#[derive(Debug)]
 pub struct Registry {
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, BucketHistogram>,
+    max_per_prefix: usize,
+    prefix_counts: BTreeMap<String, usize>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            max_per_prefix: DEFAULT_MAX_INSTRUMENTS_PER_PREFIX,
+            prefix_counts: BTreeMap::new(),
+        }
+    }
 }
 
 impl Registry {
@@ -192,31 +221,78 @@ impl Registry {
         Registry::default()
     }
 
+    /// Cap the number of distinct instruments each namespace prefix
+    /// (the first dotted segment: `agw0`, `ran`) may create. Existing
+    /// instruments are never evicted; lowering the cap only affects
+    /// future registrations.
+    pub fn set_max_instruments_per_prefix(&mut self, cap: usize) {
+        self.max_per_prefix = cap.max(1);
+    }
+
+    pub fn max_instruments_per_prefix(&self) -> usize {
+        self.max_per_prefix
+    }
+
+    /// Admit a *new* instrument name, charging it against its prefix's
+    /// cardinality budget. Returns `false` (and bumps the prefix's
+    /// overflow counter) when the budget is exhausted. Names without a
+    /// dotted prefix and the overflow counter itself are exempt.
+    fn admit(&mut self, name: &str) -> bool {
+        let Some((prefix, rest)) = name.split_once('.') else {
+            return true;
+        };
+        if rest == OVERFLOW_COUNTER {
+            return true;
+        }
+        let n = self.prefix_counts.entry(prefix.to_string()).or_insert(0);
+        if *n < self.max_per_prefix {
+            *n += 1;
+            return true;
+        }
+        let overflow = format!("{prefix}.{OVERFLOW_COUNTER}");
+        *self.counters.entry(overflow).or_insert(0.0) += 1.0;
+        false
+    }
+
     /// Add to a monotonic counter (created at 0 on first use).
     pub fn counter_add(&mut self, name: &str, by: f64) {
-        *self.counters.entry(name.to_string()).or_insert(0.0) += by;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+            return;
+        }
+        if self.admit(name) {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
     /// Set a gauge to its current value.
     pub fn gauge_set(&mut self, name: &str, v: f64) {
-        self.gauges.insert(name.to_string(), v);
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+            return;
+        }
+        if self.admit(name) {
+            self.gauges.insert(name.to_string(), v);
+        }
     }
 
     /// Observe into a histogram with the default latency bounds.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(v);
+        self.observe_with(name, &DEFAULT_SECONDS_BOUNDS, v);
     }
 
     /// Observe into a histogram created with explicit bounds. Bounds are
     /// fixed on first use; later calls reuse the existing buckets.
     pub fn observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_insert_with(|| BucketHistogram::new(bounds))
-            .observe(v);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+            return;
+        }
+        if self.admit(name) {
+            self.histograms
+                .insert(name.to_string(), BucketHistogram::new(bounds));
+            self.histograms.get_mut(name).unwrap().observe(v);
+        }
     }
 
     pub fn counter(&self, name: &str) -> f64 {
@@ -438,6 +514,32 @@ mod tests {
 
         let full = r.snapshot();
         assert_eq!(full.counters.len(), 3);
+    }
+
+    #[test]
+    fn cardinality_guard_drops_excess_and_counts_overflow() {
+        let mut r = Registry::new();
+        r.set_max_instruments_per_prefix(2);
+        r.counter_add("agw0.mme.a", 1.0);
+        r.gauge_set("agw0.mme.b", 2.0);
+        // Budget exhausted: new instruments of any type are dropped.
+        r.counter_add("agw0.mme.c", 5.0);
+        r.observe("agw0.mme.d_s", 0.1);
+        assert_eq!(r.counter("agw0.mme.c"), 0.0);
+        assert!(r.histogram("agw0.mme.d_s").is_none());
+        assert_eq!(r.counter("agw0.registry_overflow_total"), 2.0);
+        // Existing instruments keep updating.
+        r.counter_add("agw0.mme.a", 1.0);
+        r.gauge_set("agw0.mme.b", 3.0);
+        assert_eq!(r.counter("agw0.mme.a"), 2.0);
+        assert_eq!(r.gauge("agw0.mme.b"), Some(3.0));
+        // Other prefixes have their own budget.
+        r.counter_add("agw1.mme.a", 1.0);
+        assert_eq!(r.counter("agw1.mme.a"), 1.0);
+        assert_eq!(r.counter("agw1.registry_overflow_total"), 0.0);
+        // The overflow counter ships like any instrument, prefix-stripped.
+        let snap = r.snapshot_prefixed("agw0");
+        assert_eq!(snap.counters.get(OVERFLOW_COUNTER), Some(&2.0));
     }
 
     #[test]

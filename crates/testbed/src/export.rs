@@ -6,7 +6,7 @@
 //! snapshot are `BTreeMap`-backed, and `serde_json`'s map preserves key
 //! order — so two same-seed runs produce byte-identical JSON.
 
-use magma_orc8r::Orc8rState;
+use magma_orc8r::{Orc8rState, WINDOW_1M};
 use serde_json::{json, Map, Value};
 use std::fmt::Write as _;
 
@@ -68,6 +68,91 @@ pub fn orc8r_metrics_json(st: &Orc8rState) -> Value {
     })
 }
 
+/// Export the structured-event log shipped by every gateway's metricsd,
+/// ordered by gateway then event id (ingest order).
+pub fn orc8r_events_json(st: &Orc8rState) -> Value {
+    let mut gateways = Map::new();
+    for (id, gm) in st.metrics_store.gateways() {
+        let events: Vec<Value> = gm
+            .events
+            .iter()
+            .map(|e| {
+                json!({
+                    "id": e.id,
+                    "at_us": e.at.0,
+                    "kind": e.kind,
+                    "severity": e.severity,
+                    "fields": e.fields,
+                })
+            })
+            .collect();
+        gateways.insert(
+            id.to_string(),
+            json!({
+                "events": events,
+                "dropped": gm.events_dropped,
+            }),
+        );
+    }
+    json!({ "gateways": Value::Object(gateways) })
+}
+
+/// Export the alert firing history: every episode ever raised, with its
+/// resolution time when the episode has closed.
+pub fn orc8r_alerts_json(st: &Orc8rState) -> Value {
+    let alerts: Vec<Value> = st
+        .alerts
+        .iter()
+        .map(|a| {
+            json!({
+                "rule": a.rule,
+                "gateway": a.gateway,
+                "severity": a.severity,
+                "what": a.what,
+                "at_us": a.at.0,
+                "resolved_at_us": a.resolved_at.map(|t| t.0),
+            })
+        })
+        .collect();
+    json!({ "alerts": alerts })
+}
+
+/// The full northbound telemetry export: latest metrics, windowed
+/// queries over the rolling history, the event log, and the alert
+/// firing history — everything the acceptance scenario inspects, in one
+/// deterministic document.
+pub fn orc8r_telemetry_json(st: &Orc8rState) -> Value {
+    let mut windows = Map::new();
+    for (id, gm) in st.metrics_store.gateways() {
+        let history: Vec<Value> = gm
+            .history
+            .iter()
+            .map(|s| {
+                json!({
+                    "at_us": s.at.0,
+                    "cpu_percent": s.gauges.get("cpu.percent").copied().unwrap_or(0.0),
+                })
+            })
+            .collect();
+        windows.insert(
+            id.to_string(),
+            json!({
+                "history": history,
+                "attach_accept_rate_1m":
+                    st.metrics_store.rate(id, "mme.attach_accept", WINDOW_1M),
+                "cpu_avg_1m": st.metrics_store.avg_over(id, "cpu.percent", WINDOW_1M),
+                "cpu_max_1m": st.metrics_store.max_over(id, "cpu.percent", WINDOW_1M),
+            }),
+        );
+    }
+    json!({
+        "metrics": orc8r_metrics_json(st),
+        "windows": Value::Object(windows),
+        "events": orc8r_events_json(st),
+        "alerts": orc8r_alerts_json(st),
+    })
+}
+
 /// Render the same queries as a console table (what an operator's NMS
 /// would display).
 pub fn render_orc8r_metrics(st: &Orc8rState) -> String {
@@ -112,6 +197,61 @@ pub fn render_orc8r_metrics(st: &Orc8rState) -> String {
             h.quantile(0.5) * 1e3,
             h.quantile(0.95) * 1e3,
             h.quantile(0.99) * 1e3,
+        );
+    }
+    out
+}
+
+/// Render the orchestrator's event log as a console table.
+pub fn render_orc8r_events(st: &Orc8rState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== orc8r event log (from metricsd pushes) ==");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:<20} {:<9} fields",
+        "t", "gateway", "kind", "severity"
+    );
+    for (id, gm) in st.metrics_store.gateways() {
+        for e in &gm.events {
+            let fields: Vec<String> =
+                e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "{:<12} {:<10} {:<20} {:<9} {}",
+                format!("{:.1}s", e.at.0 as f64 / 1e6),
+                id,
+                e.kind,
+                format!("{:?}", e.severity).to_lowercase(),
+                fields.join(" "),
+            );
+        }
+    }
+    out
+}
+
+/// Render the alert firing history as a console table.
+pub fn render_orc8r_alerts(st: &Orc8rState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== orc8r alerts ==");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:<9} {:>10} {:>12}  what",
+        "rule", "gateway", "severity", "fired", "resolved"
+    );
+    for a in &st.alerts {
+        let resolved = a
+            .resolved_at
+            .map(|t| format!("{:.1}s", t.0 as f64 / 1e6))
+            .unwrap_or_else(|| "firing".to_string());
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:<9} {:>10} {:>12}  {}",
+            a.rule,
+            a.gateway,
+            format!("{:?}", a.severity).to_lowercase(),
+            format!("{:.1}s", a.at.0 as f64 / 1e6),
+            resolved,
+            a.what,
         );
     }
     out

@@ -12,6 +12,9 @@ pub mod measure;
 pub mod scenario;
 pub mod trace;
 
-pub use export::{orc8r_metrics_json, render_orc8r_metrics, ATTACH_STAGES};
+pub use export::{
+    orc8r_alerts_json, orc8r_events_json, orc8r_metrics_json, orc8r_telemetry_json,
+    render_orc8r_alerts, render_orc8r_events, render_orc8r_metrics, ATTACH_STAGES,
+};
 pub use measure::{cpu_percent, csr_bins, mean_attach_latency, mean_over, median_csr, overall_csr, throughput_mbps, CsrBin};
 pub use scenario::{build, AgwInstance, AgwSpec, CoreLayout, Scenario, ScenarioConfig, SiteSpec, SIM_SEED};

@@ -10,7 +10,7 @@ use magma_agw::{
     new_agw_handle, AgwActor, AgwConfig, AgwHandle, CpuProfile, MetricsdActor, MetricsdConfig,
 };
 use magma_net::{new_net, Endpoint, LinkProfile, NetHandle, NetStack, NodeAddr, ports};
-use magma_orc8r::{new_orc8r, Orc8rActor, Orc8rHandle};
+use magma_orc8r::{new_orc8r, AlertRule, Orc8rActor, Orc8rHandle};
 use magma_policy::PolicyRule;
 use magma_ran::{ue_fleet, EnbConfig, EnodebActor, SectorModel, TrafficModel, UeSim};
 use magma_sim::{ActorId, HostId, HostSpec, SimDuration, World};
@@ -112,6 +112,9 @@ pub struct ScenarioConfig {
     /// Cadence at which each gateway's metricsd samples its registry and
     /// pushes the snapshot to the orchestrator.
     pub metrics_interval: SimDuration,
+    /// Alert rules evaluated at the orchestrator against the windowed
+    /// metric history (empty by default: alerting is opt-in).
+    pub alert_rules: Vec<AlertRule>,
 }
 
 impl ScenarioConfig {
@@ -125,6 +128,7 @@ impl ScenarioConfig {
             prepaid_balance: None,
             checkin_interval: SimDuration::from_secs(5),
             metrics_interval: SimDuration::from_secs(5),
+            alert_rules: Vec::new(),
         }
     }
 
@@ -136,6 +140,11 @@ impl ScenarioConfig {
     pub fn with_policies(mut self, policies: Vec<PolicyRule>, assigned: Vec<String>) -> Self {
         self.policies = policies;
         self.subscriber_rules = assigned;
+        self
+    }
+
+    pub fn with_alert_rules(mut self, rules: Vec<AlertRule>) -> Self {
+        self.alert_rules = rules;
         self
     }
 }
@@ -180,6 +189,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     let orc8r = new_orc8r(cfg.quota_bytes);
     orc8r.borrow_mut().checkin_interval_s =
         cfg.checkin_interval.as_secs_f64().max(1.0) as u64;
+    orc8r.borrow_mut().alert_rules = cfg.alert_rules.clone();
 
     // Orchestrator node.
     let orc8r_node = net.borrow_mut().add_node("orc8r");

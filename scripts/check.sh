@@ -15,4 +15,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+echo "==> observability example + golden export diff"
+# The example asserts same-seed byte-identity internally; the golden file
+# additionally pins the export across commits. On first run (no golden
+# committed yet) the export is installed as the golden.
+GOLDEN="scripts/golden/observability.json"
+EXPORT="$(mktemp)"
+trap 'rm -f "$EXPORT"' EXIT
+OBS_EXPORT_PATH="$EXPORT" cargo run --release --example observability >/dev/null
+if [[ -f "$GOLDEN" ]]; then
+    diff -u "$GOLDEN" "$EXPORT" || {
+        echo "observability export drifted from $GOLDEN" >&2
+        exit 1
+    }
+else
+    mkdir -p "$(dirname "$GOLDEN")"
+    cp "$EXPORT" "$GOLDEN"
+    echo "installed new golden export at $GOLDEN"
+fi
+
 echo "All checks passed."
