@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn distinct_imsis_distinct_ips() {
         let mut p = IpPool::new(0, 100);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..100 {
             assert!(seen.insert(p.allocate(imsi(i)).unwrap()));
         }

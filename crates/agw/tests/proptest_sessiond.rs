@@ -7,7 +7,7 @@ use magma_policy::PolicyRule;
 use magma_sim::SimTime;
 use magma_wire::{Imsi, Teid, UeIp};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -61,8 +61,8 @@ proptest! {
             }
             // Invariants after every step:
             // 1. At most one session per IMSI; indexes agree.
-            let mut imsis = HashSet::new();
-            let mut teids = HashSet::new();
+            let mut imsis = BTreeSet::new();
+            let mut teids = BTreeSet::new();
             for s in m.iter() {
                 prop_assert!(imsis.insert(s.imsi), "duplicate session for {}", s.imsi);
                 prop_assert!(teids.insert(s.ul_teid), "duplicate UL TEID");

@@ -17,7 +17,7 @@ use crate::meter::MeterTable;
 use magma_sim::SimTime;
 use magma_wire::Teid;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 pub const TABLE_CLASSIFIER: u8 = 0;
 pub const TABLE_ENFORCEMENT: u8 = 1;
@@ -78,10 +78,10 @@ pub struct FluidTickResult {
 pub struct Pipeline {
     tables: Vec<Vec<FlowRule>>,
     meters: MeterTable,
-    meter_specs: HashMap<MeterId, MeterSpec>,
-    fluid: HashMap<u64, FluidEntry>,
-    stats: HashMap<u64, RuleStats>,
-    usage: HashMap<String, Usage>,
+    meter_specs: BTreeMap<MeterId, MeterSpec>,
+    fluid: BTreeMap<u64, FluidEntry>,
+    stats: BTreeMap<u64, RuleStats>,
+    usage: BTreeMap<String, Usage>,
     pub drops_no_match: u64,
     pub drops_metered: u64,
     pub drops_explicit: u64,
@@ -101,10 +101,10 @@ impl Pipeline {
         Pipeline {
             tables: vec![Vec::new(); MAX_TABLES],
             meters: MeterTable::new(),
-            meter_specs: HashMap::new(),
-            fluid: HashMap::new(),
-            stats: HashMap::new(),
-            usage: HashMap::new(),
+            meter_specs: BTreeMap::new(),
+            fluid: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            usage: BTreeMap::new(),
             drops_no_match: 0,
             drops_metered: 0,
             drops_explicit: 0,
@@ -133,7 +133,7 @@ impl Pipeline {
         }
 
         // Meters: install new/changed, remove absent; unchanged keep state.
-        let desired_meters: HashMap<MeterId, MeterSpec> =
+        let desired_meters: BTreeMap<MeterId, MeterSpec> =
             desired.meters.iter().map(|m| (m.id, *m)).collect();
         let stale: Vec<MeterId> = self
             .meter_specs
@@ -155,7 +155,7 @@ impl Pipeline {
         }
 
         // Fluid sessions: replace set, prune stats for gone cookies.
-        let new_fluid: HashMap<u64, FluidEntry> = desired
+        let new_fluid: BTreeMap<u64, FluidEntry> = desired
             .sessions
             .iter()
             .map(|e| (e.cookie, e.clone()))

@@ -24,7 +24,7 @@ use magma_wire::s1ap::{EnbUeId, MmeUeId, S1apMessage};
 use magma_wire::aka::{Kasme, Res};
 use magma_wire::{Guti, Teid};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const T_ECHO: u64 = 1;
 const T_FLUID: u64 = 2;
@@ -83,9 +83,9 @@ pub struct EpcCoreActor {
     pub db: SubscriberDb,
     pool: IpPool,
     sessions: SessionManager,
-    paths: HashMap<StreamHandle, EnbPath>,
-    framers: HashMap<StreamHandle, LpFramer>,
-    ues: HashMap<u32, UeCtx>,
+    paths: BTreeMap<StreamHandle, EnbPath>,
+    framers: BTreeMap<StreamHandle, LpFramer>,
+    ues: BTreeMap<u32, UeCtx>,
     next_ue: u32,
     next_guti: u64,
     path_mgmt: PathMgmt,
@@ -104,9 +104,9 @@ impl EpcCoreActor {
             db,
             pool: IpPool::new(0x0A80_0002, 65_000),
             sessions: SessionManager::new(),
-            paths: HashMap::new(),
-            framers: HashMap::new(),
-            ues: HashMap::new(),
+            paths: BTreeMap::new(),
+            framers: BTreeMap::new(),
+            ues: BTreeMap::new(),
             next_ue: 1,
             next_guti: 1,
             path_mgmt: PathMgmt::default(),

@@ -12,7 +12,7 @@ use magma_sim::{downcast, Actor, ActorId, Ctx, Event};
 use magma_wire::diameter::{DiameterPacket, ResultCode, S6aMessage};
 use magma_wire::Imsi;
 use serde_json::json;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A pending proxied request: the AGW-side RPC to answer when the MNO
 /// responds.
@@ -29,7 +29,7 @@ pub struct FegActor {
     mno_conn: Option<StreamHandle>,
     mno_framer: LpFramer,
     next_hbh: u32,
-    pending: HashMap<u32, PendingProxy>,
+    pending: BTreeMap<u32, PendingProxy>,
     /// Requests queued while the Diameter connection establishes.
     queued: Vec<(StreamHandle, u64, DiameterPacket)>,
     pub proxied: u64,
@@ -44,7 +44,7 @@ impl FegActor {
             mno_conn: None,
             mno_framer: LpFramer::new(),
             next_hbh: 1,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             queued: Vec::new(),
             proxied: 0,
         }
@@ -239,7 +239,7 @@ impl Actor for FegActor {
                     }
                 }
             }
-            _ => {}
+            Event::Timer { .. } | Event::CpuDone { .. } => {}
         }
     }
 

@@ -9,15 +9,15 @@ use magma_wire::aka::Rand;
 use magma_wire::diameter::{DiameterPacket, ResultCode, S6aMessage, WireAuthVector};
 use magma_wire::Imsi;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The MNO's HSS (plus location registry) actor.
 pub struct MnoCoreActor {
     stack: ActorId,
     pub db: SubscriberDb,
-    conns: HashMap<StreamHandle, LpFramer>,
+    conns: BTreeMap<StreamHandle, LpFramer>,
     /// IMSI → serving node registered via ULR.
-    locations: HashMap<Imsi, u32>,
+    locations: BTreeMap<Imsi, u32>,
     pub air_served: u64,
     pub ulr_served: u64,
 }
@@ -27,8 +27,8 @@ impl MnoCoreActor {
         MnoCoreActor {
             stack,
             db,
-            conns: HashMap::new(),
-            locations: HashMap::new(),
+            conns: BTreeMap::new(),
+            locations: BTreeMap::new(),
             air_served: 0,
             ulr_served: 0,
         }
@@ -146,7 +146,7 @@ impl Actor for MnoCoreActor {
                     _ => {}
                 }
             }
-            _ => {}
+            Event::Timer { .. } | Event::CpuDone { .. } => {}
         }
     }
 

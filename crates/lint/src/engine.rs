@@ -1,0 +1,350 @@
+//! The lint engine: walks the workspace, runs every rule, applies
+//! `lint:allow` suppressions, and assembles the report.
+//!
+//! Scan scope: `crates/*/src/**/*.rs` and `examples/*.rs` — the code
+//! that can reach an export. Integration tests and benches are covered
+//! by the clippy `disallowed_types`/`disallowed_methods` first-line
+//! guard instead (see `clippy.toml`), and `#[cfg(test)]` items inside
+//! scanned files are skipped by the rules themselves.
+
+use crate::lexer;
+use crate::rules::{self, FileCtx, Finding, NameUse};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// An inline suppression: `// lint:allow(RULE, reason = "...")`.
+/// Covers findings of `rule` on its own line and the line below.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    pub file: String,
+    pub line: u32,
+    pub used: bool,
+}
+
+/// Full lint results for a run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Every rule hit, including suppressed ones (`allowed == true`).
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+    /// Malformed `lint:allow` comments (never suppressible).
+    pub malformed: Vec<(String, u32, String)>,
+}
+
+impl Report {
+    /// Unsuppressed findings — what fails the build.
+    pub fn violations(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.allowed).collect()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.allowed) && self.malformed.is_empty()
+    }
+
+    /// Rule -> violation count, for the summary (only rules that fired).
+    pub fn counts(&self) -> Vec<(&'static str, usize, usize)> {
+        rules::ALL_RULES
+            .iter()
+            .map(|r| {
+                let viol = self
+                    .findings
+                    .iter()
+                    .filter(|f| f.rule == *r && !f.allowed)
+                    .count();
+                let allowed = self
+                    .findings
+                    .iter()
+                    .filter(|f| f.rule == *r && f.allowed)
+                    .count();
+                (*r, viol, allowed)
+            })
+            .collect()
+    }
+
+    /// Render the human summary printed at the end of `scripts/check.sh`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let violations = self.violations().len() + self.malformed.len();
+        let allowed = self.findings.iter().filter(|f| f.allowed).count();
+        out.push_str(&format!(
+            "magma-lint: {} files scanned, {} rules ({})\n",
+            self.files_scanned,
+            rules::ALL_RULES.len(),
+            rules::ALL_RULES.join(" "),
+        ));
+        for (rule, viol, allow) in self.counts() {
+            if viol > 0 || allow > 0 {
+                out.push_str(&format!(
+                    "  {rule}: {viol} violation{}, {allow} justified allow{}\n",
+                    if viol == 1 { "" } else { "s" },
+                    if allow == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        let unused: Vec<&Allow> = self.allows.iter().filter(|a| !a.used).collect();
+        for a in &unused {
+            out.push_str(&format!(
+                "  note: unused lint:allow({}) at {}:{}\n",
+                a.rule, a.file, a.line
+            ));
+        }
+        out.push_str(&format!(
+            "  total: {violations} violation{}, {allowed} justified allow{}\n",
+            if violations == 1 { "" } else { "s" },
+            if allowed == 1 { "" } else { "s" },
+        ));
+        out
+    }
+}
+
+/// The docs-side metric inventory parsed from `docs/OBSERVABILITY.md`.
+#[derive(Debug, Default)]
+pub struct DocsInventory {
+    /// Normalized entries (`<gw>`/`<stage>` holes become `*`).
+    pub metrics: Vec<(String, u32)>, // (name, docs line)
+    /// The whole docs text (for event-kind membership checks).
+    pub text: String,
+    pub present: bool,
+}
+
+/// Normalize a docs entry: `<...>` holes become `*`.
+fn normalize_docs_entry(e: &str) -> String {
+    let mut out = String::new();
+    let mut chars = e.chars();
+    while let Some(c) = chars.next() {
+        if c == '<' {
+            for c2 in chars.by_ref() {
+                if c2 == '>' {
+                    break;
+                }
+            }
+            out.push('*');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse the inventory table between the `lint:metric-inventory` markers.
+pub fn parse_docs(root: &Path) -> DocsInventory {
+    let path = root.join("docs/OBSERVABILITY.md");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return DocsInventory::default();
+    };
+    let mut metrics = Vec::new();
+    let mut inside = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("lint:metric-inventory:begin") {
+            inside = true;
+            continue;
+        }
+        if line.contains("lint:metric-inventory:end") {
+            inside = false;
+            continue;
+        }
+        if !inside || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        // First backticked token in the row is the name; header and
+        // separator rows have none.
+        let Some(open) = line.find('`') else { continue };
+        let rest = &line[open + 1..];
+        let Some(close) = rest.find('`') else { continue };
+        let name = normalize_docs_entry(&rest[..close]);
+        if !name.is_empty() {
+            metrics.push((name, idx as u32 + 1));
+        }
+    }
+    DocsInventory {
+        metrics,
+        text,
+        present: true,
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The production scan set for a workspace root.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        members.sort();
+        for member in members {
+            walk(&member.join("src"), &mut files);
+        }
+    }
+    walk(&root.join("examples"), &mut files);
+    files
+}
+
+/// Parse `lint:allow(RULE, reason = "...")` comments in one file.
+fn parse_allows(
+    rel: &str,
+    masked: &lexer::Masked,
+    allows: &mut Vec<Allow>,
+    malformed: &mut Vec<(String, u32, String)>,
+) {
+    for c in &masked.comments {
+        // Doc comments (`///`, `//!`) describe the syntax; only plain
+        // `//` comments can carry a live suppression.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            malformed.push((
+                rel.to_string(),
+                c.line,
+                "unclosed lint:allow(...)".to_string(),
+            ));
+            continue;
+        };
+        let inner = &rest[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, tail)) => (r.trim(), tail.trim()),
+            None => (inner.trim(), ""),
+        };
+        let reason_text = reason
+            .strip_prefix("reason")
+            .map(|t| t.trim_start().trim_start_matches('='))
+            .map(|t| t.trim().trim_matches('"').to_string());
+        let rule_ok = rules::ALL_RULES.contains(&rule);
+        match (rule_ok, reason_text) {
+            (true, Some(reason)) if !reason.is_empty() => allows.push(Allow {
+                rule: rule.to_string(),
+                reason,
+                file: rel.to_string(),
+                line: c.line,
+                used: false,
+            }),
+            (false, _) => malformed.push((
+                rel.to_string(),
+                c.line,
+                format!("unknown rule {rule:?} in lint:allow"),
+            )),
+            (true, _) => malformed.push((
+                rel.to_string(),
+                c.line,
+                format!("lint:allow({rule}) needs a reason = \"...\" justification"),
+            )),
+        }
+    }
+}
+
+/// Lint a set of files (paths must be under `root` for clean rel paths).
+/// Docs-drift (T004) is not checked here — only a whole-workspace scan
+/// can tell that a documented name has no call site anywhere.
+pub fn lint_files(root: &Path, files: &[PathBuf], docs: &DocsInventory) -> Report {
+    lint_files_inner(root, files, docs, false)
+}
+
+fn lint_files_inner(
+    root: &Path,
+    files: &[PathBuf],
+    docs: &DocsInventory,
+    check_drift: bool,
+) -> Report {
+    let mut report = Report::default();
+    let mut all_uses: Vec<NameUse> = Vec::new();
+    let inventory: Option<Vec<String>> = if docs.present {
+        Some(docs.metrics.iter().map(|(n, _)| n.clone()).collect())
+    } else {
+        None
+    };
+
+    for path in files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let masked = lexer::mask(&src);
+        let ctx = FileCtx::new(&rel, &masked);
+
+        let mut findings = Vec::new();
+        rules::d001_hash_collections(&ctx, &mut findings);
+        rules::d002_ambient_entropy(&ctx, &mut findings);
+        let uses = rules::collect_name_uses(&ctx);
+        rules::t_rules(&uses, inventory.as_deref(), &mut findings);
+        rules::t005_event_kinds(
+            &ctx,
+            if docs.present { Some(&docs.text) } else { None },
+            &mut findings,
+        );
+        rules::a001_catch_all_dispatch(&ctx, &mut findings);
+        rules::a002_hot_path_unwrap(&ctx, &mut findings);
+
+        parse_allows(&rel, &masked, &mut report.allows, &mut report.malformed);
+        all_uses.extend(uses);
+        report.findings.extend(findings);
+    }
+
+    // T004: docs entries that no call site registers (stale docs).
+    if check_drift && docs.present {
+        for (entry, docs_line) in &docs.metrics {
+            let used = all_uses.iter().any(|u| {
+                &u.name == entry || (u.via_helper && entry.ends_with(&format!(".{}", u.name)))
+            });
+            if !used {
+                report.findings.push(Finding {
+                    rule: "T004",
+                    file: "docs/OBSERVABILITY.md".to_string(),
+                    line: *docs_line,
+                    msg: format!(
+                        "documented metric {entry:?} matches no call site — stale docs entry"
+                    ),
+                    allowed: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+
+    apply_allows(&mut report);
+    report
+}
+
+/// Mark findings covered by an allow on the same or preceding line.
+fn apply_allows(report: &mut Report) {
+    for f in &mut report.findings {
+        if let Some(a) = report.allows.iter_mut().find(|a| {
+            a.rule == f.rule && a.file == f.file && (a.line == f.line || a.line + 1 == f.line)
+        }) {
+            a.used = true;
+            f.allowed = true;
+            f.reason = Some(a.reason.clone());
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`, including docs drift.
+pub fn lint_workspace(root: &Path) -> Report {
+    let docs = parse_docs(root);
+    let files = workspace_files(root);
+    lint_files_inner(root, &files, &docs, true)
+}

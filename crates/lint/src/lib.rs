@@ -1,0 +1,13 @@
+//! `magma-lint`: the workspace's determinism / telemetry / actor-hygiene
+//! static-analysis pass. See `docs/DETERMINISM.md` for the invariants and
+//! the full rule list, and `scripts/check.sh` for how it gates CI.
+//!
+//! Deliberately dependency-free: the gate must always build, even offline
+//! (`rustc --edition 2021 crates/lint/src/main.rs` works in a pinch).
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_files, lint_workspace, parse_docs, workspace_files, Report};
+pub use rules::{Finding, ALL_RULES, KNOWN_PREFIXES};

@@ -1,0 +1,115 @@
+//! CLI entry point: `cargo run -p magma-lint [--root DIR] [FILES...]`.
+//!
+//! With no file arguments, lints the whole workspace (crates/*/src and
+//! examples/) against the docs inventory. With explicit files, lints just
+//! those (used by the fixture tests). Exit code 0 iff no unjustified
+//! violations. `--names` dumps the captured metric-name audit, which is
+//! how the OBSERVABILITY.md inventory table is regenerated.
+
+mod engine;
+mod lexer;
+mod rules;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut dump_names = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--root needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--names" => dump_names = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: magma-lint [--root DIR] [--names] [FILES...]\n\
+                     Lints the workspace (or just FILES) for determinism (D),\n\
+                     telemetry naming (T), and actor hygiene (A) violations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    // When invoked via `cargo run -p magma-lint` the cwd is already the
+    // workspace root; when invoked from elsewhere, find it by walking up
+    // to the first Cargo.toml with a [workspace] table.
+    let root = find_workspace_root(&root);
+
+    let docs = engine::parse_docs(&root);
+    let report = if files.is_empty() {
+        engine::lint_workspace(&root)
+    } else {
+        let files: Vec<PathBuf> = files
+            .into_iter()
+            .map(|f| if f.is_absolute() { f } else { root.join(f) })
+            .collect();
+        engine::lint_files(&root, &files, &docs)
+    };
+
+    if dump_names {
+        // Re-scan for the audit dump (names only, sorted, deduped).
+        let mut names: Vec<String> = Vec::new();
+        for path in engine::workspace_files(&root) {
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                let rel = path
+                    .strip_prefix(&root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let masked = lexer::mask(&src);
+                let ctx = rules::FileCtx::new(&rel, &masked);
+                for u in rules::collect_name_uses(&ctx) {
+                    let tag = if u.via_helper { " (helper)" } else { "" };
+                    names.push(format!("{}{}  [{}:{}]", u.name, tag, u.file, u.line));
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        for n in names {
+            println!("{n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for f in report.violations() {
+        println!("{} {}:{} {}", f.rule, f.file, f.line, f.msg);
+    }
+    for (file, line, msg) in &report.malformed {
+        println!("LINT {file}:{line} {msg}");
+    }
+    if !docs.present {
+        println!("LINT docs/OBSERVABILITY.md missing — T doc rules cannot run");
+    }
+    print!("{}", report.summary());
+
+    if report.is_clean() && docs.present {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn find_workspace_root(start: &PathBuf) -> PathBuf {
+    let mut dir = std::fs::canonicalize(start).unwrap_or_else(|_| start.clone());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.clone();
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Rule implementations. Each rule scans the masked source of one file
+//! (see `lexer`) and yields findings; the engine applies `lint:allow`
+//! suppressions afterwards.
+//!
+//! Rule identifiers (stable — used in `lint:allow(...)` comments):
+//!
+//! - `D001` hash-collections: `HashMap`/`HashSet` in scanned source.
+//! - `D002` ambient-entropy: `Instant::now`/`SystemTime::now`/
+//!   `thread_rng`/`rand::random` outside the DES kernel (`crates/sim`).
+//! - `T001` metric-name-grammar: metric/event name literals must be
+//!   dotted snake_case.
+//! - `T002` metric-prefix: names must fall under a known cardinality
+//!   prefix (service namespace).
+//! - `T003` undocumented-metric: name not listed in the
+//!   `docs/OBSERVABILITY.md` inventory.
+//! - `T004` stale-doc-metric: inventory entry matching no call site
+//!   (checked workspace-wide by the engine, not per file).
+//! - `T005` undocumented-event-kind: eventd kind const missing from
+//!   `docs/OBSERVABILITY.md`.
+//! - `A001` catch-all-dispatch: `_ =>` arm in an actor's top-level
+//!   `match event`.
+//! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(` in agw/orc8r/rpc.
+
+use crate::lexer::Masked;
+
+/// One rule hit, before suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Path relative to the workspace root, forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+    /// Set by the engine when a `lint:allow` covers this finding.
+    pub allowed: bool,
+    /// Justification text from the covering allow, if any.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    fn new(rule: &'static str, file: &str, line: u32, msg: String) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+            allowed: false,
+            reason: None,
+        }
+    }
+}
+
+/// All rule identifiers, for the summary report.
+pub const ALL_RULES: &[&str] = &[
+    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "A001", "A002",
+];
+
+/// Known first-segment namespaces for metric names — each is a bounded
+/// cardinality class (per-service instrument families). Grown only
+/// alongside `docs/OBSERVABILITY.md`.
+pub const KNOWN_PREFIXES: &[&str] = &[
+    // Gateway services (prefixed with the gateway id at runtime).
+    "mme", "sessiond", "mobilityd", "pipelined", "dataplane", "metricsd", "cpu",
+    // Orchestrator-side (reserved for a future orc8r-local registry).
+    "orc8r",
+    // RAN-side (emulator-local) and the kernel's own instruments.
+    "ran", "sim",
+];
+
+/// A scanned file plus precomputed skip ranges (`#[cfg(test)]` items).
+pub struct FileCtx<'a> {
+    pub rel: &'a str,
+    pub masked: &'a Masked,
+    pub skips: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(rel: &'a str, masked: &'a Masked) -> Self {
+        let skips = cfg_test_ranges(&masked.text);
+        FileCtx { rel, masked, skips }
+    }
+
+    fn skipped(&self, offset: usize) -> bool {
+        self.skips.iter().any(|&(a, b)| offset >= a && offset < b)
+    }
+
+    /// Is this file part of the DES kernel (which owns time and RNG)?
+    /// `contains` rather than `starts_with` so fixture trees that mirror
+    /// the real layout (tests/fixtures/crates/sim/src/...) classify the
+    /// same way regardless of the scan root.
+    fn in_kernel(&self) -> bool {
+        self.rel.contains("crates/sim/src")
+    }
+
+    /// Is this file on a hot serving path (A002 scope)?
+    fn hot_path(&self) -> bool {
+        self.rel.contains("crates/agw/src")
+            || self.rel.contains("crates/orc8r/src")
+            || self.rel.contains("crates/rpc/src")
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find word-boundary occurrences of `needle` in `text`.
+fn find_word(text: &str, needle: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        // The needle may end in a non-ident char (`(`, `)`); only apply a
+        // boundary check when it ends in an identifier character.
+        let last = needle.as_bytes()[needle.len() - 1];
+        let after_ok =
+            !is_ident_byte(last) || end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (test modules, test-only
+/// fns): rules do not apply inside them — tests never feed exports.
+fn cfg_test_ranges(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for at in find_word(text, "#[cfg(test)]") {
+        let mut j = at + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'#' {
+                // Skip the whole `#[...]`, bracket-matched.
+                let mut depth = 0;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item: ends at the first `;` or the matching `}` of the
+        // first `{` encountered.
+        let mut k = j;
+        let mut found = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b';' => {
+                    found = Some(k + 1);
+                    break;
+                }
+                b'{' => {
+                    found = Some(match_brace(bytes, k));
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        out.push((at, found.unwrap_or(bytes.len())));
+    }
+    out
+}
+
+/// Given `bytes[open] == b'{'`, return the index just past the matching
+/// closing brace (or `bytes.len()` if unbalanced). Operates on masked
+/// text, so braces inside strings/comments are already blanked.
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+// ---------------------------------------------------------------------------
+// D rules — determinism
+// ---------------------------------------------------------------------------
+
+/// D001: hash-ordered collections anywhere in scanned (non-test) source.
+pub fn d001_hash_collections(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let mut seen_lines = Vec::new();
+    for name in ["HashMap", "HashSet"] {
+        for at in find_word(&ctx.masked.text, name) {
+            if ctx.skipped(at) {
+                continue;
+            }
+            let line = ctx.masked.line_of(at);
+            if seen_lines.contains(&(line, name)) {
+                continue;
+            }
+            seen_lines.push((line, name));
+            out.push(Finding::new(
+                "D001",
+                ctx.rel,
+                line,
+                format!(
+                    "{name} iterates in hash order — use BTreeMap/BTreeSet (or justify \
+                     point-lookup-only use with lint:allow)"
+                ),
+            ));
+        }
+    }
+}
+
+/// D002: wall-clock time and ambient RNG outside the kernel.
+pub fn d002_ambient_entropy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.in_kernel() {
+        return;
+    }
+    for needle in [
+        "Instant::now",
+        "SystemTime::now",
+        "thread_rng",
+        "rand::random",
+    ] {
+        for at in find_word(&ctx.masked.text, needle) {
+            if ctx.skipped(at) {
+                continue;
+            }
+            out.push(Finding::new(
+                "D002",
+                ctx.rel,
+                ctx.masked.line_of(at),
+                format!(
+                    "{needle} breaks same-seed reproducibility — use ctx.now() / the \
+                     kernel-seeded ctx.rng()"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// T rules — telemetry naming
+// ---------------------------------------------------------------------------
+
+/// Method-call tokens whose first string argument names a `Registry`
+/// instrument. The T rules deliberately do not cover the `Recorder`
+/// (`ctx.metrics()`): it is the experimenter's out-of-band probe and
+/// never ships over the wire. Event kinds are consts checked by T005.
+const METRIC_CALLS: &[&str] = &[
+    ".metric(",      // gateway/enb helper: returns a prefixed name
+    ".counter_add(", // Registry
+    ".gauge_set(",   // Registry
+    ".observe(",     // Registry
+    ".observe_with(",
+    "Span::begin(",
+];
+
+/// A metric name literal captured at a call site.
+#[derive(Debug, Clone)]
+pub struct NameUse {
+    pub file: String,
+    pub line: u32,
+    /// Literal with `{...}` interpolations normalized to `*`.
+    pub name: String,
+    /// Captured from the `.metric(` prefixing helper: the registered
+    /// name is `<prefix>.<name>`, so docs matching is suffix-based.
+    pub via_helper: bool,
+}
+
+/// Normalize a format-string literal: each `{...}` hole becomes `*`.
+pub fn normalize_name(lit: &str) -> String {
+    let mut out = String::new();
+    let mut chars = lit.chars();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            for c2 in chars.by_ref() {
+                if c2 == '}' {
+                    break;
+                }
+            }
+            out.push('*');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Does `name` parse as dotted snake_case (with `*` wildcards)?
+pub fn grammar_ok(name: &str) -> bool {
+    if name.is_empty() {
+        return false;
+    }
+    name.split('.').all(|seg| {
+        !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '*')
+            && seg.starts_with(|c: char| c.is_ascii_lowercase() || c == '*')
+    })
+}
+
+/// Collect metric-name literals at curated call sites.
+pub fn collect_name_uses(ctx: &FileCtx<'_>) -> Vec<NameUse> {
+    // The registry implementation itself derives instrument names from
+    // caller-provided bases (`<span>.<stage>_s`); those format strings
+    // are mechanics, not registrations — the base is checked at every
+    // `Span::begin` call site instead.
+    if ctx.rel.ends_with("sim/src/registry.rs") {
+        return Vec::new();
+    }
+    let text = &ctx.masked.text;
+    let bytes = text.as_bytes();
+    // (literal offset) -> (call-token offset, via_helper); when the same
+    // literal is reachable from nested calls (`.record(&self.metric("x"))`)
+    // the innermost call site wins — it is the one that determines how
+    // the name is registered.
+    let mut captures: Vec<(usize, usize, bool)> = Vec::new();
+    for call in METRIC_CALLS {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(call) {
+            let at = from + pos;
+            from = at + call.len();
+            if ctx.skipped(at) {
+                continue;
+            }
+            // First string literal anywhere inside the argument list
+            // (names built via `format!` still carry their literal).
+            let mut depth = 1usize;
+            let mut j = at + call.len();
+            let mut lit_at = None;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    b'"' if lit_at.is_none() => lit_at = Some(j),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = lit_at else { continue };
+            match captures.iter_mut().find(|(lit, _, _)| *lit == open) {
+                Some(entry) if entry.1 < at => {
+                    entry.1 = at;
+                    entry.2 = *call == ".metric(";
+                }
+                Some(_) => {}
+                None => captures.push((open, at, *call == ".metric(")),
+            }
+        }
+    }
+    let mut uses: Vec<NameUse> = Vec::new();
+    for (open, _, via_helper) in captures {
+        let Some(lit) = ctx.masked.strings.iter().find(|s| s.start == open) else {
+            continue;
+        };
+        uses.push(NameUse {
+            file: ctx.rel.to_string(),
+            line: lit.line,
+            name: normalize_name(&lit.value),
+            via_helper,
+        });
+    }
+    uses.sort_by_key(|u| u.line);
+    uses
+}
+
+/// T001 + T002 + T003 for one file's captured names, against the docs
+/// inventory (None = docs missing; every name is then undocumented).
+pub fn t_rules(
+    uses: &[NameUse],
+    inventory: Option<&[String]>,
+    out: &mut Vec<Finding>,
+) {
+    for u in uses {
+        if !grammar_ok(&u.name) {
+            out.push(Finding {
+                rule: "T001",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "metric name {:?} is not dotted snake_case ([a-z0-9_*] segments)",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+            continue;
+        }
+        // Docs match: exact, or inventory entry ending in `.<name>` for
+        // helper-prefixed call sites.
+        let matched: Option<&String> = inventory.and_then(|inv| {
+            inv.iter().find(|e| {
+                *e == &u.name || (u.via_helper && e.ends_with(&format!(".{}", u.name)))
+            })
+        });
+        // Prefix check on the full registered form when known, else on
+        // the literal itself.
+        let full = matched.map(|s| s.as_str()).unwrap_or(&u.name);
+        let mut segs = full.split('.');
+        let first = segs.next().unwrap_or("");
+        let prefix_ok = KNOWN_PREFIXES.contains(&first)
+            || (first == "*"
+                && segs
+                    .next()
+                    .map(|s| KNOWN_PREFIXES.contains(&s))
+                    .unwrap_or(false));
+        if !prefix_ok {
+            out.push(Finding {
+                rule: "T002",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "metric name {:?} is not under a known cardinality prefix ({})",
+                    full,
+                    KNOWN_PREFIXES.join(", ")
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+        if matched.is_none() {
+            out.push(Finding {
+                rule: "T003",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "metric name {:?} is missing from the docs/OBSERVABILITY.md inventory",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// T005: event-kind consts in the kernel's eventd module must appear in
+/// the docs (taxonomy table or prose, as `` `kind` ``).
+pub fn t005_event_kinds(ctx: &FileCtx<'_>, docs_text: Option<&str>, out: &mut Vec<Finding>) {
+    if !ctx.rel.ends_with("sim/src/eventd.rs") {
+        return;
+    }
+    let text = &ctx.masked.text;
+    for at in find_word(text, "const") {
+        // Only `&str` consts are event kinds.
+        let line_end = text[at..].find('\n').map(|p| at + p).unwrap_or(text.len());
+        let decl = &text[at..line_end];
+        if !decl.contains("&str") {
+            continue;
+        }
+        let Some(lit) = ctx
+            .masked
+            .strings
+            .iter()
+            .find(|s| s.start > at && s.start < line_end)
+        else {
+            continue;
+        };
+        let documented = docs_text
+            .map(|d| d.contains(&format!("`{}`", lit.value)))
+            .unwrap_or(false);
+        if !documented {
+            out.push(Finding::new(
+                "T005",
+                ctx.rel,
+                lit.line,
+                format!(
+                    "event kind {:?} is not documented in docs/OBSERVABILITY.md",
+                    lit.value
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A rules — actor hygiene
+// ---------------------------------------------------------------------------
+
+/// A001: `_ =>` catch-all arms in the top-level `match event` of an
+/// `impl Actor for ...` `handle` body. A new `Event` variant must be a
+/// compile error at every dispatch site, not silently swallowed.
+pub fn a001_catch_all_dispatch(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let text = &ctx.masked.text;
+    let bytes = text.as_bytes();
+    for impl_at in find_word(text, "impl Actor for") {
+        if ctx.skipped(impl_at) {
+            continue;
+        }
+        let Some(impl_open) = text[impl_at..].find('{').map(|p| impl_at + p) else {
+            continue;
+        };
+        let impl_end = match_brace(bytes, impl_open);
+        let impl_body = &text[impl_open..impl_end];
+        let Some(fn_rel) = impl_body.find("fn handle") else {
+            continue;
+        };
+        let fn_at = impl_open + fn_rel;
+        let Some(fn_open) = text[fn_at..impl_end].find('{').map(|p| fn_at + p) else {
+            continue;
+        };
+        let fn_end = match_brace(bytes, fn_open);
+        // First `match` whose scrutinee mentions the event binding.
+        let mut search = fn_open;
+        let mut match_open = None;
+        while let Some(m_rel) = text[search..fn_end].find("match ") {
+            let m_at = search + m_rel;
+            let Some(open) = text[m_at..fn_end].find('{').map(|p| m_at + p) else {
+                break;
+            };
+            let scrutinee = &text[m_at + 6..open];
+            if find_word(scrutinee, "event").is_empty() && find_word(scrutinee, "ev").is_empty()
+            {
+                search = open + 1;
+                continue;
+            }
+            match_open = Some(open);
+            break;
+        }
+        let Some(open) = match_open else { continue };
+        let close = match_brace(bytes, open);
+        // Scan arms at brace depth 1, paren/bracket depth 0.
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let mut j = open;
+        while j < close {
+            match bytes[j] {
+                b'{' => brace += 1,
+                b'}' => brace -= 1,
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'_' if brace == 1 && paren == 0 => {
+                    let before_ok = !is_ident_byte(bytes[j - 1]);
+                    let after = bytes.get(j + 1).copied().unwrap_or(b' ');
+                    if before_ok && !is_ident_byte(after) {
+                        // `_` token at arm level: catch-all if followed by
+                        // `=>` (optionally via a guard `if ... =>`).
+                        let rest = text[j + 1..close].trim_start();
+                        if rest.starts_with("=>") || rest.starts_with("if ") {
+                            out.push(Finding::new(
+                                "A001",
+                                ctx.rel,
+                                ctx.masked.line_of(j),
+                                "catch-all `_ =>` in actor event dispatch — enumerate \
+                                 Event variants so new ones are a compile error"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// A002: panicking accessors on the hot serving path.
+pub fn a002_hot_path_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.hot_path() {
+        return;
+    }
+    for needle in [".unwrap()", ".expect("] {
+        for at in find_word(&ctx.masked.text, needle) {
+            if ctx.skipped(at) {
+                continue;
+            }
+            out.push(Finding::new(
+                "A002",
+                ctx.rel,
+                ctx.masked.line_of(at),
+                format!(
+                    "`{}` on a hot path can panic the gateway — restructure, or \
+                     justify the invariant with lint:allow",
+                    needle.trim_end_matches('(')
+                ),
+            ));
+        }
+    }
+}

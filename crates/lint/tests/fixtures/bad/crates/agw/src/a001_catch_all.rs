@@ -1,0 +1,17 @@
+//! Known-bad: catch-all arm in an actor's event dispatch.
+use magma_sim::{Actor, Ctx, Event};
+
+pub struct Gw;
+
+impl Actor for Gw {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start => {}
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "gw".to_string()
+    }
+}

@@ -1,0 +1,3 @@
+//! Known-bad: a lint:allow without the mandatory reason does not count.
+// lint:allow(D001)
+pub type Index = std::collections::HashMap<u64, u64>;

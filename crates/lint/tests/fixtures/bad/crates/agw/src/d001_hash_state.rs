@@ -1,0 +1,7 @@
+//! Known-bad: hash-ordered collections in export-reachable actor state.
+use std::collections::{HashMap, HashSet};
+
+pub struct Sessions {
+    by_imsi: HashMap<u64, u32>,
+    active: HashSet<u64>,
+}

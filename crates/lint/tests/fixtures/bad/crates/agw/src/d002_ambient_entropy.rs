@@ -1,0 +1,6 @@
+//! Known-bad: wall-clock and OS entropy outside the simulation kernel.
+pub fn sample_latency() -> u128 {
+    let t0 = std::time::Instant::now();
+    let jitter: u8 = rand::random();
+    t0.elapsed().as_nanos() + jitter as u128
+}

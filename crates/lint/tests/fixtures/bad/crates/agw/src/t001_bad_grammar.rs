@@ -1,0 +1,4 @@
+//! Known-bad: metric name violates the snake_case dotted grammar.
+pub fn report(reg: &mut magma_sim::Registry) {
+    reg.counter_add("mme.Attach-OK", 1.0);
+}

@@ -1,0 +1,4 @@
+//! Known-bad: metric name under no known cardinality prefix.
+pub fn report(reg: &mut magma_sim::Registry) {
+    reg.gauge_set("frobnicator.depth", 3.0);
+}

@@ -1,0 +1,4 @@
+//! Known-bad: well-formed metric name missing from docs/OBSERVABILITY.md.
+pub fn report(reg: &mut magma_sim::Registry) {
+    reg.counter_add("mme.totally_new_counter", 1.0);
+}

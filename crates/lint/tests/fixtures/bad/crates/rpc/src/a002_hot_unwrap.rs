@@ -1,0 +1,6 @@
+//! Known-bad: panicking lookup on a hot serving path.
+use std::collections::BTreeMap;
+
+pub fn route(table: &BTreeMap<u32, u32>, key: u32) -> u32 {
+    *table.get(&key).unwrap()
+}

@@ -1,0 +1,2 @@
+//! Known-bad: an event-kind const the docs taxonomy never mentions.
+pub const KIND_PHANTOM: &str = "phantom_kind_not_in_docs";

@@ -1,0 +1,6 @@
+//! Lints clean: the hash map is justified with a counted lint:allow.
+// lint:allow(D001, reason = "point lookups only; this table is never iterated")
+pub struct Cache {
+    // lint:allow(D001, reason = "point lookups only; this table is never iterated")
+    inner: std::collections::HashMap<u64, u64>,
+}

@@ -1,0 +1,141 @@
+//! Rule-by-rule coverage: every lint fires on its known-bad fixture, the
+//! `lint:allow` mechanism suppresses (and counts) justified hits, and the
+//! real workspace lints clean — so a regression in either the rules or
+//! the codebase fails here before it fails `scripts/check.sh`.
+
+use magma_lint::engine::{lint_files, lint_workspace, parse_docs, DocsInventory, Report};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture against the *real* docs inventory, with the fixture
+/// tree as the scan root so rel paths mirror the workspace layout.
+fn lint_fixture(kind: &str, rel: &str) -> (Report, DocsInventory) {
+    let docs = parse_docs(&repo_root());
+    assert!(docs.present, "docs/OBSERVABILITY.md must exist for T rules");
+    let root = fixtures().join(kind);
+    let file = root.join(rel);
+    assert!(file.is_file(), "missing fixture {}", file.display());
+    let report = lint_files(&root, &[file], &docs);
+    (report, docs)
+}
+
+fn rules_fired(report: &Report) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = report.violations().iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d001_fires_on_hash_collections() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/d001_hash_state.rs");
+    assert!(rules_fired(&report).contains(&"D001"), "{}", report.summary());
+    // One finding per (line, type): the `use` line plus each field.
+    assert!(report.violations().len() >= 3, "{}", report.summary());
+}
+
+#[test]
+fn d002_fires_on_ambient_entropy_outside_kernel() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/d002_ambient_entropy.rs");
+    assert!(rules_fired(&report).contains(&"D002"), "{}", report.summary());
+    // Both the clock read and the OS entropy draw are flagged.
+    assert_eq!(
+        report.violations().iter().filter(|f| f.rule == "D002").count(),
+        2,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn d002_is_exempt_inside_the_kernel() {
+    let (report, _) = lint_fixture("ok", "crates/sim/src/kernel_clock.rs");
+    assert!(report.is_clean(), "{}", report.summary());
+}
+
+#[test]
+fn t001_fires_on_bad_grammar() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/t001_bad_grammar.rs");
+    assert!(rules_fired(&report).contains(&"T001"), "{}", report.summary());
+}
+
+#[test]
+fn t002_fires_on_unknown_prefix() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/t002_unknown_prefix.rs");
+    assert!(rules_fired(&report).contains(&"T002"), "{}", report.summary());
+}
+
+#[test]
+fn t003_fires_on_undocumented_metric() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/t003_undocumented.rs");
+    // Grammar and prefix are fine — only the docs-membership rule trips.
+    assert_eq!(rules_fired(&report), vec!["T003"], "{}", report.summary());
+}
+
+#[test]
+fn t005_fires_on_undocumented_event_kind() {
+    let (report, _) = lint_fixture("bad", "crates/sim/src/eventd.rs");
+    assert_eq!(rules_fired(&report), vec!["T005"], "{}", report.summary());
+}
+
+#[test]
+fn a001_fires_on_catch_all_dispatch() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/a001_catch_all.rs");
+    assert_eq!(rules_fired(&report), vec!["A001"], "{}", report.summary());
+}
+
+#[test]
+fn a002_fires_on_hot_path_unwrap() {
+    let (report, _) = lint_fixture("bad", "crates/rpc/src/a002_hot_unwrap.rs");
+    assert_eq!(rules_fired(&report), vec!["A002"], "{}", report.summary());
+}
+
+#[test]
+fn lint_allow_suppresses_and_is_counted() {
+    let (report, _) = lint_fixture("ok", "crates/agw/src/suppressed.rs");
+    assert!(report.is_clean(), "{}", report.summary());
+    // The hit still exists — it is suppressed, not invisible.
+    let allowed: Vec<_> = report.findings.iter().filter(|f| f.allowed).collect();
+    assert!(!allowed.is_empty(), "suppressed finding must stay counted");
+    assert!(
+        allowed.iter().all(|f| f.reason.as_deref().is_some_and(|r| !r.is_empty())),
+        "every suppression carries its justification"
+    );
+    // And the counts surface in the human summary.
+    assert!(report.summary().contains("justified allow"), "{}", report.summary());
+}
+
+#[test]
+fn lint_allow_without_reason_is_malformed_not_suppressing() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/allow_missing_reason.rs");
+    assert!(!report.is_clean());
+    assert!(
+        !report.malformed.is_empty(),
+        "reason-less lint:allow must be reported as malformed"
+    );
+    // The D001 hit it sat next to is NOT suppressed.
+    assert!(rules_fired(&report).contains(&"D001"), "{}", report.summary());
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The acceptance gate itself: the real tree has zero unjustified
+    // violations and zero docs drift (T004 runs in workspace mode).
+    let report = lint_workspace(&repo_root());
+    let mut msg = String::new();
+    for f in report.violations() {
+        msg.push_str(&format!("{} {}:{} {}\n", f.rule, f.file, f.line, f.msg));
+    }
+    for (file, line, m) in &report.malformed {
+        msg.push_str(&format!("LINT {file}:{line} {m}\n"));
+    }
+    assert!(report.is_clean(), "workspace not lint-clean:\n{msg}");
+    assert!(report.files_scanned > 90, "scan scope collapsed: {} files", report.files_scanned);
+}

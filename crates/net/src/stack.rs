@@ -12,7 +12,7 @@ use crate::stream::{ConnKey, RtoOutcome, StreamConfig, StreamFrame, StreamHandle
 use crate::topology::NetHandle;
 use bytes::Bytes;
 use magma_sim::{downcast, try_downcast, Actor, ActorId, Ctx, Event, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Commands an application actor sends to its node's [`NetStack`].
 #[derive(Debug)]
@@ -89,12 +89,12 @@ pub struct NetStack {
     node: NodeAddr,
     net: NetHandle,
     cfg: StreamConfig,
-    conns: HashMap<ConnKey, Conn>,
-    handles: HashMap<StreamHandle, ConnKey>,
+    conns: BTreeMap<ConnKey, Conn>,
+    handles: BTreeMap<StreamHandle, ConnKey>,
     next_handle: u64,
     next_ephemeral: u16,
-    stream_listeners: HashMap<u16, ActorId>,
-    dgram_listeners: HashMap<u16, ActorId>,
+    stream_listeners: BTreeMap<u16, ActorId>,
+    dgram_listeners: BTreeMap<u16, ActorId>,
 }
 
 impl NetStack {
@@ -103,12 +103,12 @@ impl NetStack {
             node,
             net,
             cfg: StreamConfig::default(),
-            conns: HashMap::new(),
-            handles: HashMap::new(),
+            conns: BTreeMap::new(),
+            handles: BTreeMap::new(),
             next_handle: 1,
             next_ephemeral: ports::EPHEMERAL_BASE,
-            stream_listeners: HashMap::new(),
-            dgram_listeners: HashMap::new(),
+            stream_listeners: BTreeMap::new(),
+            dgram_listeners: BTreeMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@ use crate::link::{Link, LinkProfile, TxOutcome};
 use magma_sim::{ActorId, SimTime};
 use rand::Rng;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Shared handle to the topology.
@@ -31,18 +31,18 @@ pub struct LinkStats {
 
 /// The set of nodes and links making up the simulated network.
 pub struct Topology {
-    names: HashMap<NodeAddr, String>,
-    stacks: HashMap<NodeAddr, ActorId>,
-    links: HashMap<(NodeAddr, NodeAddr), Link>,
+    names: BTreeMap<NodeAddr, String>,
+    stacks: BTreeMap<NodeAddr, ActorId>,
+    links: BTreeMap<(NodeAddr, NodeAddr), Link>,
     next_addr: u32,
 }
 
 impl Topology {
     pub fn new() -> Self {
         Topology {
-            names: HashMap::new(),
-            stacks: HashMap::new(),
-            links: HashMap::new(),
+            names: BTreeMap::new(),
+            stacks: BTreeMap::new(),
+            links: BTreeMap::new(),
             next_addr: 0,
         }
     }

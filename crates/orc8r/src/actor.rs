@@ -11,7 +11,7 @@ use magma_net::{SockEvent, StreamHandle};
 use magma_rpc::{RpcServer, RpcServerEvent};
 use magma_sim::{downcast, Actor, ActorId, Ctx, Event, SimDuration};
 use serde_json::json;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TICK: SimDuration = SimDuration(500_000); // 500ms push cadence
 
@@ -24,7 +24,7 @@ struct ConnInfo {
 pub struct Orc8rActor {
     state: Orc8rHandle,
     server: RpcServer,
-    conns: HashMap<StreamHandle, ConnInfo>,
+    conns: BTreeMap<StreamHandle, ConnInfo>,
 }
 
 impl Orc8rActor {
@@ -32,7 +32,7 @@ impl Orc8rActor {
         Orc8rActor {
             state,
             server: RpcServer::new(stack, port),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 
 use magma_wire::Imsi;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Server-side account state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,7 +33,7 @@ pub enum CreditAnswer {
 /// actual usage reported by AGWs.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct OcsServer {
-    accounts: HashMap<Imsi, Account>,
+    accounts: BTreeMap<Imsi, Account>,
     /// Quota handed out per grant.
     pub quota_bytes: u64,
     pub grants_issued: u64,
@@ -43,7 +43,7 @@ pub struct OcsServer {
 impl OcsServer {
     pub fn new(quota_bytes: u64) -> Self {
         OcsServer {
-            accounts: HashMap::new(),
+            accounts: BTreeMap::new(),
             quota_bytes,
             grants_issued: 0,
             denials: 0,

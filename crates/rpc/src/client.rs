@@ -11,7 +11,7 @@ use crate::msg::{RpcFrame, RpcKind};
 use magma_net::{Endpoint, SockCmd, SockEvent, StreamHandle};
 use magma_sim::{ActorId, Ctx, SimDuration, SimTime};
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Events the client surfaces to its owning actor.
 #[derive(Debug)]
@@ -77,7 +77,7 @@ pub struct RpcClient {
     conn: ConnState,
     framer: Framer,
     next_id: u64,
-    outstanding: HashMap<u64, Pending>,
+    outstanding: BTreeMap<u64, Pending>,
     /// Calls issued while disconnected, flushed on connect (ids).
     unsent: Vec<u64>,
     pub calls_sent: u64,
@@ -96,7 +96,7 @@ impl RpcClient {
             conn: ConnState::Idle,
             framer: Framer::new(),
             next_id: 1,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             unsent: Vec::new(),
             calls_sent: 0,
             retries: 0,

@@ -9,6 +9,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 /// Encode one frame with its length prefix.
 pub fn encode_frame(frame: &RpcFrame) -> Bytes {
+    // lint:allow(A002, reason = "RpcFrame is a plain struct of strings/ints/Value; serde_json::to_vec on it is infallible")
     let body = serde_json::to_vec(frame).expect("RpcFrame serializes");
     let mut b = BytesMut::with_capacity(4 + body.len());
     b.put_u32(body.len() as u32);

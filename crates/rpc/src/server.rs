@@ -6,7 +6,7 @@ use crate::msg::{RpcFrame, RpcKind};
 use magma_net::{SockCmd, SockEvent, StreamHandle};
 use magma_sim::{ActorId, Ctx};
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Events the server surfaces to its owning actor.
 #[derive(Debug)]
@@ -30,7 +30,7 @@ pub enum RpcServerEvent {
 pub struct RpcServer {
     stack: ActorId,
     port: u16,
-    conns: HashMap<StreamHandle, Framer>,
+    conns: BTreeMap<StreamHandle, Framer>,
     pub requests_served: u64,
 }
 
@@ -39,7 +39,7 @@ impl RpcServer {
         RpcServer {
             stack,
             port,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             requests_served: 0,
         }
     }
@@ -74,20 +74,20 @@ impl RpcServer {
                 Ok(vec![RpcServerEvent::ClientConnected { conn: handle }])
             }
             SockEvent::StreamRecv { handle, bytes } if self.conns.contains_key(&handle) => {
-                let framer = self.conns.get_mut(&handle).unwrap();
-                let frames = framer.push(&bytes);
                 let mut out = Vec::new();
-                for f in frames {
-                    if f.kind == RpcKind::Request {
-                        self.requests_served += 1;
-                        out.push(RpcServerEvent::Request {
-                            conn: handle,
-                            id: f.id,
-                            method: f.method,
-                            body: f.body,
-                        });
+                if let Some(framer) = self.conns.get_mut(&handle) {
+                    for f in framer.push(&bytes) {
+                        if f.kind == RpcKind::Request {
+                            out.push(RpcServerEvent::Request {
+                                conn: handle,
+                                id: f.id,
+                                method: f.method,
+                                body: f.body,
+                            });
+                        }
                     }
                 }
+                self.requests_served += out.len() as u64;
                 Ok(out)
             }
             SockEvent::StreamClosed { handle, .. } if self.conns.contains_key(&handle) => {

@@ -7,6 +7,8 @@
 use crate::actor::{ActorId, Event};
 use crate::time::SimTime;
 use std::cmp::Ordering;
+#[allow(clippy::disallowed_types)]
+// lint:allow(D001, reason = "cancellation set is insert/remove/contains only — never iterated, so hash order is unobservable")
 use std::collections::{BinaryHeap, HashSet};
 
 /// Opaque handle to a scheduled event, usable for cancellation.
@@ -47,17 +49,21 @@ impl Ord for Scheduled {
 }
 
 /// Deterministic priority queue of simulation events.
+#[allow(clippy::disallowed_types)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    // lint:allow(D001, reason = "membership checks on the dispatch hot path; never iterated")
     cancelled: HashSet<u64>,
 }
 
 impl EventQueue {
+    #[allow(clippy::disallowed_types)]
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            // lint:allow(D001, reason = "see the field declaration — membership-only set")
             cancelled: HashSet::new(),
         }
     }

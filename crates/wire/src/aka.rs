@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn block_cipher_is_a_permutation_on_samples() {
         let key = [7u8; 16];
-        let mut outs = std::collections::HashSet::new();
+        let mut outs = std::collections::BTreeSet::new();
         for i in 0..1000u64 {
             assert!(outs.insert(block_encrypt(&key, i)));
         }

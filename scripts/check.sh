@@ -12,6 +12,17 @@ cargo test --workspace -q
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> magma-lint (determinism / telemetry / actor hygiene)"
+# Capture the report so its summary can be replayed at the very end.
+LINT_OUT="$(mktemp)"
+if ! cargo run --release -p magma-lint >"$LINT_OUT" 2>&1; then
+    cat "$LINT_OUT"
+    rm -f "$LINT_OUT"
+    echo "magma-lint found violations (see docs/DETERMINISM.md)" >&2
+    exit 1
+fi
+cat "$LINT_OUT"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
@@ -21,7 +32,7 @@ echo "==> observability example + golden export diff"
 # committed yet) the export is installed as the golden.
 GOLDEN="scripts/golden/observability.json"
 EXPORT="$(mktemp)"
-trap 'rm -f "$EXPORT"' EXIT
+trap 'rm -f "$EXPORT" "$LINT_OUT"' EXIT
 OBS_EXPORT_PATH="$EXPORT" cargo run --release --example observability >/dev/null
 if [[ -f "$GOLDEN" ]]; then
     diff -u "$GOLDEN" "$EXPORT" || {
@@ -33,5 +44,10 @@ else
     cp "$EXPORT" "$GOLDEN"
     echo "installed new golden export at $GOLDEN"
 fi
+
+# Replay the lint summary last so the allow/violation counts are the
+# final thing on screen.
+echo "==> lint summary"
+grep -A100 "^magma-lint:" "$LINT_OUT" || true
 
 echo "All checks passed."
