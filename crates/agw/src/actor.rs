@@ -457,7 +457,18 @@ impl AgwActor {
                 guti: 0,
                 session_id: None,
                 started: ctx.now(),
-                span: Some(Span::begin(self.metric("mme.attach"), ctx.now())),
+                // 4G attaches record under the MME's span; 5G registrations
+                // mirror the same stages under the AMF's (§ROADMAP "span
+                // taxonomy growth"). Stage sets differ only in the first
+                // leg: NGAP ingest for 5G, S1AP for 4G.
+                span: Some(Span::begin(
+                    if matches!(tech, AccessTech::Nr5g) {
+                        self.metric("amf.register")
+                    } else {
+                        self.metric("mme.attach")
+                    },
+                    ctx.now(),
+                )),
             },
         );
         ctx.timer_in(self.cfg.ue_proc_timeout, T_UE_BASE + ue as u64);
@@ -516,10 +527,17 @@ impl AgwActor {
         let Some(uectx) = self.ue_ctxs.get_mut(&ue) else {
             return;
         };
-        // S1AP stage ends here: initial message ingested, auth vector
-        // computed; what follows is the NAS auth round trip.
+        // RAN-signalling stage ends here: initial message ingested, auth
+        // vector computed; what follows is the NAS auth round trip. The
+        // stage is named for the transport that carried it (NGAP for 5G,
+        // S1AP for 4G) so the two spans mirror each other.
+        let ran_stage = if matches!(uectx.tech, AccessTech::Nr5g) {
+            "ngap"
+        } else {
+            "s1ap"
+        };
         if let Some(span) = uectx.span.as_mut() {
-            span.mark("s1ap", now);
+            span.mark(ran_stage, now);
         }
         let imsi = uectx.imsi;
         if self.cfg.feg.is_some() && self.db.get(imsi).is_none() {
@@ -997,6 +1015,9 @@ impl AgwActor {
     // ---- User plane ----
 
     fn fluid_tick(&mut self, ctx: &mut Ctx<'_>) {
+        // simprof scope: the user-plane tick is the hot path under load
+        // (pipeline walk + capacity gate + telemetry sampling).
+        let _fluid_scope = ctx.profile_scope("dataplane.fluid_tick");
         let now = ctx.now();
         let demands = std::mem::take(&mut self.pending_demands);
         if !demands.is_empty() {

@@ -160,7 +160,10 @@ impl MetricsdActor {
             let m = self.metric("metricsd.events_shipped");
             ctx.registry().counter_add(&m, events.len() as f64);
         }
-        let snapshot = ctx.registry().snapshot_prefixed(&self.cfg.agw_id);
+        let snapshot = {
+            let _snap = ctx.profile_scope("metricsd.snapshot");
+            ctx.registry().snapshot_prefixed(&self.cfg.agw_id)
+        };
         let push = orc8r_proto::MetricsPush {
             agw_id: self.cfg.agw_id.clone(),
             seq: self.next_seq,

@@ -1,7 +1,419 @@
 //! # magma-bench — benchmark harness
 //!
-//! One Criterion bench per paper table/figure plus the ablations. Each
-//! bench first *regenerates* its figure (printing the same rows/series
-//! the paper reports) and then times a scaled-down kernel so `cargo
-//! bench` also tracks simulator performance. Full-scale regeneration
-//! lives in `cargo run --release --example paper_figures`.
+//! Two halves:
+//!
+//! - **The scenario suite** (this library + the `magma-bench` binary): a
+//!   fixed set of simulator workloads — an attach storm at the bare-metal
+//!   knee, a scaling ablation sweep, a mixed attach+traffic site, and a
+//!   partition/recovery drill — each emitting a `BENCH_<scenario>.json`
+//!   report. Reports split into a `virtual` section (deterministic:
+//!   byte-identical across same-seed runs — CSR, attach p99, events
+//!   simulated, the simprof attribution profile) and a `host` section
+//!   (machine-dependent: wall-clock, events/sec, peak RSS, host-time
+//!   profile, top-N table). See docs/PROFILING.md.
+//!
+//! - **Criterion benches** (`benches/`): one per paper table/figure. Each
+//!   first *regenerates* its figure and then times a scaled-down kernel so
+//!   `cargo bench` also tracks simulator performance.
+
+use magma_ran::{SectorModel, TrafficModel};
+use magma_sim::{
+    HostProfile, HostStopwatch, ProfileSnapshot, SimDuration, SimTime, VirtualProfile,
+};
+use magma_testbed::measure::{mean_over, overall_csr, throughput_mbps};
+use magma_testbed::scenario::{build, AgwSpec, Scenario, ScenarioConfig, SiteSpec};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Bumped whenever the report layout changes; consumers (CI gate, smoke
+/// diff) refuse mismatched schemas instead of misreading them.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Default seed for the suite; scenario runs derive from it.
+pub const BENCH_SEED: u64 = 42;
+
+/// Deterministic half of a report: every field is a pure function of
+/// (scenario, seed). The determinism test asserts byte-identity of this
+/// section across same-seed runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct VirtSection {
+    /// Simulated duration.
+    pub sim_seconds: f64,
+    /// Events dispatched by the kernel across the scenario's runs.
+    pub events_simulated: u64,
+    /// Overall connection success rate (1.0 when no attaches were made).
+    pub csr: f64,
+    /// p99 of the primary gateway's attach span, seconds (0 when none).
+    pub attach_p99_s: f64,
+    /// Scenario-specific deterministic values (sweep points etc.);
+    /// BTreeMap for stable ordering.
+    pub extra: BTreeMap<String, f64>,
+    /// simprof virtual columns: per-(actor, event-kind) dispatch counts
+    /// and vCPU-seconds, heap stats, scope enter counts.
+    pub profile: VirtualProfile,
+}
+
+/// Host-dependent half: wall-clock and memory. Excluded from the
+/// byte-identity contract by construction — nothing in here feeds the
+/// `virtual` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostSection {
+    pub wall_s: f64,
+    pub events_per_sec: f64,
+    pub peak_rss_bytes: u64,
+    /// Per-phase wall-clock (build, run, per-sweep-point, ...).
+    pub phase_wall_s: BTreeMap<String, f64>,
+    /// simprof host columns: per-(actor, event-kind) wall time + scopes.
+    pub profile: HostProfile,
+    /// Rendered top-N self/total table (also printed to stderr).
+    pub top_table: String,
+}
+
+/// One scenario's full report, as serialized to `BENCH_<scenario>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    pub schema: u32,
+    pub scenario: String,
+    pub seed: u64,
+    #[serde(rename = "virtual")]
+    pub virt: VirtSection,
+    pub host: HostSection,
+}
+
+/// Names of the full scenario suite, in run order.
+pub const SCENARIOS: [&str; 4] = [
+    "attach_storm",
+    "scaling_ablation",
+    "mixed",
+    "partition_recovery",
+];
+
+/// Run a scenario by name; `smoke` is the extra tiny one used by
+/// `scripts/check.sh bench-smoke` and the CI gate.
+pub fn run_scenario(name: &str, seed: u64) -> Option<BenchReport> {
+    match name {
+        "smoke" => Some(smoke(seed)),
+        "attach_storm" => Some(attach_storm(seed)),
+        "scaling_ablation" => Some(scaling_ablation(seed)),
+        "mixed" => Some(mixed(seed)),
+        "partition_recovery" => Some(partition_recovery(seed)),
+        _ => None,
+    }
+}
+
+/// Accumulates phase timings and world totals across a scenario's runs
+/// (sweeps run several worlds; the report merges them).
+struct RunAccum {
+    phase_wall_s: BTreeMap<String, f64>,
+    total_wall_s: f64,
+    events: u64,
+    /// Profile of the designated primary run (the one the report's
+    /// attribution columns describe).
+    profile: Option<ProfileSnapshot>,
+}
+
+impl RunAccum {
+    fn new() -> Self {
+        RunAccum {
+            phase_wall_s: BTreeMap::new(),
+            total_wall_s: 0.0,
+            events: 0,
+            profile: None,
+        }
+    }
+
+    fn phase(&mut self, name: &str, secs: f64) {
+        *self.phase_wall_s.entry(name.to_string()).or_insert(0.0) += secs;
+        self.total_wall_s += secs;
+    }
+}
+
+/// Build + run one world to `until`, recording phase wall-clock under
+/// `label.build` / `label.run`.
+fn timed_run(acc: &mut RunAccum, label: &str, cfg: ScenarioConfig, until: SimTime) -> Scenario {
+    let sw = HostStopwatch::start();
+    let mut sc = build(cfg);
+    acc.phase(&format!("{label}.build"), sw.elapsed_s());
+    let sw = HostStopwatch::start();
+    sc.world.run_until(until);
+    acc.phase(&format!("{label}.run"), sw.elapsed_s());
+    acc.events += sc.world.events_processed();
+    sc
+}
+
+fn attach_p99(sc: &Scenario) -> f64 {
+    // Primary gateway's attach span (4G path; 5G registrations record
+    // under `amf.register` instead).
+    let name = format!("{}.mme.attach.total_s", sc.agws[0].id);
+    sc.world
+        .registry()
+        .histogram(&name)
+        .map(|h| h.quantile(0.99))
+        .unwrap_or(0.0)
+}
+
+fn finish(
+    name: &str,
+    seed: u64,
+    acc: RunAccum,
+    sim_seconds: f64,
+    csr: f64,
+    attach_p99_s: f64,
+    extra: BTreeMap<String, f64>,
+) -> BenchReport {
+    let snap = acc.profile.expect("scenario records a primary profile");
+    let top_table = snap.top_table(12);
+    let events_per_sec = if acc.total_wall_s > 0.0 {
+        acc.events as f64 / acc.total_wall_s
+    } else {
+        0.0
+    };
+    BenchReport {
+        schema: BENCH_SCHEMA_VERSION,
+        scenario: name.to_string(),
+        seed,
+        virt: VirtSection {
+            sim_seconds,
+            events_simulated: acc.events,
+            csr,
+            attach_p99_s,
+            extra,
+            profile: snap.virt,
+        },
+        host: HostSection {
+            wall_s: acc.total_wall_s,
+            events_per_sec,
+            peak_rss_bytes: magma_sim::prof::peak_rss_bytes(),
+            phase_wall_s: acc.phase_wall_s,
+            profile: snap.host,
+            top_table,
+        },
+    }
+}
+
+/// The fig6-style "worst case" site: surge attaches while every attached
+/// UE saturates its share of the radio.
+fn storm_site(rate: f64, n_ues: usize) -> SiteSpec {
+    SiteSpec {
+        enbs: 2,
+        ues_per_enb: n_ues / 2,
+        attach_rate_per_sec: rate,
+        traffic: TrafficModel {
+            dl_bps: 30_000_000,
+            ul_bps: 2_000_000,
+        },
+        sector: SectorModel {
+            capacity_bps: 2_000_000_000,
+            max_active_ues: 200,
+        },
+        ue_attach_timeout: SimDuration::from_secs(10),
+        reattach: false,
+        session_lifetime_s: None,
+    }
+}
+
+/// Tiny variant of the storm for `bench-smoke` and the CI gate: small
+/// enough to finish in seconds, big enough that the profile has rows.
+pub fn smoke(seed: u64) -> BenchReport {
+    let mut acc = RunAccum::new();
+    let sim_s = 30.0;
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 30)));
+    let sc = timed_run(&mut acc, "smoke", cfg, SimTime::from_secs(sim_s as u64));
+    acc.profile = Some(sc.world.profile());
+    let csr = overall_csr(sc.world.metrics(), "ran");
+    let p99 = attach_p99(&sc);
+    finish("smoke", seed, acc, sim_s, csr, p99, BTreeMap::new())
+}
+
+/// Attach storm at the bare-metal knee (~2 UE/s, Figure 6): the paper's
+/// worst-case control-plane workload, long enough for the surge plus a
+/// saturated steady state.
+pub fn attach_storm(seed: u64) -> BenchReport {
+    let mut acc = RunAccum::new();
+    let sim_s = 90.0;
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 120)));
+    let sc = timed_run(&mut acc, "storm", cfg, SimTime::from_secs(sim_s as u64));
+    acc.profile = Some(sc.world.profile());
+    let csr = overall_csr(sc.world.metrics(), "ran");
+    let p99 = attach_p99(&sc);
+    finish("attach_storm", seed, acc, sim_s, csr, p99, BTreeMap::new())
+}
+
+/// Scaling ablation sweep (§4.2's "capacity scales linearly with AGWs"):
+/// N ∈ {1, 2, 4} identical sites; the report's profile describes the
+/// largest point, the sweep lands in `virtual.extra`.
+pub fn scaling_ablation(seed: u64) -> BenchReport {
+    let mut acc = RunAccum::new();
+    let sim_s = 60.0;
+    let mut extra = BTreeMap::new();
+    let mut last_csr = 1.0;
+    for &n in &[1usize, 2, 4] {
+        let site = SiteSpec {
+            enbs: 1,
+            ues_per_enb: 20,
+            attach_rate_per_sec: 2.0,
+            traffic: TrafficModel::http_download(),
+            ..SiteSpec::typical()
+        };
+        let mut cfg = ScenarioConfig::new(seed);
+        for _ in 0..n {
+            cfg = cfg.with_agw(AgwSpec::bare_metal(site.clone()));
+        }
+        let sc = timed_run(
+            &mut acc,
+            &format!("n{n}"),
+            cfg,
+            SimTime::from_secs(sim_s as u64),
+        );
+        let rec = sc.world.metrics();
+        let mut aggregate = 0.0;
+        for a in 0..n {
+            let tp = throughput_mbps(
+                rec,
+                &format!("agw{a}.tp_bytes"),
+                SimDuration::from_secs(1),
+            );
+            aggregate += mean_over(&tp, SimTime::from_secs(30), SimTime::from_secs(55));
+        }
+        extra.insert(format!("aggregate_mbps_n{n}"), aggregate);
+        extra.insert(format!("per_agw_mbps_n{n}"), aggregate / n as f64);
+        last_csr = overall_csr(rec, "ran");
+        if n == 4 {
+            acc.profile = Some(sc.world.profile());
+            let p99 = attach_p99(&sc);
+            extra.insert("attach_p99_n4_s".to_string(), p99);
+        }
+    }
+    // Three worlds of sim_s each.
+    let p99 = extra.get("attach_p99_n4_s").copied().unwrap_or(0.0);
+    finish(
+        "scaling_ablation",
+        seed,
+        acc,
+        sim_s * 3.0,
+        last_csr,
+        p99,
+        extra,
+    )
+}
+
+/// Mixed attach + traffic on a typical site with session churn: the
+/// steady-state workload most deployments actually run.
+pub fn mixed(seed: u64) -> BenchReport {
+    let mut acc = RunAccum::new();
+    let sim_s = 120.0;
+    let site = SiteSpec {
+        enbs: 2,
+        ues_per_enb: 30,
+        attach_rate_per_sec: 2.0,
+        traffic: TrafficModel::http_download(),
+        reattach: true,
+        session_lifetime_s: Some((20, 40)),
+        ..SiteSpec::typical()
+    };
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(site));
+    let sc = timed_run(&mut acc, "mixed", cfg, SimTime::from_secs(sim_s as u64));
+    acc.profile = Some(sc.world.profile());
+    let rec = sc.world.metrics();
+    let csr = overall_csr(rec, "ran");
+    let p99 = attach_p99(&sc);
+    let mut extra = BTreeMap::new();
+    extra.insert("detaches".to_string(), rec.counter("agw0.detach"));
+    finish("mixed", seed, acc, sim_s, csr, p99, extra)
+}
+
+/// Backhaul partition and recovery: orchestrator unreachable 20s–70s
+/// while attaches continue (headless operation, §3.2), then telemetry
+/// drains after the link returns.
+pub fn partition_recovery(seed: u64) -> BenchReport {
+    let mut acc = RunAccum::new();
+    let sim_s = 120.0;
+    let site = SiteSpec {
+        enbs: 1,
+        ues_per_enb: 120,
+        attach_rate_per_sec: 2.0,
+        traffic: TrafficModel::http_download(),
+        ..SiteSpec::typical()
+    };
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(site));
+    let sw = HostStopwatch::start();
+    let mut sc = build(cfg);
+    acc.phase("partition.build", sw.elapsed_s());
+    let agw_node = sc.agws[0].node;
+    let orc8r_node = sc.orc8r_node;
+    let sw = HostStopwatch::start();
+    sc.world.run_until(SimTime::from_secs(20));
+    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, false);
+    sc.world.run_until(SimTime::from_secs(70));
+    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, true);
+    sc.world.run_until(SimTime::from_secs(sim_s as u64));
+    acc.phase("partition.run", sw.elapsed_s());
+    acc.events += sc.world.events_processed();
+    acc.profile = Some(sc.world.profile());
+    let rec = sc.world.metrics();
+    let csr = overall_csr(rec, "ran");
+    let p99 = attach_p99(&sc);
+    let mut extra = BTreeMap::new();
+    extra.insert(
+        "metricsd_push_ok".to_string(),
+        sc.world.registry().counter("agw0.metricsd.push_ok"),
+    );
+    extra.insert(
+        "metricsd_snapshots".to_string(),
+        sc.world.registry().counter("agw0.metricsd.snapshots"),
+    );
+    finish("partition_recovery", seed, acc, sim_s, csr, p99, extra)
+}
+
+/// simprof-disabled overhead measurement (the library default is
+/// profiling OFF; testbed/bench turn it on). Returns
+/// `(disabled_eps, enabled_eps, disabled_overhead_pct)`.
+///
+/// The disabled machinery is exactly: one branch on a cached bool per
+/// dispatch, one per CPU submission, and three integer ops per heap
+/// push. We measure the storm's ns-per-event with profiling off, then
+/// microbenchmark a mirror of that fast path and express its per-event
+/// cost as a percentage — this bounds the overhead without needing a
+/// build that lacks the machinery entirely.
+pub fn overhead_measurement(seed: u64) -> (f64, f64, f64) {
+    // Disabled run: library-default world, profiling off.
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 60)));
+    let mut sc = build(cfg);
+    sc.world.enable_profiling(false);
+    let sw = HostStopwatch::start();
+    sc.world.run_until(SimTime::from_secs(60));
+    let disabled_wall = sw.elapsed_s();
+    let disabled_events = sc.world.events_processed();
+    let disabled_eps = disabled_events as f64 / disabled_wall.max(1e-9);
+
+    // Enabled run, same seed.
+    let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 60)));
+    let mut sc = build(cfg);
+    let sw = HostStopwatch::start();
+    sc.world.run_until(SimTime::from_secs(60));
+    let enabled_eps = sc.world.events_processed() as f64 / sw.elapsed_s().max(1e-9);
+
+    // Microbenchmark the disabled fast path: branch + untaken block per
+    // dispatch, branch per exec, heap-stat integer ops per push.
+    let iters: u64 = 20_000_000;
+    let mut peak = 0u64;
+    let mut scheduled = 0u64;
+    let sw = HostStopwatch::start();
+    for i in 0..iters {
+        // Mirror of the two `if prof_on` checks on the dispatch path.
+        if std::hint::black_box(false) {
+            peak += i;
+        }
+        if std::hint::black_box(false) {
+            scheduled += i;
+        }
+        // Mirror of EventQueue::push's always-on heap stats.
+        scheduled += 1;
+        peak = peak.max(std::hint::black_box(scheduled));
+    }
+    std::hint::black_box((peak, scheduled));
+    let guard_ns_per_event = sw.elapsed_ns() as f64 / iters as f64;
+    let event_ns = 1e9 / disabled_eps.max(1e-9);
+    let disabled_overhead_pct = guard_ns_per_event / event_ns * 100.0;
+    (disabled_eps, enabled_eps, disabled_overhead_pct)
+}

@@ -1,0 +1,234 @@
+//! `magma-bench`: the fixed scenario suite with simprof reports.
+//!
+//! ```text
+//! magma-bench                   run the full suite, write BENCH_<name>.json
+//! magma-bench --scenario NAME   run one scenario (smoke | attach_storm |
+//!                               scaling_ablation | mixed | partition_recovery)
+//! magma-bench --smoke           smoke scenario + schema validation + golden
+//!                               diff of the virtual section (installs the
+//!                               golden on first run)
+//! magma-bench --overhead        assert simprof-disabled overhead < 5%
+//! magma-bench --gate            events/sec regression gate vs the checked-in
+//!                               baseline (>10% slower fails; set
+//!                               MAGMA_BENCH_BASELINE_ACCEPT=1 to re-baseline)
+//! magma-bench --out DIR         where BENCH_*.json land (default ".")
+//! ```
+//!
+//! Exit status is non-zero on any validation/gate failure, so the CI job
+//! and `scripts/check.sh bench-smoke` can rely on it. See
+//! docs/PROFILING.md for the report format and the determinism contract.
+
+use magma_bench::{overhead_measurement, run_scenario, BenchReport, BENCH_SEED, SCENARIOS};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Regression threshold for `--gate` (fraction of baseline events/sec).
+const GATE_MAX_REGRESSION: f64 = 0.10;
+/// simprof-disabled overhead ceiling for `--overhead`, percent.
+const OVERHEAD_MAX_PCT: f64 = 5.0;
+
+struct Args {
+    scenario: Option<String>,
+    smoke: bool,
+    overhead: bool,
+    gate: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: None,
+        smoke: false,
+        overhead: false,
+        gate: false,
+        out: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => {
+                args.scenario = Some(it.next().ok_or("--scenario needs a name")?);
+            }
+            "--smoke" => args.smoke = true,
+            "--overhead" => args.overhead = true,
+            "--gate" => args.gate = true,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a dir")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_report(out: &Path, report: &BenchReport) -> std::io::Result<PathBuf> {
+    let path = out.join(format!("BENCH_{}.json", report.scenario));
+    let json = serde_json::to_string_pretty(report).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn run_and_write(name: &str, out: &Path) -> Result<BenchReport, String> {
+    let report = run_scenario(name, BENCH_SEED)
+        .ok_or_else(|| format!("unknown scenario: {name}"))?;
+    let path = write_report(out, &report).map_err(|e| format!("write BENCH json: {e}"))?;
+    eprintln!(
+        "[{}] csr={:.3} attach_p99={:.2}s events={} ({:.0}/s host) -> {}",
+        report.scenario,
+        report.virt.csr,
+        report.virt.attach_p99_s,
+        report.virt.events_simulated,
+        report.host.events_per_sec,
+        path.display()
+    );
+    eprintln!("{}", report.host.top_table);
+    Ok(report)
+}
+
+/// Structural checks every report must pass: schema version, virtual/host
+/// segregation (no host-only key may appear in the virtual section), and
+/// a profile that actually attributed work.
+fn validate(report: &BenchReport) -> Result<(), String> {
+    if report.schema != magma_bench::BENCH_SCHEMA_VERSION {
+        return Err(format!("schema {} != expected", report.schema));
+    }
+    let virt =
+        serde_json::to_string(&report.virt).map_err(|e| format!("serialize virtual: {e}"))?;
+    for host_key in ["wall_s", "events_per_sec", "peak_rss_bytes", "host_ns"] {
+        if virt.contains(host_key) {
+            return Err(format!("virtual section leaked host field `{host_key}`"));
+        }
+    }
+    if report.virt.events_simulated == 0 {
+        return Err("no events simulated".into());
+    }
+    if !report.virt.profile.enabled {
+        return Err("profile was not enabled".into());
+    }
+    if report.virt.profile.rows.is_empty() {
+        return Err("profile attributed no rows".into());
+    }
+    let frac = report.virt.profile.attribution_fraction();
+    if frac < 0.90 {
+        return Err(format!(
+            "only {:.1}% of vCPU-seconds attributed to named rows",
+            frac * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// Smoke mode: run, validate, and diff the virtual section against the
+/// committed golden (installed on first run, like the observability
+/// golden in scripts/check.sh).
+fn smoke_mode(out: &Path) -> Result<(), String> {
+    let report = run_and_write("smoke", out)?;
+    validate(&report)?;
+    let virt = serde_json::to_string_pretty(&report.virt)
+        .map_err(|e| format!("serialize virtual: {e}"))?;
+    let golden_path = Path::new("scripts/golden/bench_smoke_virtual.json");
+    if !golden_path.exists() {
+        if let Some(dir) = golden_path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir golden: {e}"))?;
+        }
+        std::fs::write(golden_path, &virt).map_err(|e| format!("install golden: {e}"))?;
+        eprintln!("bench-smoke: installed golden at {}", golden_path.display());
+        return Ok(());
+    }
+    let golden =
+        std::fs::read_to_string(golden_path).map_err(|e| format!("read golden: {e}"))?;
+    if golden != virt {
+        return Err(format!(
+            "virtual section drifted from {} — if intended, delete the golden and re-run",
+            golden_path.display()
+        ));
+    }
+    eprintln!("bench-smoke: virtual section matches golden");
+    Ok(())
+}
+
+/// Gate mode: compare the smoke scenario's host events/sec against the
+/// checked-in baseline. Documented override: MAGMA_BENCH_BASELINE_ACCEPT=1
+/// rewrites the baseline instead of failing (use after an intentional
+/// slowdown or a runner change).
+fn gate_mode(out: &Path) -> Result<(), String> {
+    let report = run_and_write("smoke", out)?;
+    validate(&report)?;
+    let eps = report.host.events_per_sec;
+    let baseline_path = Path::new("scripts/golden/bench_baseline.json");
+    let accept = std::env::var("MAGMA_BENCH_BASELINE_ACCEPT").is_ok_and(|v| v == "1");
+    let payload = format!("{{\n  \"events_per_sec\": {eps:.0}\n}}\n");
+    if !baseline_path.exists() || accept {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir baseline: {e}"))?;
+        }
+        std::fs::write(baseline_path, payload).map_err(|e| format!("write baseline: {e}"))?;
+        eprintln!(
+            "bench-gate: baseline set to {eps:.0} events/sec at {}",
+            baseline_path.display()
+        );
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse baseline: {e}"))?;
+    let base = value["events_per_sec"].as_f64().unwrap_or(0.0);
+    if base <= 0.0 {
+        return Err("baseline has no events_per_sec".into());
+    }
+    let ratio = eps / base;
+    eprintln!("bench-gate: {eps:.0} events/sec vs baseline {base:.0} ({:.1}%)", ratio * 100.0);
+    if ratio < 1.0 - GATE_MAX_REGRESSION {
+        return Err(format!(
+            "events/sec regressed {:.1}% (> {:.0}% allowed); set MAGMA_BENCH_BASELINE_ACCEPT=1 to re-baseline",
+            (1.0 - ratio) * 100.0,
+            GATE_MAX_REGRESSION * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn overhead_mode() -> Result<(), String> {
+    let (disabled_eps, enabled_eps, disabled_pct) = overhead_measurement(BENCH_SEED);
+    eprintln!(
+        "overhead: disabled {disabled_eps:.0} events/sec, enabled {enabled_eps:.0} events/sec \
+         ({:.1}% enabled cost), disabled fast-path {disabled_pct:.3}% per event",
+        (1.0 - enabled_eps / disabled_eps.max(1e-9)) * 100.0
+    );
+    if disabled_pct >= OVERHEAD_MAX_PCT {
+        return Err(format!(
+            "simprof-disabled overhead {disabled_pct:.2}% >= {OVERHEAD_MAX_PCT}% ceiling"
+        ));
+    }
+    eprintln!("overhead: disabled path is a near-no-op (< {OVERHEAD_MAX_PCT}%)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("magma-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.smoke {
+        smoke_mode(&args.out)
+    } else if args.gate {
+        gate_mode(&args.out)
+    } else if args.overhead {
+        overhead_mode()
+    } else if let Some(name) = &args.scenario {
+        run_and_write(name, &args.out).and_then(|r| validate(&r))
+    } else {
+        SCENARIOS.iter().try_for_each(|name| {
+            run_and_write(name, &args.out).and_then(|r| validate(&r))
+        })
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("magma-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

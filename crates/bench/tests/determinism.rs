@@ -1,0 +1,63 @@
+//! The bench-report determinism contract (docs/PROFILING.md):
+//!
+//! - the `virtual` section is a pure function of (scenario, seed) —
+//!   same-seed runs serialize to byte-identical JSON;
+//! - host-dependent values live only in the `host` section, which is
+//!   excluded from that contract *by construction*: no host field name
+//!   can appear in the virtual bytes.
+
+use magma_bench::smoke;
+
+/// Field names that exist only in the host section (or inside
+/// `HostProfile` rows). None may leak into the virtual bytes.
+const HOST_ONLY_KEYS: [&str; 6] = [
+    "wall_s",
+    "events_per_sec",
+    "peak_rss_bytes",
+    "phase_wall_s",
+    "host_ns",
+    "top_table",
+];
+
+#[test]
+fn same_seed_virtual_sections_are_byte_identical() {
+    let a = smoke(7);
+    let b = smoke(7);
+    let va = serde_json::to_string_pretty(&a.virt).unwrap();
+    let vb = serde_json::to_string_pretty(&b.virt).unwrap();
+    assert_eq!(va, vb, "virtual sections diverged across same-seed runs");
+    // The runs did real work (guards against a vacuous pass on an
+    // empty report).
+    assert!(a.virt.events_simulated > 0);
+    assert!(!a.virt.profile.rows.is_empty());
+}
+
+#[test]
+fn different_seeds_produce_different_virtual_sections() {
+    let a = smoke(7);
+    let b = smoke(8);
+    // Seeds drive UE identities and timer jitter, so the event count
+    // cannot coincide; this keeps the byte-identity test non-vacuous.
+    assert_ne!(
+        (a.virt.events_simulated, a.virt.profile.vcpu_total_s.to_bits()),
+        (b.virt.events_simulated, b.virt.profile.vcpu_total_s.to_bits()),
+        "different seeds produced identical virtual sections"
+    );
+}
+
+#[test]
+fn host_fields_are_segregated_from_virtual_bytes() {
+    let report = smoke(7);
+    let virt = serde_json::to_string_pretty(&report.virt).unwrap();
+    for key in HOST_ONLY_KEYS {
+        assert!(
+            !virt.contains(&format!("\"{key}\"")),
+            "host-only key `{key}` leaked into the virtual section"
+        );
+    }
+    // And the full report does carry them, under `host`.
+    let full = serde_json::to_string(&report).unwrap();
+    assert!(full.contains("\"virtual\""));
+    assert!(full.contains("\"host\""));
+    assert!(full.contains("\"wall_s\""));
+}

@@ -305,7 +305,6 @@ impl Pipeline {
                 out.grants.push((cookie, 0, 0));
                 continue;
             };
-            let entry = entry.clone();
             let ul = match entry.ul_meter {
                 Some(m) => self.meters.grant(m, now, ul_want),
                 None => ul_want,
@@ -314,9 +313,21 @@ impl Pipeline {
                 Some(m) => self.meters.grant(m, now, dl_want),
                 None => dl_want,
             };
-            let u = self.usage.entry(entry.rule_name.clone()).or_default();
-            u.ul_bytes += ul;
-            u.dl_bytes += dl;
+            // Look up by reference first: the rule-name String is cloned
+            // only the first time a name is seen, not once per session per
+            // tick (this was the dominant allocation in the attach-storm
+            // profile; see docs/PROFILING.md).
+            match self.usage.get_mut(&entry.rule_name) {
+                Some(u) => {
+                    u.ul_bytes += ul;
+                    u.dl_bytes += dl;
+                }
+                None => {
+                    let u = self.usage.entry(entry.rule_name.clone()).or_default();
+                    u.ul_bytes += ul;
+                    u.dl_bytes += dl;
+                }
+            }
             let s = self.stats.entry(cookie).or_default();
             s.bytes += ul + dl;
             out.grants.push((cookie, ul, dl));

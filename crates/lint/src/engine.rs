@@ -8,7 +8,7 @@
 //! scanned files are skipped by the rules themselves.
 
 use crate::lexer;
-use crate::rules::{self, FileCtx, Finding, NameUse};
+use crate::rules::{self, FileCtx, Finding, NameUse, ScopeUse};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -105,6 +105,8 @@ impl Report {
 pub struct DocsInventory {
     /// Normalized entries (`<gw>`/`<stage>` holes become `*`).
     pub metrics: Vec<(String, u32)>, // (name, docs line)
+    /// `profile_scope` labels: rows whose Type cell is `scope` (T006).
+    pub scopes: Vec<(String, u32)>,
     /// The whole docs text (for event-kind membership checks).
     pub text: String,
     pub present: bool,
@@ -136,6 +138,7 @@ pub fn parse_docs(root: &Path) -> DocsInventory {
         return DocsInventory::default();
     };
     let mut metrics = Vec::new();
+    let mut scopes = Vec::new();
     let mut inside = false;
     for (idx, line) in text.lines().enumerate() {
         if line.contains("lint:metric-inventory:begin") {
@@ -155,12 +158,25 @@ pub fn parse_docs(root: &Path) -> DocsInventory {
         let rest = &line[open + 1..];
         let Some(close) = rest.find('`') else { continue };
         let name = normalize_docs_entry(&rest[..close]);
-        if !name.is_empty() {
+        if name.is_empty() {
+            continue;
+        }
+        // The Type cell (second `|` column) routes the row: `scope` rows
+        // feed the T006 inventory, everything else is a metric.
+        let type_cell = line
+            .split('|')
+            .nth(2)
+            .map(str::trim)
+            .unwrap_or("");
+        if type_cell == "scope" {
+            scopes.push((name, idx as u32 + 1));
+        } else {
             metrics.push((name, idx as u32 + 1));
         }
     }
     DocsInventory {
         metrics,
+        scopes,
         text,
         present: true,
     }
@@ -267,8 +283,14 @@ fn lint_files_inner(
 ) -> Report {
     let mut report = Report::default();
     let mut all_uses: Vec<NameUse> = Vec::new();
+    let mut all_scope_uses: Vec<ScopeUse> = Vec::new();
     let inventory: Option<Vec<String>> = if docs.present {
         Some(docs.metrics.iter().map(|(n, _)| n.clone()).collect())
+    } else {
+        None
+    };
+    let scope_inventory: Option<Vec<String>> = if docs.present {
+        Some(docs.scopes.iter().map(|(n, _)| n.clone()).collect())
     } else {
         None
     };
@@ -291,6 +313,8 @@ fn lint_files_inner(
         rules::d002_ambient_entropy(&ctx, &mut findings);
         let uses = rules::collect_name_uses(&ctx);
         rules::t_rules(&uses, inventory.as_deref(), &mut findings);
+        let scope_uses = rules::collect_scope_uses(&ctx);
+        rules::t006_scope_labels(&scope_uses, scope_inventory.as_deref(), &mut findings);
         rules::t005_event_kinds(
             &ctx,
             if docs.present { Some(&docs.text) } else { None },
@@ -301,6 +325,7 @@ fn lint_files_inner(
 
         parse_allows(&rel, &masked, &mut report.allows, &mut report.malformed);
         all_uses.extend(uses);
+        all_scope_uses.extend(scope_uses);
         report.findings.extend(findings);
     }
 
@@ -317,6 +342,22 @@ fn lint_files_inner(
                     line: *docs_line,
                     msg: format!(
                         "documented metric {entry:?} matches no call site — stale docs entry"
+                    ),
+                    allowed: false,
+                    reason: None,
+                });
+            }
+        }
+        // T006 reverse direction: documented scopes with no guard left.
+        for (entry, docs_line) in &docs.scopes {
+            if !all_scope_uses.iter().any(|u| &u.name == entry) {
+                report.findings.push(Finding {
+                    rule: "T006",
+                    file: "docs/OBSERVABILITY.md".to_string(),
+                    line: *docs_line,
+                    msg: format!(
+                        "documented scope {entry:?} matches no profile_scope call site \
+                         — stale docs entry"
                     ),
                     allowed: false,
                     reason: None,

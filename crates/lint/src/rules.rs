@@ -17,6 +17,9 @@
 //!   (checked workspace-wide by the engine, not per file).
 //! - `T005` undocumented-event-kind: eventd kind const missing from
 //!   `docs/OBSERVABILITY.md`.
+//! - `T006` scope-label: `profile_scope` label literals must follow the
+//!   metric-name grammar and appear in the docs inventory as `scope`
+//!   rows; stale scope rows are the reverse direction of the same rule.
 //! - `A001` catch-all-dispatch: `_ =>` arm in an actor's top-level
 //!   `match event`.
 //! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(` in agw/orc8r/rpc.
@@ -52,7 +55,7 @@ impl Finding {
 
 /// All rule identifiers, for the summary report.
 pub const ALL_RULES: &[&str] = &[
-    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "A001", "A002",
+    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "A001", "A002",
 ];
 
 /// Known first-segment namespaces for metric names — each is a bounded
@@ -60,7 +63,7 @@ pub const ALL_RULES: &[&str] = &[
 /// alongside `docs/OBSERVABILITY.md`.
 pub const KNOWN_PREFIXES: &[&str] = &[
     // Gateway services (prefixed with the gateway id at runtime).
-    "mme", "sessiond", "mobilityd", "pipelined", "dataplane", "metricsd", "cpu",
+    "mme", "amf", "sessiond", "mobilityd", "pipelined", "dataplane", "metricsd", "cpu",
     // Orchestrator-side (reserved for a future orc8r-local registry).
     "orc8r",
     // RAN-side (emulator-local) and the kernel's own instruments.
@@ -449,6 +452,101 @@ pub fn t_rules(
                 line: u.line,
                 msg: format!(
                     "metric name {:?} is missing from the docs/OBSERVABILITY.md inventory",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// A `profile_scope` label literal captured at a call site.
+#[derive(Debug, Clone)]
+pub struct ScopeUse {
+    pub file: String,
+    pub line: u32,
+    /// Literal with `{...}` interpolations normalized to `*` (labels are
+    /// `&'static str`, so holes never appear in practice).
+    pub name: String,
+}
+
+/// Collect `Ctx::profile_scope(...)` label literals. The guard's
+/// definition takes no literal, so only call sites are captured.
+pub fn collect_scope_uses(ctx: &FileCtx<'_>) -> Vec<ScopeUse> {
+    const CALL: &str = ".profile_scope(";
+    let text = &ctx.masked.text;
+    let bytes = text.as_bytes();
+    let mut uses = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(CALL) {
+        let at = from + pos;
+        from = at + CALL.len();
+        if ctx.skipped(at) {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = at + CALL.len();
+        let mut lit_at = None;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                b'"' if lit_at.is_none() => lit_at = Some(j),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = lit_at else { continue };
+        let Some(lit) = ctx.masked.strings.iter().find(|s| s.start == open) else {
+            continue;
+        };
+        uses.push(ScopeUse {
+            file: ctx.rel.to_string(),
+            line: lit.line,
+            name: normalize_name(&lit.value),
+        });
+    }
+    uses
+}
+
+/// T006 (use direction): scope labels must parse under the metric-name
+/// grammar and appear in the docs inventory as `scope` rows. Labels are
+/// subsystem-local (never gateway-prefixed at registration), so the
+/// T002 prefix check deliberately does not apply. The reverse direction
+/// — a documented scope with no call site — is checked workspace-wide
+/// by the engine under the same rule id.
+pub fn t006_scope_labels(
+    uses: &[ScopeUse],
+    scope_inventory: Option<&[String]>,
+    out: &mut Vec<Finding>,
+) {
+    for u in uses {
+        if !grammar_ok(&u.name) {
+            out.push(Finding {
+                rule: "T006",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "scope label {:?} is not dotted snake_case ([a-z0-9_*] segments)",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+            continue;
+        }
+        let documented = scope_inventory
+            .map(|inv| inv.iter().any(|e| e == &u.name))
+            .unwrap_or(false);
+        if !documented {
+            out.push(Finding {
+                rule: "T006",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "scope label {:?} has no `scope` row in the docs/OBSERVABILITY.md \
+                     inventory",
                     u.name
                 ),
                 allowed: false,

@@ -1,0 +1,6 @@
+//! Known-bad: one scope label breaking the grammar, one well-formed but
+//! missing from the docs scope inventory.
+pub fn hot_loop(ctx: &mut magma_sim::Ctx<'_>) {
+    let _bad = ctx.profile_scope("NotSnake.Case");
+    let _undoc = ctx.profile_scope("dataplane.totally_new_scope");
+}

@@ -1,0 +1,2 @@
+//! No scopes here: the documented one in ../docs is stale by design.
+pub fn nothing() {}

@@ -1,0 +1,5 @@
+//! Lints clean: the scope label is a documented `scope` row in
+//! docs/OBSERVABILITY.md.
+pub fn transmit(ctx: &mut magma_sim::Ctx<'_>) {
+    let _enc = ctx.profile_scope("rpc.encode");
+}

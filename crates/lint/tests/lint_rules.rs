@@ -86,6 +86,44 @@ fn t005_fires_on_undocumented_event_kind() {
 }
 
 #[test]
+fn t006_fires_on_bad_and_undocumented_scope_labels() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/t006_bad_scope.rs");
+    assert_eq!(rules_fired(&report), vec!["T006"], "{}", report.summary());
+    // Both the grammar breach and the missing docs row are flagged.
+    assert_eq!(
+        report.violations().iter().filter(|f| f.rule == "T006").count(),
+        2,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn t006_documented_scope_lints_clean() {
+    let (report, docs) = lint_fixture("ok", "crates/rpc/src/documented_scope.rs");
+    assert!(report.is_clean(), "{}", report.summary());
+    // Non-vacuity: the label really is in the parsed scope inventory,
+    // and scope rows never leak into the metric inventory.
+    assert!(docs.scopes.iter().any(|(n, _)| n == "rpc.encode"));
+    assert!(!docs.metrics.iter().any(|(n, _)| n == "rpc.encode"));
+}
+
+#[test]
+fn t006_stale_docs_scope_fires_in_workspace_mode() {
+    // The drift fixture documents a scope no source guards; only the
+    // whole-workspace scan can see that direction.
+    let report = lint_workspace(&fixtures().join("drift"));
+    let stale: Vec<_> = report
+        .violations()
+        .iter()
+        .filter(|f| f.rule == "T006")
+        .map(|f| f.msg.clone())
+        .collect();
+    assert_eq!(stale.len(), 1, "{}", report.summary());
+    assert!(stale[0].contains("dataplane.ghost_scope"), "{stale:?}");
+}
+
+#[test]
 fn a001_fires_on_catch_all_dispatch() {
     let (report, _) = lint_fixture("bad", "crates/agw/src/a001_catch_all.rs");
     assert_eq!(rules_fired(&report), vec!["A001"], "{}", report.summary());

@@ -163,12 +163,13 @@ impl RpcClient {
         };
         let frame = RpcFrame::request(id, &p.method, p.body.clone());
         self.calls_sent += 1;
+        let bytes = {
+            let _enc = ctx.profile_scope("rpc.encode");
+            encode_frame(&frame)
+        };
         ctx.send(
             self.stack,
-            Box::new(SockCmd::StreamSend {
-                handle,
-                bytes: encode_frame(&frame),
-            }),
+            Box::new(SockCmd::StreamSend { handle, bytes }),
         );
     }
 
@@ -190,7 +191,10 @@ impl RpcClient {
             SockEvent::StreamRecv { handle, bytes }
                 if self.conn == ConnState::Open(handle) =>
             {
-                let frames = self.framer.push(&bytes);
+                let frames = {
+                    let _dec = ctx.profile_scope("rpc.decode");
+                    self.framer.push(&bytes)
+                };
                 let mut out = Vec::new();
                 for f in frames {
                     match f.kind {

@@ -63,7 +63,7 @@ impl RpcServer {
     /// Offer a `SockEvent`; `Err` hands it back if it isn't ours.
     pub fn try_handle(
         &mut self,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         ev: SockEvent,
     ) -> Result<Vec<RpcServerEvent>, SockEvent> {
         match ev {
@@ -76,6 +76,7 @@ impl RpcServer {
             SockEvent::StreamRecv { handle, bytes } if self.conns.contains_key(&handle) => {
                 let mut out = Vec::new();
                 if let Some(framer) = self.conns.get_mut(&handle) {
+                    let _dec = ctx.profile_scope("rpc.decode");
                     for f in framer.push(&bytes) {
                         if f.kind == RpcKind::Request {
                             out.push(RpcServerEvent::Request {
@@ -131,11 +132,15 @@ impl RpcServer {
     }
 
     fn send_frame(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, frame: RpcFrame) {
+        let bytes = {
+            let _enc = ctx.profile_scope("rpc.encode");
+            encode_frame(&frame)
+        };
         ctx.send(
             self.stack,
             Box::new(SockCmd::StreamSend {
                 handle: conn,
-                bytes: encode_frame(&frame),
+                bytes,
             }),
         );
     }

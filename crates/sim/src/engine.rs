@@ -6,11 +6,14 @@ use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
 use crate::event::{EventHandle, EventQueue};
 use crate::eventd::{self, EventLog, Severity};
 use crate::metrics::Recorder;
+use crate::prof::{self, HeapStats, ProfHandle, Profiler, ProfileSnapshot, ScopeGuard};
 use crate::registry::Registry;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 struct Slot {
     actor: Option<Box<dyn Actor>>,
@@ -43,6 +46,11 @@ pub struct Kernel {
     log: Vec<(SimTime, String)>,
     verbose: bool,
     events_processed: u64,
+    /// simprof accumulator, behind an `Rc` so scope guards can record on
+    /// drop without borrowing the kernel. `prof_on` mirrors its enabled
+    /// flag for a branch-only fast path on every dispatch.
+    prof: ProfHandle,
+    prof_on: bool,
 }
 
 /// The simulation world: a set of actors, hosts, and a deterministic event
@@ -71,6 +79,8 @@ impl World {
                 log: Vec::new(),
                 verbose: false,
                 events_processed: 0,
+                prof: Rc::new(RefCell::new(Profiler::default())),
+                prof_on: false,
             },
         }
     }
@@ -78,6 +88,39 @@ impl World {
     /// Enable in-memory event logging (debugging aid; off by default).
     pub fn set_verbose(&mut self, v: bool) {
         self.kernel.verbose = v;
+    }
+
+    /// Switch simprof on or off (off by default). Enabled, every
+    /// dispatch is attributed to its `(actor, event-kind)` pair and
+    /// `Ctx::profile_scope` guards record; disabled, both cost one
+    /// boolean branch. Profiling only observes — it never feeds virtual
+    /// time, so it cannot perturb a seeded run.
+    pub fn enable_profiling(&mut self, on: bool) {
+        self.kernel.prof.borrow_mut().set_enabled(on);
+        self.kernel.prof_on = on;
+    }
+
+    pub fn profiling_enabled(&self) -> bool {
+        self.kernel.prof_on
+    }
+
+    /// Snapshot the profile accumulated so far: a deterministic
+    /// `virtual` section and a wall-clock `host` section (see
+    /// [`ProfileSnapshot`]). Meaningful only after
+    /// [`enable_profiling`](World::enable_profiling); heap stats and
+    /// `events_processed` are filled either way.
+    pub fn profile(&self) -> ProfileSnapshot {
+        let names: Vec<&str> = self.actors.iter().map(|s| s.name.as_str()).collect();
+        self.kernel.prof.borrow().snapshot(
+            &names,
+            self.kernel.queue.stats(),
+            self.kernel.events_processed,
+        )
+    }
+
+    /// Event-heap statistics (always tracked, deterministic).
+    pub fn heap_stats(&self) -> HeapStats {
+        self.kernel.queue.stats()
     }
 
     /// Register a simulated host machine.
@@ -301,12 +344,26 @@ impl World {
             return true;
         };
 
+        // simprof attribution: one branch when disabled; when enabled,
+        // stamp the (actor, kind) pair so vCPU submissions and scope
+        // guards inside this dispatch charge to it, and time the handler.
+        let prof_t0 = if self.kernel.prof_on {
+            let kind = prof::kind_index(&event);
+            self.kernel.prof.borrow_mut().dispatch_begin(idx, kind);
+            Some((kind, prof::host_now()))
+        } else {
+            None
+        };
         {
             let mut ctx = Ctx {
                 kernel: &mut self.kernel,
                 self_id: sched.target,
             };
             actor.handle(&mut ctx, event);
+        }
+        if let Some((kind, t0)) = prof_t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.kernel.prof.borrow_mut().dispatch_end(idx, kind, ns);
         }
         // The actor may have been replaced/killed by itself (rare) — only
         // put it back if the slot is still empty.
@@ -443,6 +500,11 @@ impl<'a> Ctx<'a> {
         };
         let speed = hs.groups[gidx as usize].spec.speed;
         let service = cpu::scaled_service(demand, speed);
+        if self.kernel.prof_on {
+            // Charge virtual CPU-seconds to the dispatch that submitted
+            // the job, once, at submission.
+            self.kernel.prof.borrow_mut().charge_vcpu(service);
+        }
         let gen = self.kernel.gens[self.self_id.0 as usize];
         let job = Job {
             owner: self.self_id,
@@ -467,6 +529,20 @@ impl<'a> Ctx<'a> {
             );
         }
         Ok(())
+    }
+
+    /// Open a simprof scope covering a sub-actor hot path (pipeline
+    /// walk, RPC encode/decode, registry snapshot). The label must be a
+    /// `&'static str` in dotted snake_case, listed in the
+    /// `docs/OBSERVABILITY.md` inventory (magma-lint rule T006), and
+    /// scopes must not nest. Returns an inert guard (one branch) when
+    /// profiling is disabled.
+    pub fn profile_scope(&mut self, label: &'static str) -> ScopeGuard {
+        if self.kernel.prof_on {
+            ScopeGuard::armed(self.kernel.prof.clone(), label)
+        } else {
+            ScopeGuard::inert()
+        }
     }
 
     /// Deterministic RNG shared by the world.

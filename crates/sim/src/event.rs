@@ -5,6 +5,7 @@
 //! runs bit-for-bit deterministic.
 
 use crate::actor::{ActorId, Event};
+use crate::prof::HeapStats;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 #[allow(clippy::disallowed_types)]
@@ -55,6 +56,9 @@ pub(crate) struct EventQueue {
     next_seq: u64,
     // lint:allow(D001, reason = "membership checks on the dispatch hot path; never iterated")
     cancelled: HashSet<u64>,
+    /// Always-on heap statistics for simprof: three integer ops per
+    /// push/cancel, deterministic by construction.
+    stats: HeapStats,
 }
 
 impl EventQueue {
@@ -65,6 +69,7 @@ impl EventQueue {
             next_seq: 0,
             // lint:allow(D001, reason = "see the field declaration — membership-only set")
             cancelled: HashSet::new(),
+            stats: HeapStats::default(),
         }
     }
 
@@ -78,11 +83,19 @@ impl EventQueue {
             gen,
             event,
         });
+        self.stats.scheduled_total += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
         EventHandle(seq)
     }
 
     pub fn cancel(&mut self, handle: EventHandle) {
         self.cancelled.insert(handle.0);
+        self.stats.cancelled_total += 1;
+    }
+
+    /// Heap statistics accumulated since construction.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
     }
 
     /// Pop the next non-cancelled event.

@@ -20,6 +20,7 @@ pub mod engine;
 mod event;
 pub mod eventd;
 pub mod metrics;
+pub mod prof;
 pub mod registry;
 pub mod time;
 
@@ -27,6 +28,9 @@ pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
 pub use engine::{Ctx, ExecError, World};
 pub use event::EventHandle;
+pub use prof::{
+    HeapStats, HostProfile, HostStopwatch, ProfileSnapshot, ScopeGuard, VirtualProfile,
+};
 pub use eventd::{EventLog, Severity, StructuredEvent, DEFAULT_EVENT_CAP};
 pub use metrics::{Histogram, Recorder, Series};
 pub use registry::{

@@ -185,6 +185,9 @@ pub fn msin_for(agw: usize, enb: usize, ue: usize) -> u64 {
 /// Build a scenario from its configuration.
 pub fn build(cfg: ScenarioConfig) -> Scenario {
     let mut world = World::new(cfg.seed);
+    // Experiments want attribution: simprof is on for every testbed world
+    // (the library default is off; see docs/PROFILING.md).
+    world.enable_profiling(true);
     let net = new_net();
     let orc8r = new_orc8r(cfg.quota_bytes);
     orc8r.borrow_mut().checkin_interval_s =

@@ -42,7 +42,9 @@ pub enum EmmCause {
 }
 
 impl EmmCause {
-    fn to_u8(self) -> u8 {
+    /// Wire encoding per TS 24.301 Annex A; also used by gateways when
+    /// tagging telemetry events with the numeric cause.
+    pub fn to_u8(self) -> u8 {
         match self {
             EmmCause::ImsiUnknown => 2,
             EmmCause::IllegalUe => 3,
@@ -53,7 +55,8 @@ impl EmmCause {
         }
     }
 
-    fn from_u8(v: u8) -> Self {
+    /// Inverse of [`EmmCause::to_u8`].
+    pub fn from_u8(v: u8) -> Self {
         match v {
             2 => EmmCause::ImsiUnknown,
             3 => EmmCause::IllegalUe,

@@ -45,6 +45,17 @@ else
     echo "installed new golden export at $GOLDEN"
 fi
 
+echo "==> bench-smoke (BENCH schema + virtual-column golden diff)"
+# Runs the smallest magma-bench scenario, validates the report schema
+# (virtual/host segregation, >=90% vCPU attribution), and byte-diffs the
+# virtual section against scripts/golden/bench_smoke_virtual.json
+# (installed on first run). Host-side numbers are NOT diffed — they are
+# machine-dependent by design; the CI perf gate (magma-bench --gate)
+# covers those with a tolerance instead. See docs/PROFILING.md.
+BENCH_OUT="$(mktemp -d)"
+cargo run --release -p magma-bench -- --smoke --out "$BENCH_OUT"
+rm -rf "$BENCH_OUT"
+
 # Replay the lint summary last so the allow/violation counts are the
 # final thing on screen.
 echo "==> lint summary"

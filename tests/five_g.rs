@@ -47,6 +47,23 @@ fn gnb_attach_over_ngap_creates_5g_session() {
     let rec = w.metrics();
     assert_eq!(rec.counter("agw0.attach.accept"), 3.0, "5G attaches accepted");
 
+    // Registrations record under the AMF's span, stage-for-stage
+    // comparable with the 4G attach span (docs/OBSERVABILITY.md): the
+    // first leg is `ngap`, the generic stages are shared.
+    let reg = w.registry();
+    let total = reg
+        .histogram("agw0.amf.register.total_s")
+        .expect("amf.register span recorded");
+    assert_eq!(total.count, 3, "every accepted registration finishes its span");
+    for stage in ["ngap", "nas_auth", "session_setup", "bearer_install"] {
+        let h = reg
+            .histogram(&format!("agw0.amf.register.{stage}_s"))
+            .unwrap_or_else(|| panic!("missing 5G stage histogram {stage}"));
+        assert_eq!(h.count, 3, "stage {stage} marked once per registration");
+    }
+    // And nothing leaked into the 4G span: this world saw no LTE attach.
+    assert!(reg.histogram("agw0.mme.attach.total_s").is_none());
+
     // Sessions carry the 5G access technology.
     let cp = handle.borrow().checkpoint.clone().unwrap();
     assert_eq!(cp.sessions.len(), 3);
