@@ -17,6 +17,7 @@
 
 use crate::checkpoint::AgwCheckpoint;
 use crate::config::AgwConfig;
+use crate::flows;
 use crate::mobilityd::IpPool;
 use crate::msgs::{AgwHandle, FluidDemand, FluidGrant};
 use crate::pipelined;
@@ -287,8 +288,9 @@ impl AgwActor {
     // ---- S1AP/NAS handling ----
 
     fn send_s1ap(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, msg: &S1apMessage) {
-        ctx.send(
+        ctx.send_to(
             self.cfg.stack,
+            &flows::AGW_S1AP_DL,
             Box::new(SockCmd::StreamSend {
                 handle: conn,
                 bytes: lp_encode(&msg.encode()),
@@ -548,7 +550,7 @@ impl AgwActor {
                 .as_mut()
                 // lint:allow(A002, reason = "guarded by cfg.feg.is_some() above; the client is constructed whenever cfg.feg is set")
                 .expect("feg client in federated mode")
-                .call(ctx, orc8r_proto::methods::FEG_AUTH, req);
+                .call(ctx, &orc8r_proto::flows::FEG_AUTH, req);
             self.calls.insert(id, CallKind::FegAuth { ue });
             return;
         }
@@ -742,7 +744,7 @@ impl AgwActor {
                 session_id: sid,
             });
             if let Some(client) = self.orc8r.as_mut() {
-                let id = client.call(ctx, orc8r_proto::methods::CREDIT_REQUEST, req);
+                let id = client.call(ctx, &orc8r_proto::flows::CREDIT_REQUEST, req);
                 self.calls.insert(id, CallKind::Credit { session: sid });
             }
         }
@@ -857,7 +859,7 @@ impl AgwActor {
                     released_quota: credit.granted,
                 });
                 if let Some(client) = self.orc8r.as_mut() {
-                    let id = client.call(ctx, orc8r_proto::methods::CREDIT_REPORT, report);
+                    let id = client.call(ctx, &orc8r_proto::flows::CREDIT_REPORT, report);
                     self.calls.insert(id, CallKind::CreditReport);
                 }
             }
@@ -974,8 +976,9 @@ impl AgwActor {
                     ctx.metrics().inc(&m, 1.0);
                     RadiusPacket::new(RadiusCode::AccessReject, pkt.identifier)
                 };
-                ctx.send(
+                ctx.send_to(
                     self.cfg.stack,
+                    &flows::AGW_RADIUS_REPLY,
                     Box::new(SockCmd::DgramSend {
                         src_port: local_port,
                         dst: src,
@@ -999,8 +1002,9 @@ impl AgwActor {
                     }
                 }
                 let reply = RadiusPacket::new(RadiusCode::AccountingResponse, pkt.identifier);
-                ctx.send(
+                ctx.send_to(
                     self.cfg.stack,
+                    &flows::AGW_RADIUS_REPLY,
                     Box::new(SockCmd::DgramSend {
                         src_port: local_port,
                         dst: src,
@@ -1164,7 +1168,7 @@ impl AgwActor {
             return;
         };
         for (ran, grants) in batch.grants_by_ran {
-            ctx.send(ran, Box::new(FluidGrant { grants }));
+            ctx.send_to(ran, &flows::FLUID_GRANT, Box::new(FluidGrant { grants }));
         }
         // Session accounting: tiered policies + online credit.
         let mut reprogram = false;
@@ -1195,7 +1199,7 @@ impl AgwActor {
                 session_id: sid,
             });
             if let Some(client) = self.orc8r.as_mut() {
-                let id = client.call(ctx, orc8r_proto::methods::CREDIT_REQUEST, req);
+                let id = client.call(ctx, &orc8r_proto::flows::CREDIT_REQUEST, req);
                 self.calls.insert(id, CallKind::Credit { session: sid });
             }
         }
@@ -1232,7 +1236,7 @@ impl AgwActor {
             metrics,
         });
         if let Some(client) = self.orc8r.as_mut() {
-            let id = client.call(ctx, orc8r_proto::methods::CHECKIN, req);
+            let id = client.call(ctx, &orc8r_proto::flows::CHECKIN, req);
             self.calls.insert(id, CallKind::Checkin);
         }
     }
@@ -1243,7 +1247,7 @@ impl AgwActor {
             hw_token: self.cfg.hw_token,
         });
         if let Some(client) = self.orc8r.as_mut() {
-            let id = client.call(ctx, orc8r_proto::methods::BOOTSTRAP, req);
+            let id = client.call(ctx, &orc8r_proto::flows::BOOTSTRAP, req);
             self.calls.insert(id, CallKind::Bootstrap);
         }
     }
@@ -1266,7 +1270,7 @@ impl AgwActor {
                     // lint:allow(A002, reason = "Checkpoint derives Serialize with no map keys or non-string types that can fail; to_value on it is infallible")
                     state: serde_json::to_value(&cp).expect("checkpoint serializes"),
                 });
-                let id = client.call(ctx, orc8r_proto::methods::CHECKPOINT, push);
+                let id = client.call(ctx, &orc8r_proto::flows::CHECKPOINT, push);
                 self.calls.insert(id, CallKind::Checkpoint);
             }
         }
@@ -1491,14 +1495,16 @@ impl Actor for AgwActor {
                 // report show the truth. Callers can widen via
                 // `set_up_cores` before adding the actor.
                 for port in [ports::S1AP, ports::NGAP] {
-                    ctx.send(
+                    ctx.send_to(
                         self.cfg.stack,
+                        &magma_net::flows::SOCK_CMD,
                         Box::new(SockCmd::ListenStream { port, owner: me }),
                     );
                 }
                 for port in [ports::RADIUS_AUTH, ports::RADIUS_ACCT] {
-                    ctx.send(
+                    ctx.send_to(
                         self.cfg.stack,
+                        &magma_net::flows::SOCK_CMD,
                         Box::new(SockCmd::ListenDgram { port, owner: me }),
                     );
                 }
@@ -1512,12 +1518,12 @@ impl Actor for AgwActor {
                     );
                     self.do_bootstrap(ctx);
                     ctx.timer_in(self.cfg.checkin_interval, T_CHECKIN);
-                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                    ctx.send_self(&flows::AGW_RPC_TICK, SimDuration::from_millis(250), T_RPC);
                 }
                 if let Some(ep) = self.cfg.feg {
                     self.feg = Some(RpcClient::new(self.cfg.stack, ep, 2));
                     if self.cfg.orc8r.is_none() {
-                        ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                        ctx.send_self(&flows::AGW_RPC_TICK, SimDuration::from_millis(250), T_RPC);
                     }
                 }
                 // Rebuild the data plane from restored sessions, if any.
@@ -1540,7 +1546,7 @@ impl Actor for AgwActor {
                         let evs = client.on_tick(ctx);
                         self.handle_rpc_events(ctx, "feg", evs);
                     }
-                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                    ctx.send_self(&flows::AGW_RPC_TICK, SimDuration::from_millis(250), T_RPC);
                 }
                 T_CHECKPOINT => self.take_checkpoint(ctx),
                 t if t >= T_UE_BASE => {

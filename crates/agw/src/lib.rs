@@ -23,6 +23,7 @@
 pub mod actor;
 pub mod checkpoint;
 pub mod config;
+pub mod flows;
 pub mod metricsd;
 pub mod mobilityd;
 pub mod msgs;

@@ -202,7 +202,7 @@ impl MetricsdActor {
         let (Some(client), Some(front)) = (self.orc8r.as_mut(), self.queue.front()) else {
             return;
         };
-        let id = client.call(ctx, orc8r_proto::methods::METRICS_PUSH, json!(front));
+        let id = client.call(ctx, &orc8r_proto::flows::METRICS_PUSH, json!(front));
         self.outstanding = Some(id);
     }
 
@@ -246,7 +246,7 @@ impl Actor for MetricsdActor {
                             total_timeout: SimDuration::from_secs(15),
                         }),
                     );
-                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                    ctx.send_self(&crate::flows::METRICSD_RPC_TICK, SimDuration::from_millis(250), T_RPC);
                 }
                 ctx.timer_in(self.cfg.interval, T_SAMPLE);
             }
@@ -278,7 +278,7 @@ impl Actor for MetricsdActor {
                         let evs = client.on_tick(ctx);
                         self.handle_rpc_events(ctx, evs);
                     }
-                    ctx.timer_in(SimDuration::from_millis(250), T_RPC);
+                    ctx.send_self(&crate::flows::METRICSD_RPC_TICK, SimDuration::from_millis(250), T_RPC);
                 }
                 _ => {}
             },

@@ -15,6 +15,7 @@
 use magma_agw::{AccessTech, FluidDemand, FluidGrant, IpPool, SessionManager};
 use magma_net::{lp_encode, ports, Endpoint, LpFramer, NodeAddr, SockCmd, SockEvent, StreamHandle};
 use magma_policy::PolicyRule;
+use crate::flows;
 use magma_sim::{try_downcast, Actor, ActorId, Ctx, Event, SimDuration};
 use magma_subscriber::SubscriberDb;
 use magma_wire::aka::Rand;
@@ -123,8 +124,9 @@ impl EpcCoreActor {
     }
 
     fn send_s1ap(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, msg: &S1apMessage) {
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &magma_agw::flows::AGW_S1AP_DL,
             Box::new(SockCmd::StreamSend {
                 handle: conn,
                 bytes: lp_encode(&msg.encode()),
@@ -293,8 +295,9 @@ impl EpcCoreActor {
         p.echo_seq = p.echo_seq.wrapping_add(1);
         let pkt = GtpUPacket::echo_request(p.echo_seq);
         let dst = Endpoint::new(p.node, ports::GTPU);
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &magma_agw::flows::EPC_GTPU_ECHO,
             Box::new(SockCmd::DgramSend {
                 src_port: ports::GTPU,
                 dst,
@@ -358,7 +361,7 @@ impl EpcCoreActor {
         } else {
             self.path_mgmt.echo_interval
         };
-        ctx.timer_in(next, T_ECHO);
+        ctx.send_self(&flows::EPC_ECHO_TICK, next, T_ECHO);
     }
 
     fn fluid_tick(&mut self, ctx: &mut Ctx<'_>) {
@@ -382,7 +385,7 @@ impl EpcCoreActor {
                 }
             }
             ctx.metrics().record("epc.tp_bytes", now, total as f64);
-            ctx.send(d.from_ran, Box::new(FluidGrant { grants }));
+            ctx.send_to(d.from_ran, &magma_agw::flows::FLUID_GRANT, Box::new(FluidGrant { grants }));
         }
         ctx.timer_in(SimDuration::from_millis(100), T_FLUID);
     }
@@ -393,21 +396,23 @@ impl Actor for EpcCoreActor {
         match event {
             Event::Start => {
                 let me = ctx.id();
-                ctx.send(
+                ctx.send_to(
                     self.stack,
+                    &magma_net::flows::SOCK_CMD,
                     Box::new(SockCmd::ListenStream {
                         port: ports::S1AP,
                         owner: me,
                     }),
                 );
-                ctx.send(
+                ctx.send_to(
                     self.stack,
+                    &magma_net::flows::SOCK_CMD,
                     Box::new(SockCmd::ListenDgram {
                         port: ports::GTPU,
                         owner: me,
                     }),
                 );
-                ctx.timer_in(self.path_mgmt.echo_interval, T_ECHO);
+                ctx.send_self(&flows::EPC_ECHO_TICK, self.path_mgmt.echo_interval, T_ECHO);
                 ctx.timer_in(SimDuration::from_millis(100), T_FLUID);
             }
             Event::Timer { tag: T_ECHO } => self.echo_tick(ctx),

@@ -7,6 +7,7 @@
 //! sync-model ablations in `magma-testbed`/`magma-bench`.
 
 pub mod core;
+pub mod flows;
 pub mod sync;
 
 pub use crate::core::{EpcCoreActor, PathMgmt};

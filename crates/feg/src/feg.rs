@@ -8,7 +8,8 @@
 use magma_net::{lp_encode, ports, Endpoint, LpFramer, SockCmd, SockEvent, StreamHandle};
 use magma_orc8r::proto::{self as proto, FegAuthRequest, FegAuthResponse, FegVector};
 use magma_rpc::{RpcServer, RpcServerEvent};
-use magma_sim::{downcast, Actor, ActorId, Ctx, Event};
+use crate::flows;
+use magma_sim::{downcast, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
 use magma_wire::diameter::{DiameterPacket, ResultCode, S6aMessage};
 use magma_wire::Imsi;
 use serde_json::json;
@@ -19,7 +20,15 @@ use std::collections::BTreeMap;
 struct PendingProxy {
     conn: StreamHandle,
     rpc_id: u64,
+    /// When the proxy was sent; swept by the S6a expiry tick.
+    at: SimTime,
 }
+
+const T_S6A: u64 = 1;
+/// How long an S6a request may stay unanswered before the FeG gives up
+/// and errors the waiting AGW (whose own RPC retry then kicks in).
+const S6A_TIMEOUT: SimDuration = SimDuration(10_000_000); // 10s
+const S6A_TICK: SimDuration = SimDuration(3_000_000); // 3s
 
 /// The FeG actor.
 pub struct FegActor {
@@ -30,6 +39,7 @@ pub struct FegActor {
     mno_framer: LpFramer,
     next_hbh: u32,
     pending: BTreeMap<u32, PendingProxy>,
+    tick_armed: bool,
     /// Requests queued while the Diameter connection establishes.
     queued: Vec<(StreamHandle, u64, DiameterPacket)>,
     pub proxied: u64,
@@ -45,6 +55,7 @@ impl FegActor {
             mno_framer: LpFramer::new(),
             next_hbh: 1,
             pending: BTreeMap::new(),
+            tick_armed: false,
             queued: Vec::new(),
             proxied: 0,
         }
@@ -52,8 +63,9 @@ impl FegActor {
 
     fn open_mno(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.id();
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &magma_net::flows::SOCK_CMD,
             Box::new(SockCmd::OpenStream {
                 peer: self.mno,
                 owner: me,
@@ -64,8 +76,9 @@ impl FegActor {
 
     fn send_diameter(&mut self, ctx: &mut Ctx<'_>, pkt: &DiameterPacket) {
         if let Some(conn) = self.mno_conn {
-            ctx.send(
+            ctx.send_to(
                 self.stack,
+                &flows::FEG_S6A_REQUEST,
                 Box::new(SockCmd::StreamSend {
                     handle: conn,
                     bytes: lp_encode(&pkt.encode()),
@@ -82,8 +95,13 @@ impl FegActor {
             end_to_end: hbh,
             message: msg,
         };
-        self.pending.insert(hbh, PendingProxy { conn, rpc_id });
+        let at = ctx.now();
+        self.pending.insert(hbh, PendingProxy { conn, rpc_id, at });
         self.proxied += 1;
+        if !self.tick_armed {
+            self.tick_armed = true;
+            ctx.send_self(&flows::FEG_S6A_TICK, S6A_TICK, T_S6A);
+        }
         if self.mno_conn.is_some() {
             self.send_diameter(ctx, &pkt);
         } else {
@@ -102,7 +120,7 @@ impl FegActor {
         match method.as_str() {
             proto::methods::FEG_AUTH => {
                 let Ok(req) = serde_json::from_value::<FegAuthRequest>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad feg auth request");
+                    self.server.reply_err(ctx, conn, id, &proto::flows::FEG_REPLY, "bad feg auth request");
                     return;
                 };
                 self.proxy(
@@ -117,7 +135,7 @@ impl FegActor {
             }
             proto::methods::FEG_UPDATE_LOCATION => {
                 let Ok(req) = serde_json::from_value::<proto::FegLocationRequest>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad feg location request");
+                    self.server.reply_err(ctx, conn, id, &proto::flows::FEG_REPLY, "bad feg location request");
                     return;
                 };
                 // Serving-node id derived from the gateway id hash.
@@ -134,7 +152,7 @@ impl FegActor {
             }
             other => self
                 .server
-                .reply_err(ctx, conn, id, &format!("unknown method {other}")),
+                .reply_err(ctx, conn, id, &proto::flows::FEG_REPLY, &format!("unknown method {other}")),
         }
     }
 
@@ -156,10 +174,10 @@ impl FegActor {
                             })
                             .collect(),
                     };
-                    self.server.reply(ctx, p.conn, p.rpc_id, json!(resp));
+                    self.server.reply(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, json!(resp));
                 } else {
                     self.server
-                        .reply_err(ctx, p.conn, p.rpc_id, "subscriber unknown at MNO");
+                        .reply_err(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, "subscriber unknown at MNO");
                 }
             }
             S6aMessage::UpdateLocationAnswer {
@@ -172,10 +190,10 @@ impl FegActor {
                     ambr_dl_kbps,
                     ambr_ul_kbps,
                 };
-                self.server.reply(ctx, p.conn, p.rpc_id, json!(resp));
+                self.server.reply(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, json!(resp));
             }
             _ => {
-                self.server.reply_err(ctx, p.conn, p.rpc_id, "unexpected answer");
+                self.server.reply_err(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, "unexpected answer");
             }
         }
     }
@@ -218,7 +236,7 @@ impl Actor for FegActor {
                         let pending = std::mem::take(&mut self.pending);
                         for (_, p) in pending {
                             self.server
-                                .reply_err(ctx, p.conn, p.rpc_id, "mno unreachable");
+                                .reply_err(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, "mno unreachable");
                         }
                         self.open_mno(ctx);
                     }
@@ -237,6 +255,26 @@ impl Actor for FegActor {
                             }
                         }
                     }
+                }
+            }
+            Event::Timer { tag: T_S6A } => {
+                let now = ctx.now();
+                let stale: Vec<u32> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| now.since(p.at) >= S6A_TIMEOUT)
+                    .map(|(hbh, _)| *hbh)
+                    .collect();
+                for hbh in stale {
+                    if let Some(p) = self.pending.remove(&hbh) {
+                        self.server
+                            .reply_err(ctx, p.conn, p.rpc_id, &proto::flows::FEG_REPLY, "mno timeout");
+                    }
+                }
+                if self.pending.is_empty() {
+                    self.tick_armed = false;
+                } else {
+                    ctx.send_self(&flows::FEG_S6A_TICK, S6A_TICK, T_S6A);
                 }
             }
             Event::Timer { .. } | Event::CpuDone { .. } => {}

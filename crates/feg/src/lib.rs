@@ -8,6 +8,7 @@
 //! MNO's core so federation paths can be exercised end to end.
 
 pub mod feg;
+pub mod flows;
 pub mod gtpa;
 pub mod mno;
 

@@ -3,6 +3,7 @@
 //! node registrations.
 
 use magma_net::{lp_encode, ports, LpFramer, SockCmd, SockEvent, StreamHandle};
+use crate::flows;
 use magma_sim::{downcast, Actor, ActorId, Ctx, Event};
 use magma_subscriber::SubscriberDb;
 use magma_wire::aka::Rand;
@@ -35,8 +36,9 @@ impl MnoCoreActor {
     }
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, pkt: DiameterPacket) {
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &flows::MNO_S6A_ANSWER,
             Box::new(SockCmd::StreamSend {
                 handle: conn,
                 bytes: lp_encode(&pkt.encode()),
@@ -117,8 +119,9 @@ impl Actor for MnoCoreActor {
         match event {
             Event::Start => {
                 let me = ctx.id();
-                ctx.send(
+                ctx.send_to(
                     self.stack,
+                    &magma_net::flows::SOCK_CMD,
                     Box::new(SockCmd::ListenStream {
                         port: ports::DIAMETER,
                         owner: me,

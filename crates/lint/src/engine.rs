@@ -7,10 +7,40 @@
 //! guard instead (see `clippy.toml`), and `#[cfg(test)]` items inside
 //! scanned files are skipped by the rules themselves.
 
+use crate::flow;
 use crate::lexer;
 use crate::rules::{self, FileCtx, Finding, NameUse, ScopeUse};
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// A loaded, masked source file with precomputed `#[cfg(test)]` skip
+/// ranges. Each file is read and lexed exactly once per run; every rule,
+/// the flow extraction, and the send-site reference scan share this
+/// buffer instead of re-lexing per rule.
+pub struct SourceFile {
+    pub rel: String,
+    pub masked: lexer::Masked,
+    pub skips: Vec<(usize, usize)>,
+}
+
+/// Read and mask `files` (paths must be under `root` for clean rel paths).
+fn load_sources(root: &Path, files: &[PathBuf]) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for path in files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let masked = lexer::mask(&src);
+        let skips = rules::cfg_test_ranges(&masked.text);
+        out.push(SourceFile { rel, masked, skips });
+    }
+    out
+}
 
 /// An inline suppression: `// lint:allow(RULE, reason = "...")`.
 /// Covers findings of `rule` on its own line and the line below.
@@ -32,6 +62,10 @@ pub struct Report {
     pub allows: Vec<Allow>,
     /// Malformed `lint:allow` comments (never suppressible).
     pub malformed: Vec<(String, u32, String)>,
+    /// The extracted message-flow graph (F rules, MESSAGE_FLOW.md).
+    pub flow: flow::FlowGraph,
+    /// Wall-clock self-timing for the run, in milliseconds.
+    pub elapsed_ms: Option<f64>,
 }
 
 impl Report {
@@ -96,6 +130,17 @@ impl Report {
             if violations == 1 { "" } else { "s" },
             if allowed == 1 { "" } else { "s" },
         ));
+        out.push_str(&format!(
+            "  flow graph: {} kinds, {} dispatch surfaces, {} sent\n",
+            self.flow.kinds.len(),
+            self.flow.dispatches.len(),
+            self.flow.sent.len(),
+        ));
+        if let Some(ms) = self.elapsed_ms {
+            out.push_str(&format!(
+                "  self-time: {ms:.1} ms (each file lexed once, shared across rules)\n"
+            ));
+        }
         out
     }
 }
@@ -281,6 +326,8 @@ fn lint_files_inner(
     docs: &DocsInventory,
     check_drift: bool,
 ) -> Report {
+    // lint:allow(D002, reason = "self-timing of the lint tool on the host — not simulation state")
+    let t0 = std::time::Instant::now();
     let mut report = Report::default();
     let mut all_uses: Vec<NameUse> = Vec::new();
     let mut all_scope_uses: Vec<ScopeUse> = Vec::new();
@@ -295,18 +342,11 @@ fn lint_files_inner(
         None
     };
 
-    for path in files {
-        let Ok(src) = fs::read_to_string(path) else {
-            continue;
-        };
-        report.files_scanned += 1;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let masked = lexer::mask(&src);
-        let ctx = FileCtx::new(&rel, &masked);
+    let sources = load_sources(root, files);
+    report.files_scanned = sources.len();
+    let mut per_file_flows: Vec<flow::FileFlows> = Vec::new();
+    for sf in &sources {
+        let ctx = FileCtx::with_skips(&sf.rel, &sf.masked, sf.skips.clone());
 
         let mut findings = Vec::new();
         rules::d001_hash_collections(&ctx, &mut findings);
@@ -322,12 +362,20 @@ fn lint_files_inner(
         );
         rules::a001_catch_all_dispatch(&ctx, &mut findings);
         rules::a002_hot_path_unwrap(&ctx, &mut findings);
+        flow::f005_span_leak(&ctx, &mut findings);
+        per_file_flows.push(flow::extract_file(&ctx));
 
-        parse_allows(&rel, &masked, &mut report.allows, &mut report.malformed);
+        parse_allows(&sf.rel, &sf.masked, &mut report.allows, &mut report.malformed);
         all_uses.extend(uses);
         all_scope_uses.extend(scope_uses);
         report.findings.extend(findings);
     }
+
+    // Assemble the workspace message-flow graph and run F001–F004 over
+    // it. The graph covers exactly the scanned file set, so fixture runs
+    // get the same rules over their own self-contained mini-graphs.
+    report.flow = flow::build_graph(&sources, per_file_flows);
+    flow::graph_rules(&report.flow, &mut report.findings);
 
     // T004: docs entries that no call site registers (stale docs).
     if check_drift && docs.present {
@@ -366,7 +414,30 @@ fn lint_files_inner(
         }
     }
 
+    // F006: docs/MESSAGE_FLOW.md must match the extracted graph byte-
+    // for-byte (workspace scans only — partial file sets would render a
+    // partial graph and flag spurious drift).
+    if check_drift {
+        let rendered = flow::render(&report.flow);
+        let path = root.join("docs/MESSAGE_FLOW.md");
+        let stale = match fs::read_to_string(&path) {
+            Ok(existing) => existing != rendered,
+            Err(_) => true,
+        };
+        if stale {
+            report.findings.push(Finding::new(
+                "F006",
+                "docs/MESSAGE_FLOW.md",
+                1,
+                "generated message-flow graph is stale (or missing) — regenerate with \
+                 `cargo run -p magma-lint -- --write-flow` or MAGMA_FLOW_ACCEPT=1"
+                    .to_string(),
+            ));
+        }
+    }
+
     apply_allows(&mut report);
+    report.elapsed_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
     report
 }
 

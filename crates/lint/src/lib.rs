@@ -6,8 +6,10 @@
 //! (`rustc --edition 2021 crates/lint/src/main.rs` works in a pinch).
 
 pub mod engine;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 
 pub use engine::{lint_files, lint_workspace, parse_docs, workspace_files, Report};
+pub use flow::{render as render_flow, FlowGraph};
 pub use rules::{Finding, ALL_RULES, KNOWN_PREFIXES};

@@ -4,9 +4,14 @@
 //! examples/) against the docs inventory. With explicit files, lints just
 //! those (used by the fixture tests). Exit code 0 iff no unjustified
 //! violations. `--names` dumps the captured metric-name audit, which is
-//! how the OBSERVABILITY.md inventory table is regenerated.
+//! how the OBSERVABILITY.md inventory table is regenerated. `--json`
+//! emits the findings as machine-readable JSON (stable field order);
+//! `--write-flow` (or `MAGMA_FLOW_ACCEPT=1`) regenerates
+//! `docs/MESSAGE_FLOW.md` from the extracted message-flow graph instead
+//! of failing on drift.
 
 mod engine;
+mod flow;
 mod lexer;
 mod rules;
 
@@ -17,6 +22,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut files: Vec<PathBuf> = Vec::new();
     let mut dump_names = false;
+    let mut json = false;
+    let mut write_flow = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -27,11 +34,16 @@ fn main() -> ExitCode {
                 }));
             }
             "--names" => dump_names = true,
+            "--json" => json = true,
+            "--write-flow" => write_flow = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: magma-lint [--root DIR] [--names] [FILES...]\n\
+                    "usage: magma-lint [--root DIR] [--names] [--json] [--write-flow] [FILES...]\n\
                      Lints the workspace (or just FILES) for determinism (D),\n\
-                     telemetry naming (T), and actor hygiene (A) violations."
+                     telemetry naming (T), actor hygiene (A), and message-flow\n\
+                     graph (F) violations. --json emits findings as JSON;\n\
+                     --write-flow (or MAGMA_FLOW_ACCEPT=1) regenerates\n\
+                     docs/MESSAGE_FLOW.md instead of failing on F006 drift."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -45,7 +57,7 @@ fn main() -> ExitCode {
     let root = find_workspace_root(&root);
 
     let docs = engine::parse_docs(&root);
-    let report = if files.is_empty() {
+    let mut report = if files.is_empty() {
         engine::lint_workspace(&root)
     } else {
         let files: Vec<PathBuf> = files
@@ -54,6 +66,20 @@ fn main() -> ExitCode {
             .collect();
         engine::lint_files(&root, &files, &docs)
     };
+
+    // Re-baseline the generated graph doc instead of failing on drift.
+    let accept_flow = write_flow
+        || std::env::var("MAGMA_FLOW_ACCEPT").map(|v| v == "1").unwrap_or(false);
+    if accept_flow {
+        let rendered = flow::render(&report.flow);
+        let path = root.join("docs/MESSAGE_FLOW.md");
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("magma-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("magma-lint: wrote docs/MESSAGE_FLOW.md");
+        report.findings.retain(|f| f.rule != "F006");
+    }
 
     if dump_names {
         // Re-scan for the audit dump (names only, sorted, deduped).
@@ -81,6 +107,15 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if json {
+        print!("{}", json_report(&report, docs.present));
+        return if report.is_clean() && docs.present {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     for f in report.violations() {
         println!("{} {}:{} {}", f.rule, f.file, f.line, f.msg);
     }
@@ -97,6 +132,81 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Render the report as JSON with a stable field order, so downstream
+/// tooling (CI annotations, dashboards) can diff runs byte-for-byte.
+/// Hand-rolled: the lint stays dependency-free.
+fn json_report(report: &engine::Report, docs_present: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"docs_present\": {docs_present},\n"));
+    out.push_str(&format!(
+        "  \"violations\": {},\n",
+        report.violations().len() + report.malformed.len()
+    ));
+    out.push_str(&format!(
+        "  \"allowed\": {},\n",
+        report.findings.iter().filter(|f| f.allowed).count()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\", \
+             \"allowed\": {}, \"reason\": {}}}",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.msg),
+            f.allowed,
+            f.reason
+                .as_ref()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .unwrap_or_else(|| "null".to_string()),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"malformed\": [");
+    for (i, (file, line, msg)) in report.malformed.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {line}, \"msg\": \"{}\"}}",
+            json_escape(file),
+            json_escape(msg),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"unused_allows\": [");
+    let unused: Vec<_> = report.allows.iter().filter(|a| !a.used).collect();
+    for (i, a) in unused.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            json_escape(&a.rule),
+            json_escape(&a.file),
+            a.line,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn find_workspace_root(start: &PathBuf) -> PathBuf {

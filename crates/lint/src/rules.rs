@@ -23,6 +23,9 @@
 //! - `A001` catch-all-dispatch: `_ =>` arm in an actor's top-level
 //!   `match event`.
 //! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(` in agw/orc8r/rpc.
+//! - `F001`–`F006` message-flow graph rules (see `flow`): orphan kinds,
+//!   zero-delay send cycles, missing tie-break contracts, requests
+//!   without retry edges, span leaks, and `docs/MESSAGE_FLOW.md` drift.
 
 use crate::lexer::Masked;
 
@@ -41,7 +44,7 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn new(rule: &'static str, file: &str, line: u32, msg: String) -> Self {
+    pub(crate) fn new(rule: &'static str, file: &str, line: u32, msg: String) -> Self {
         Finding {
             rule,
             file: file.to_string(),
@@ -55,7 +58,8 @@ impl Finding {
 
 /// All rule identifiers, for the summary report.
 pub const ALL_RULES: &[&str] = &[
-    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "A001", "A002",
+    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "A001", "A002", "F001",
+    "F002", "F003", "F004", "F005", "F006",
 ];
 
 /// Known first-segment namespaces for metric names — each is a bounded
@@ -83,7 +87,13 @@ impl<'a> FileCtx<'a> {
         FileCtx { rel, masked, skips }
     }
 
-    fn skipped(&self, offset: usize) -> bool {
+    /// Build from precomputed skip ranges (the engine lexes and scans
+    /// each file exactly once and shares the results across rules).
+    pub fn with_skips(rel: &'a str, masked: &'a Masked, skips: Vec<(usize, usize)>) -> Self {
+        FileCtx { rel, masked, skips }
+    }
+
+    pub(crate) fn skipped(&self, offset: usize) -> bool {
         self.skips.iter().any(|&(a, b)| offset >= a && offset < b)
     }
 
@@ -108,7 +118,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Find word-boundary occurrences of `needle` in `text`.
-fn find_word(text: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_word(text: &str, needle: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut from = 0;
@@ -131,7 +141,7 @@ fn find_word(text: &str, needle: &str) -> Vec<usize> {
 
 /// Byte ranges covered by `#[cfg(test)]` items (test modules, test-only
 /// fns): rules do not apply inside them — tests never feed exports.
-fn cfg_test_ranges(text: &str) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_ranges(text: &str) -> Vec<(usize, usize)> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     for at in find_word(text, "#[cfg(test)]") {
@@ -187,7 +197,7 @@ fn cfg_test_ranges(text: &str) -> Vec<(usize, usize)> {
 /// Given `bytes[open] == b'{'`, return the index just past the matching
 /// closing brace (or `bytes.len()` if unbalanced). Operates on masked
 /// text, so braces inside strings/comments are already blanked.
-fn match_brace(bytes: &[u8], open: usize) -> usize {
+pub(crate) fn match_brace(bytes: &[u8], open: usize) -> usize {
     let mut depth = 0usize;
     let mut j = open;
     while j < bytes.len() {

@@ -1,0 +1,34 @@
+//! F003: a dispatch accepting kinds from two distinct senders with
+//! `tie_break = None` — same-timestamp deliveries need a documented
+//! commutativity key.
+
+use magma_sim::flow_dispatch;
+use magma_sim::{DelayClass, FlowKind, Role};
+
+pub const FROM_RAN: FlowKind = FlowKind {
+    name: "mme.from_ran",
+    sender: "ran",
+    receiver: "agw",
+    class: DelayClass::Transport,
+    role: Role::Data,
+    retry: None,
+};
+
+pub const FROM_FEG: FlowKind = FlowKind {
+    name: "mme.from_feg",
+    sender: "feg",
+    receiver: "agw",
+    class: DelayClass::Transport,
+    role: Role::Data,
+    retry: None,
+};
+
+flow_dispatch! {
+    pub const AGW_DISPATCH: actor = "agw",
+    accepts = [FROM_RAN, FROM_FEG],
+    tie_break = None,
+}
+
+pub fn send_sites() {
+    let _ = (&FROM_RAN, &FROM_FEG);
+}

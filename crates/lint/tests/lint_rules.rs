@@ -163,6 +163,95 @@ fn lint_allow_without_reason_is_malformed_not_suppressing() {
 }
 
 #[test]
+fn f001_fires_on_orphan_kinds() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/f001_orphan.rs");
+    assert_eq!(rules_fired(&report), vec!["F001"], "{}", report.summary());
+    // Never-sent + no-dispatch-arm on the orphan, plus the unknown
+    // ident in the accepts list: three distinct findings.
+    assert_eq!(
+        report.violations().iter().filter(|f| f.rule == "F001").count(),
+        3,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn f002_fires_on_zero_delay_cycle() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/f002_zero_cycle.rs");
+    assert_eq!(rules_fired(&report), vec!["F002"], "{}", report.summary());
+    let msg = &report.violations()[0].msg;
+    assert!(msg.contains("mme.ping") && msg.contains("mme.pong"), "{msg}");
+}
+
+#[test]
+fn f003_fires_on_multi_sender_dispatch_without_tie_break() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/f003_no_tie_break.rs");
+    assert_eq!(rules_fired(&report), vec!["F003"], "{}", report.summary());
+}
+
+#[test]
+fn f004_fires_on_requests_without_valid_retry_edges() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/f004_request_no_retry.rs");
+    assert_eq!(rules_fired(&report), vec!["F004"], "{}", report.summary());
+    // One for the missing retry, one for the dangling target.
+    assert_eq!(
+        report.violations().iter().filter(|f| f.rule == "F004").count(),
+        2,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn f005_fires_on_span_leak() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/f005_span_leak.rs");
+    assert_eq!(rules_fired(&report), vec!["F005"], "{}", report.summary());
+}
+
+#[test]
+fn consistent_flow_graph_lints_clean() {
+    let (report, _) = lint_fixture("ok", "crates/agw/src/flow_ok.rs");
+    assert!(report.is_clean(), "{}", report.summary());
+    // Non-vacuity: the extractor really saw the mini graph.
+    assert_eq!(report.flow.kinds.len(), 2, "{:?}", report.flow.kinds);
+    assert_eq!(report.flow.dispatches.len(), 2);
+    assert_eq!(report.flow.sent.len(), 2);
+}
+
+#[test]
+fn f006_fires_on_stale_message_flow_doc() {
+    // Workspace mode only: the fixture tree commits a doc that does not
+    // match what the extractor renders.
+    let report = lint_workspace(&fixtures().join("flowdrift"));
+    assert_eq!(rules_fired(&report), vec!["F006"], "{}", report.summary());
+}
+
+#[test]
+fn message_flow_doc_is_generated_and_byte_deterministic() {
+    let root = repo_root();
+    let d1 = magma_lint::render_flow(&lint_workspace(&root).flow);
+    let d2 = magma_lint::render_flow(&lint_workspace(&root).flow);
+    assert_eq!(d1, d2, "render is not deterministic across runs");
+    let committed = std::fs::read_to_string(root.join("docs/MESSAGE_FLOW.md"))
+        .expect("docs/MESSAGE_FLOW.md must exist (regenerate with --write-flow)");
+    assert_eq!(
+        committed, d1,
+        "docs/MESSAGE_FLOW.md drifted — regenerate with `cargo run -p magma-lint -- --write-flow`"
+    );
+    // The paper's core edge sets are present with their delay classes.
+    for needle in [
+        "| `ran.s1ap_ul` | `ran.enb` | `agw` | transport | request |",
+        "| `orc8r.Checkin` | `agw` | `orc8r` | transport | request |",
+        "| `feg.AuthInfo` | `agw` | `feg` | transport | request |",
+        "| `sync.Subscribers` | `orc8r` | `agw` | transport | data |",
+        "| `ran.fluid_demand` | `ran` | `agw` | zero | data |",
+    ] {
+        assert!(committed.contains(needle), "missing edge row: {needle}");
+    }
+}
+
+#[test]
 fn workspace_lints_clean() {
     // The acceptance gate itself: the real tree has zero unjustified
     // violations and zero docs drift (T004 runs in workspace mode).
@@ -176,4 +265,15 @@ fn workspace_lints_clean() {
     }
     assert!(report.is_clean(), "workspace not lint-clean:\n{msg}");
     assert!(report.files_scanned > 90, "scan scope collapsed: {} files", report.files_scanned);
+    // The flow graph covers the real message surface, not a remnant.
+    assert!(
+        report.flow.kinds.len() >= 25,
+        "flow graph collapsed: {} kinds",
+        report.flow.kinds.len()
+    );
+    assert!(
+        report.flow.dispatches.len() >= 8,
+        "flow graph collapsed: {} dispatch surfaces",
+        report.flow.dispatches.len()
+    );
 }

@@ -16,6 +16,7 @@
 //! or swapping profiles at runtime.
 
 pub mod addr;
+pub mod flows;
 pub mod frame;
 pub mod link;
 pub mod stack;

@@ -7,6 +7,7 @@
 //! [`Topology`](crate::topology::Topology).
 
 use crate::addr::{ports, Endpoint, NodeAddr};
+use crate::flows;
 use crate::frame::{Frame, FramePayload};
 use crate::stream::{ConnKey, RtoOutcome, StreamConfig, StreamFrame, StreamHandle, StreamState};
 use crate::topology::NetHandle;
@@ -147,7 +148,7 @@ impl NetStack {
             net.transmit(now, src, dst, size, ctx.rng())
         };
         if let Some((arrival, stack)) = outcome {
-            ctx.send_in(stack, arrival.since(now), Box::new(frame));
+            ctx.send_to_in(stack, &flows::NET_FRAME, arrival.since(now), Box::new(frame));
         }
     }
 
@@ -164,7 +165,11 @@ impl NetStack {
         if need {
             conn.armed = Some(deadline);
             let now = ctx.now();
-            ctx.timer_in(deadline.since(now).max(magma_sim::SimDuration(1)), conn.handle.0);
+            ctx.send_self(
+                &flows::NET_RTO,
+                deadline.since(now).max(magma_sim::SimDuration(1)),
+                conn.handle.0,
+            );
         }
     }
 
@@ -198,8 +203,9 @@ impl NetStack {
                 if let Some(conn) = self.conns.get_mut(&key) {
                     Self::arm_timer(ctx, conn);
                 }
-                ctx.send(
+                ctx.send_to(
                     owner,
+                    &flows::SOCK_EVENT,
                     Box::new(SockEvent::StreamOpened { handle, user, peer }),
                 );
             }
@@ -236,8 +242,9 @@ impl NetStack {
                         from_initiator: conn.state.is_initiator,
                     };
                     self.tx_stream(ctx, peer, vec![reset]);
-                    ctx.send(
+                    ctx.send_to(
                         conn.owner,
+                        &flows::SOCK_EVENT,
                         Box::new(SockEvent::StreamClosed {
                             handle,
                             error: false,
@@ -272,8 +279,9 @@ impl NetStack {
                 bytes,
             } => {
                 if let Some(&owner) = self.dgram_listeners.get(&dst_port) {
-                    ctx.send(
+                    ctx.send_to(
                         owner,
+                        &flows::SOCK_EVENT,
                         Box::new(SockEvent::DgramRecv {
                             local_port: dst_port,
                             src: Endpoint::new(frame.src, src_port),
@@ -315,8 +323,9 @@ impl NetStack {
                         },
                     );
                     self.handles.insert(handle, key);
-                    ctx.send(
+                    ctx.send_to(
                         owner,
+                        &flows::SOCK_EVENT,
                         Box::new(SockEvent::StreamAccepted {
                             handle,
                             local_port: key.responder.port,
@@ -343,14 +352,22 @@ impl NetStack {
             let owner = conn.owner;
             self.handles.remove(&handle);
             self.conns.remove(&key);
-            ctx.send(owner, Box::new(SockEvent::StreamClosed { handle, error: true }));
+            ctx.send_to(
+                owner,
+                &flows::SOCK_EVENT,
+                Box::new(SockEvent::StreamClosed { handle, error: true }),
+            );
             return;
         }
         let (frames, deliver) = conn.state.on_frame(sf, now);
         let handle = conn.handle;
         let owner = conn.owner;
         for bytes in deliver {
-            ctx.send(owner, Box::new(SockEvent::StreamRecv { handle, bytes }));
+            ctx.send_to(
+                owner,
+                &flows::SOCK_EVENT,
+                Box::new(SockEvent::StreamRecv { handle, bytes }),
+            );
         }
         let peer = peer_node(&key, conn.state.is_initiator);
         self.tx_stream(ctx, peer, frames);
@@ -395,7 +412,11 @@ impl NetStack {
                     from_initiator: is_initiator,
                 };
                 self.tx_stream(ctx, peer, vec![reset]);
-                ctx.send(owner, Box::new(SockEvent::StreamClosed { handle, error: true }));
+                ctx.send_to(
+                    owner,
+                    &flows::SOCK_EVENT,
+                    Box::new(SockEvent::StreamClosed { handle, error: true }),
+                );
                 ctx.metrics().inc("net.stream.dead", 1.0);
             }
             RtoOutcome::Idle => {}

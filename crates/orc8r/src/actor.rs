@@ -9,11 +9,29 @@ use crate::proto::*;
 use crate::state::Orc8rHandle;
 use magma_net::{SockEvent, StreamHandle};
 use magma_rpc::{RpcServer, RpcServerEvent};
-use magma_sim::{downcast, Actor, ActorId, Ctx, Event, SimDuration};
+use magma_sim::{downcast, flow_dispatch, Actor, ActorId, Ctx, Event, SimDuration};
 use serde_json::json;
 use std::collections::BTreeMap;
 
 const TICK: SimDuration = SimDuration(500_000); // 500ms push cadence
+
+flow_dispatch! {
+    /// The orchestrator's ingress surface: socket events from its local
+    /// stack plus every southbound RPC method. Same-timestamp requests
+    /// from different gateways commute — all per-gateway state (certs,
+    /// check-in records, metric stores) is keyed by `agw_id`/connection.
+    pub const ORC8R_DISPATCH: actor = "orc8r",
+    accepts = [
+        magma_net::flows::SOCK_EVENT,
+        flows::BOOTSTRAP,
+        flows::CHECKIN,
+        flows::CHECKPOINT,
+        flows::CREDIT_REQUEST,
+        flows::CREDIT_REPORT,
+        flows::METRICS_PUSH,
+    ],
+    tie_break = Some("agw_id / stream handle (per-gateway state is disjoint)"),
+}
 
 struct ConnInfo {
     agw_id: Option<String>,
@@ -48,7 +66,7 @@ impl Orc8rActor {
         match method.as_str() {
             methods::BOOTSTRAP => {
                 let Ok(req) = serde_json::from_value::<BootstrapRequest>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad bootstrap request");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad bootstrap request");
                     return;
                 };
                 let cert = self.state.borrow_mut().bootstrap(&req.agw_id, req.hw_token);
@@ -57,11 +75,11 @@ impl Orc8rActor {
                 }
                 ctx.metrics().inc("orc8r.bootstraps", 1.0);
                 self.server
-                    .reply(ctx, conn, id, json!(BootstrapResponse { cert }));
+                    .reply(ctx, conn, id, &flows::ORC8R_REPLY, json!(BootstrapResponse { cert }));
             }
             methods::CHECKIN => {
                 let Ok(req) = serde_json::from_value::<CheckinRequest>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad checkin request");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad checkin request");
                     return;
                 };
                 let mut st = self.state.borrow_mut();
@@ -76,7 +94,7 @@ impl Orc8rActor {
                 );
                 if !ok {
                     drop(st);
-                    self.server.reply_err(ctx, conn, id, "unregistered gateway");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "unregistered gateway");
                     return;
                 }
                 if let Some(info) = self.conns.get_mut(&conn) {
@@ -96,21 +114,21 @@ impl Orc8rActor {
                 };
                 drop(st);
                 ctx.metrics().inc("orc8r.checkins", 1.0);
-                self.server.reply(ctx, conn, id, json!(resp));
+                self.server.reply(ctx, conn, id, &flows::ORC8R_REPLY, json!(resp));
             }
             methods::CHECKPOINT => {
                 let Ok(req) = serde_json::from_value::<CheckpointPush>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad checkpoint");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad checkpoint");
                     return;
                 };
                 self.state
                     .borrow_mut()
                     .store_checkpoint(&req.agw_id, req.state);
-                self.server.reply(ctx, conn, id, json!({}));
+                self.server.reply(ctx, conn, id, &flows::ORC8R_REPLY, json!({}));
             }
             methods::CREDIT_REQUEST => {
                 let Ok(req) = serde_json::from_value::<CreditRequest>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad credit request");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad credit request");
                     return;
                 };
                 let answer = self
@@ -131,11 +149,11 @@ impl Orc8rActor {
                     },
                 };
                 ctx.metrics().inc("orc8r.ocs.requests", 1.0);
-                self.server.reply(ctx, conn, id, json!(resp));
+                self.server.reply(ctx, conn, id, &flows::ORC8R_REPLY, json!(resp));
             }
             methods::CREDIT_REPORT => {
                 let Ok(req) = serde_json::from_value::<CreditReport>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad credit report");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad credit report");
                     return;
                 };
                 self.state.borrow_mut().ocs.report_usage(
@@ -143,11 +161,11 @@ impl Orc8rActor {
                     req.used_bytes,
                     req.released_quota,
                 );
-                self.server.reply(ctx, conn, id, json!({}));
+                self.server.reply(ctx, conn, id, &flows::ORC8R_REPLY, json!({}));
             }
             methods::METRICS_PUSH => {
                 let Ok(req) = serde_json::from_value::<MetricsPush>(body) else {
-                    self.server.reply_err(ctx, conn, id, "bad metrics push");
+                    self.server.reply_err(ctx, conn, id, &flows::ORC8R_REPLY, "bad metrics push");
                     return;
                 };
                 let (accepted, last_seq) = {
@@ -174,11 +192,11 @@ impl Orc8rActor {
                 };
                 ctx.metrics().inc("orc8r.metrics_pushes", 1.0);
                 self.server
-                    .reply(ctx, conn, id, json!(MetricsAck { accepted, last_seq }));
+                    .reply(ctx, conn, id, &flows::ORC8R_REPLY, json!(MetricsAck { accepted, last_seq }));
             }
             other => {
                 self.server
-                    .reply_err(ctx, conn, id, &format!("unknown method {other}"));
+                    .reply_err(ctx, conn, id, &flows::ORC8R_REPLY, &format!("unknown method {other}"));
             }
         }
     }
@@ -201,7 +219,7 @@ impl Orc8rActor {
                 ctx,
                 conn,
                 version,
-                methods::PUSH_SUBSCRIBERS,
+                &flows::PUSH_SUBSCRIBERS,
                 json!(snapshot),
             ) {
                 if let Some(info) = self.conns.get_mut(&conn) {

@@ -29,6 +29,115 @@ pub mod methods {
     pub const METRICS_PUSH: &str = "metricsd.Push";
 }
 
+/// Flow-kind declarations for every RPC edge on the orchestrator and
+/// federation interfaces (see `magma_sim::flow` and the generated
+/// `docs/MESSAGE_FLOW.md`). Kind names double as wire method names — a
+/// unit test pins them to [`methods`] so server-side match arms and
+/// client-side calls can never drift apart.
+///
+/// All edges here are `Transport` class: they ride the RPC stream over
+/// the modeled backhaul, which makes them shard-cut candidates for a
+/// partitioned kernel. Request kinds name the client tick timer that
+/// drives their deadline/retry machinery (`RpcClient::on_tick`), which
+/// lint rule F004 checks against the declared timer kinds.
+pub mod flows {
+    use magma_sim::{DelayClass, FlowKind, Role};
+
+    /// Gateway registration (bootstrapper).
+    pub const BOOTSTRAP: FlowKind = FlowKind {
+        name: "orc8r.Bootstrap",
+        sender: "agw",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Periodic gateway check-in: state report + config pull.
+    pub const CHECKIN: FlowKind = FlowKind {
+        name: "orc8r.Checkin",
+        sender: "agw",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Runtime-state checkpoint upload (backup AGW instance, §3.3).
+    pub const CHECKPOINT: FlowKind = FlowKind {
+        name: "orc8r.Checkpoint",
+        sender: "agw",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Online charging: request a quota.
+    pub const CREDIT_REQUEST: FlowKind = FlowKind {
+        name: "ocs.CreditRequest",
+        sender: "agw",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Online charging: report usage / release reservation.
+    pub const CREDIT_REPORT: FlowKind = FlowKind {
+        name: "ocs.CreditReport",
+        sender: "agw",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Telemetry: a gateway `metricsd` registry snapshot.
+    pub const METRICS_PUSH: FlowKind = FlowKind {
+        name: "metricsd.Push",
+        sender: "agw.metricsd",
+        receiver: "orc8r",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.metricsd.rpc_tick"),
+    };
+    /// Server-push frame for subscriber/config sync (desired state flows
+    /// downhill unprompted; delivery is best-effort per connection).
+    pub const PUSH_SUBSCRIBERS: FlowKind = FlowKind {
+        name: "sync.Subscribers",
+        sender: "orc8r",
+        receiver: "agw",
+        class: DelayClass::Transport,
+        role: Role::Data,
+        retry: None,
+    };
+    /// Any unary response from the orchestrator (success or error). One
+    /// kind covers all reply bodies: the response edge is demand-bounded
+    /// 1:1 against its request, whatever the payload.
+    pub const ORC8R_REPLY: FlowKind = FlowKind {
+        name: "orc8r.reply",
+        sender: "orc8r",
+        receiver: "*",
+        class: DelayClass::Transport,
+        role: Role::Response,
+        retry: None,
+    };
+    /// Federation: fetch auth vectors from the MNO HSS via the FeG.
+    pub const FEG_AUTH: FlowKind = FlowKind {
+        name: "feg.AuthInfo",
+        sender: "agw",
+        receiver: "feg",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("agw.rpc_tick"),
+    };
+    /// Any unary response from the federation gateway.
+    pub const FEG_REPLY: FlowKind = FlowKind {
+        name: "feg.reply",
+        sender: "feg",
+        receiver: "agw",
+        class: DelayClass::Transport,
+        role: Role::Response,
+        retry: None,
+    };
+}
+
 /// Federation: authentication-information request (proxied S6a AIR).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FegAuthRequest {
@@ -168,6 +277,20 @@ pub struct MetricsAck {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flow_kind_names_match_wire_methods() {
+        // Server-side match arms key on `methods::*` strings; clients
+        // send `flows::*.name` as the wire method. Pin them together.
+        assert_eq!(flows::BOOTSTRAP.name, methods::BOOTSTRAP);
+        assert_eq!(flows::CHECKIN.name, methods::CHECKIN);
+        assert_eq!(flows::CHECKPOINT.name, methods::CHECKPOINT);
+        assert_eq!(flows::CREDIT_REQUEST.name, methods::CREDIT_REQUEST);
+        assert_eq!(flows::CREDIT_REPORT.name, methods::CREDIT_REPORT);
+        assert_eq!(flows::METRICS_PUSH.name, methods::METRICS_PUSH);
+        assert_eq!(flows::PUSH_SUBSCRIBERS.name, methods::PUSH_SUBSCRIBERS);
+        assert_eq!(flows::FEG_AUTH.name, methods::FEG_AUTH);
+    }
 
     #[test]
     fn checkin_roundtrips_via_json() {

@@ -6,6 +6,7 @@
 //! configured schedule and generating traffic, while measuring the
 //! connection success rate and achieved throughput from the RAN side.
 
+use crate::flows;
 use crate::radio::SectorModel;
 use crate::ue::{UePhase, UeSim};
 use magma_agw::{FluidDemand, FluidGrant};
@@ -148,8 +149,9 @@ impl EnodebActor {
 
     fn send_s1ap(&mut self, ctx: &mut Ctx<'_>, msg: &S1apMessage) {
         if let Some(conn) = self.conn {
-            ctx.send(
+            ctx.send_to(
                 self.cfg.stack,
+                &magma_agw::flows::RAN_S1AP_UL,
                 Box::new(SockCmd::StreamSend {
                     handle: conn,
                     bytes: lp_encode(&msg.encode()),
@@ -160,8 +162,9 @@ impl EnodebActor {
 
     fn open_s1(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.id();
-        ctx.send(
+        ctx.send_to(
             self.cfg.stack,
+            &magma_net::flows::SOCK_CMD,
             Box::new(SockCmd::OpenStream {
                 peer: self.cfg.agw_ctrl,
                 owner: me,
@@ -207,7 +210,11 @@ impl EnodebActor {
         let d = self.radio_delay(ctx);
         let epoch = self.slots[idx].attempt_epoch;
         let _ = epoch;
-        ctx.timer_in(self.cfg.ue_attach_timeout, T_UETO_BASE + idx as u64);
+        ctx.send_self(
+            &flows::ENB_ATTACH_TIMEOUT,
+            self.cfg.ue_attach_timeout,
+            T_UETO_BASE + idx as u64,
+        );
         // Model the radio leg as delay before the S1AP send.
         let bytes = lp_encode(&msg.encode());
         if let Some(conn) = self.conn {
@@ -215,7 +222,11 @@ impl EnodebActor {
             // Delay the send by scheduling a message to ourselves is
             // overkill; the radio delay is folded into the send delay.
             let _ = d;
-            ctx.send(stack, Box::new(SockCmd::StreamSend { handle: conn, bytes }));
+            ctx.send_to(
+                stack,
+                &magma_agw::flows::RAN_S1AP_UL,
+                Box::new(SockCmd::StreamSend { handle: conn, bytes }),
+            );
         }
     }
 
@@ -410,8 +421,9 @@ impl EnodebActor {
             let m = self.probe("offered_bytes");
             ctx.metrics().record(&m, now, offered as f64);
             let me = ctx.id();
-            ctx.send(
+            ctx.send_to(
                 self.cfg.agw_actor,
+                &magma_agw::flows::FLUID_DEMAND,
                 Box::new(FluidDemand {
                     from_ran: me,
                     demands,
@@ -453,8 +465,9 @@ impl Actor for EnodebActor {
                 // GTP-U endpoint: the traditional-EPC baseline probes the
                 // eNB's user-plane path with GTP echo requests.
                 let me = ctx.id();
-                ctx.send(
+                ctx.send_to(
                     self.cfg.stack,
+                    &magma_net::flows::SOCK_CMD,
                     Box::new(SockCmd::ListenDgram {
                         port: magma_net::ports::GTPU,
                         owner: me,
@@ -574,8 +587,9 @@ impl Actor for EnodebActor {
                             if pkt.msg_type == gtpu_type::ECHO_REQUEST {
                                 let mut resp = GtpUPacket::echo_request(pkt.seq.unwrap_or(0));
                                 resp.msg_type = gtpu_type::ECHO_RESPONSE;
-                                ctx.send(
+                                ctx.send_to(
                                     self.cfg.stack,
+                                    &magma_agw::flows::ENB_GTPU_ECHO_REPLY,
                                     Box::new(SockCmd::DgramSend {
                                         src_port: magma_net::ports::GTPU,
                                         dst: src,

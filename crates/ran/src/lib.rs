@@ -9,6 +9,7 @@
 //! (§4.3.1) via RADIUS against the AGW's AAA.
 
 pub mod enb;
+pub mod flows;
 pub mod radio;
 pub mod ue;
 pub mod wifi;

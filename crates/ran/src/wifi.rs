@@ -3,6 +3,7 @@
 //! (§4.3.1, Figure 10), where the "UE" is a fixed wireless modem serving
 //! a hotspot.
 
+use crate::flows;
 use crate::radio::SectorModel;
 use magma_agw::{FluidDemand, FluidGrant};
 use magma_net::{ports, Endpoint, SockCmd, SockEvent};
@@ -65,8 +66,9 @@ impl WifiApActor {
             .with_attr(Attribute::string(attr::USER_PASSWORD, &self.cfg.password))
             .with_attr(Attribute::string(attr::ACCT_SESSION_ID, &self.cfg.name))
             .with_attr(Attribute::string(attr::CALLING_STATION_ID, &self.cfg.name));
-        ctx.send(
+        ctx.send_to(
             self.cfg.stack,
+            &magma_agw::flows::WIFI_RADIUS_AUTH,
             Box::new(SockCmd::DgramSend {
                 src_port: LOCAL_PORT,
                 dst: self.cfg.agw_aaa,
@@ -80,8 +82,9 @@ impl WifiApActor {
         let pkt = RadiusPacket::new(RadiusCode::AccountingRequest, self.ident)
             .with_attr(Attribute::u32(attr::ACCT_STATUS_TYPE, acct_status::STOP))
             .with_attr(Attribute::string(attr::ACCT_SESSION_ID, &self.cfg.name));
-        ctx.send(
+        ctx.send_to(
             self.cfg.stack,
+            &magma_agw::flows::WIFI_RADIUS_ACCT,
             Box::new(SockCmd::DgramSend {
                 src_port: LOCAL_PORT,
                 dst: Endpoint::new(self.cfg.agw_aaa.node, ports::RADIUS_ACCT),
@@ -97,8 +100,9 @@ impl Actor for WifiApActor {
         match event {
             Event::Start => {
                 let me = ctx.id();
-                ctx.send(
+                ctx.send_to(
                     self.cfg.stack,
+                    &magma_net::flows::SOCK_CMD,
                     Box::new(SockCmd::ListenDgram {
                         port: LOCAL_PORT,
                         owner: me,
@@ -111,7 +115,7 @@ impl Actor for WifiApActor {
                 if !self.authed {
                     self.send_auth(ctx);
                     // Retry until accepted (RADIUS is datagram-based).
-                    ctx.timer_in(SimDuration::from_secs(3), T_AUTH);
+                    ctx.send_self(&flows::WIFI_AUTH_TICK, SimDuration::from_secs(3), T_AUTH);
                 }
             }
             Event::Timer { tag: T_FLUID } => {
@@ -124,8 +128,9 @@ impl Actor for WifiApActor {
                         ul = (ul as f64 * scale) as u64;
                         dl = (dl as f64 * scale) as u64;
                         let me = ctx.id();
-                        ctx.send(
+                        ctx.send_to(
                             self.cfg.agw_actor,
+                            &magma_agw::flows::FLUID_DEMAND,
                             Box::new(FluidDemand {
                                 from_ran: me,
                                 demands: vec![(teid, ul, dl)],

@@ -8,8 +8,8 @@
 
 use crate::codec::{encode_frame, Framer};
 use crate::msg::{RpcFrame, RpcKind};
-use magma_net::{Endpoint, SockCmd, SockEvent, StreamHandle};
-use magma_sim::{ActorId, Ctx, SimDuration, SimTime};
+use magma_net::{flows, Endpoint, SockCmd, SockEvent, StreamHandle};
+use magma_sim::{ActorId, Ctx, FlowKind, Role, SimDuration, SimTime};
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -120,8 +120,9 @@ impl RpcClient {
         if self.conn == ConnState::Idle {
             self.conn = ConnState::Opening;
             let owner = ctx.id();
-            ctx.send(
+            ctx.send_to(
                 self.stack,
+                &flows::SOCK_CMD,
                 Box::new(SockCmd::OpenStream {
                     peer: self.server,
                     owner,
@@ -133,14 +134,25 @@ impl RpcClient {
 
     /// Issue a unary call. Returns the call id; the owner will receive a
     /// `Response` or `Failed` event for it later.
-    pub fn call(&mut self, ctx: &mut Ctx<'_>, method: &str, body: Value) -> u64 {
+    ///
+    /// The flow kind carries the wire method name and declares the edge's
+    /// place in the message-flow graph (`docs/MESSAGE_FLOW.md`); every
+    /// unary call must be a `Request`-role kind with a registered retry
+    /// timer, which is exactly what the client's deadline/retry machinery
+    /// provides (lint rule F004 audits the declaration side).
+    pub fn call(&mut self, ctx: &mut Ctx<'_>, kind: &'static FlowKind, body: Value) -> u64 {
+        debug_assert!(
+            kind.role == Role::Request && kind.retry.is_some(),
+            "RPC calls must use a Request-role flow kind with a retry edge, got {}",
+            kind.name
+        );
         let id = self.next_id;
         self.next_id += 1;
         let now = ctx.now();
         self.outstanding.insert(
             id,
             Pending {
-                method: method.to_string(),
+                method: kind.name.to_string(),
                 body,
                 deadline: now + self.cfg.total_timeout,
                 retries_left: self.cfg.max_retries,
@@ -167,8 +179,9 @@ impl RpcClient {
             let _enc = ctx.profile_scope("rpc.encode");
             encode_frame(&frame)
         };
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &flows::SOCK_CMD,
             Box::new(SockCmd::StreamSend { handle, bytes }),
         );
     }

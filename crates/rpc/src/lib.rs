@@ -21,8 +21,35 @@ pub use server::{RpcServer, RpcServerEvent};
 mod tests {
     use super::*;
     use magma_net::{new_net, Endpoint, LinkProfile, NetStack, SockEvent};
-    use magma_sim::{downcast, Actor, Ctx, Event, SimDuration, SimTime, World};
+    use magma_sim::{downcast, Actor, Ctx, DelayClass, Event, FlowKind, Role, SimDuration, SimTime, World};
     use serde_json::{json, Value};
+
+    // Test-local flow kinds (the real topology declares these in the
+    // contract crates; here the caller/echo pair is self-contained).
+    const ECHO: FlowKind = FlowKind {
+        name: "echo.Echo",
+        sender: "test.caller",
+        receiver: "test.echo",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("test.caller.tick"),
+    };
+    const ECHO_NO_SUCH: FlowKind = FlowKind {
+        name: "echo.NoSuch",
+        sender: "test.caller",
+        receiver: "test.echo",
+        class: DelayClass::Transport,
+        role: Role::Request,
+        retry: Some("test.caller.tick"),
+    };
+    const ECHO_REPLY: FlowKind = FlowKind {
+        name: "echo.reply",
+        sender: "test.echo",
+        receiver: "test.caller",
+        class: DelayClass::Transport,
+        role: Role::Response,
+        retry: None,
+    };
 
     /// Echo RPC server actor: replies to "echo.Echo" with the request
     /// body; errors on anything else.
@@ -46,8 +73,16 @@ mod tests {
                             } = e
                             {
                                 match method.as_str() {
-                                    "echo.Echo" => self.server.reply(ctx, conn, id, body),
-                                    _ => self.server.reply_err(ctx, conn, id, "no such method"),
+                                    "echo.Echo" => {
+                                        self.server.reply(ctx, conn, id, &ECHO_REPLY, body)
+                                    }
+                                    _ => self.server.reply_err(
+                                        ctx,
+                                        conn,
+                                        id,
+                                        &ECHO_REPLY,
+                                        "no such method",
+                                    ),
                                 }
                             }
                         }
@@ -96,7 +131,7 @@ mod tests {
                     if self.sent < self.n => {
                         self.sent += 1;
                         let v = self.sent;
-                        self.client.call(ctx, "echo.Echo", json!({ "v": v }));
+                        self.client.call(ctx, &ECHO, json!({ "v": v }));
                         ctx.timer_in(self.interval, 1);
                     }
                 Event::Timer { tag: 2 } => {
@@ -169,7 +204,7 @@ mod tests {
             fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
                 match event {
                     Event::Start => {
-                        self.client.call(ctx, "echo.NoSuch", json!(null));
+                        self.client.call(ctx, &ECHO_NO_SUCH, json!(null));
                     }
                     Event::Msg { payload, .. } => {
                         let ev = downcast::<SockEvent>(payload, "bad-caller");

@@ -3,8 +3,8 @@
 
 use crate::codec::{encode_frame, Framer};
 use crate::msg::{RpcFrame, RpcKind};
-use magma_net::{SockCmd, SockEvent, StreamHandle};
-use magma_sim::{ActorId, Ctx};
+use magma_net::{flows, SockCmd, SockEvent, StreamHandle};
+use magma_sim::{ActorId, Ctx, FlowKind, Role};
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -47,8 +47,9 @@ impl RpcServer {
     /// Register the listening port; call from the owner's `Start` event.
     pub fn listen(&mut self, ctx: &mut Ctx<'_>) {
         let owner = ctx.id();
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &flows::SOCK_CMD,
             Box::new(SockCmd::ListenStream {
                 port: self.port,
                 owner,
@@ -99,30 +100,57 @@ impl RpcServer {
         }
     }
 
-    /// Send a successful response.
-    pub fn reply(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, id: u64, body: Value) {
+    /// Send a successful response. The flow kind declares the reply edge
+    /// in the message-flow graph; it must be `Response`-role (responses
+    /// are demand-bounded and excluded from zero-delay cycle analysis).
+    pub fn reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        id: u64,
+        kind: &'static FlowKind,
+        body: Value,
+    ) {
+        debug_assert!(
+            kind.role == Role::Response,
+            "RPC replies must use a Response-role flow kind, got {}",
+            kind.name
+        );
         self.send_frame(ctx, conn, RpcFrame::response(id, body));
     }
 
-    /// Send an application error.
-    pub fn reply_err(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, id: u64, msg: &str) {
+    /// Send an application error (same `Response` edge as [`reply`](Self::reply)).
+    pub fn reply_err(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        id: u64,
+        kind: &'static FlowKind,
+        msg: &str,
+    ) {
+        debug_assert!(
+            kind.role == Role::Response,
+            "RPC replies must use a Response-role flow kind, got {}",
+            kind.name
+        );
         self.send_frame(ctx, conn, RpcFrame::error(id, msg));
     }
 
     /// Push an unsolicited frame (desired-state sync) to a connected
-    /// client. Returns false if the connection is gone.
+    /// client; the kind's name is the wire method. Returns false if the
+    /// connection is gone.
     pub fn push(
         &mut self,
         ctx: &mut Ctx<'_>,
         conn: StreamHandle,
         stream_id: u64,
-        method: &str,
+        kind: &'static FlowKind,
         body: Value,
     ) -> bool {
         if !self.conns.contains_key(&conn) {
             return false;
         }
-        self.send_frame(ctx, conn, RpcFrame::push(stream_id, method, body));
+        self.send_frame(ctx, conn, RpcFrame::push(stream_id, kind.name, body));
         true
     }
 
@@ -136,8 +164,9 @@ impl RpcServer {
             let _enc = ctx.profile_scope("rpc.encode");
             encode_frame(&frame)
         };
-        ctx.send(
+        ctx.send_to(
             self.stack,
+            &flows::SOCK_CMD,
             Box::new(SockCmd::StreamSend {
                 handle: conn,
                 bytes,

@@ -4,8 +4,34 @@
 
 use magma_net::{new_net, Endpoint, LinkProfile, NetStack, SockEvent};
 use magma_rpc::{RpcClient, RpcClientEvent, RpcServer, RpcServerEvent};
-use magma_sim::{downcast, Actor, Ctx, Event, SimDuration, SimTime, World};
+use magma_sim::{downcast, Actor, Ctx, DelayClass, Event, FlowKind, Role, SimDuration, SimTime, World};
 use serde_json::json;
+
+// Test-local flow kinds for the pusher/subscriber pair.
+const HELLO: FlowKind = FlowKind {
+    name: "hello",
+    sender: "test.subscriber",
+    receiver: "test.pusher",
+    class: DelayClass::Transport,
+    role: Role::Request,
+    retry: Some("test.subscriber.tick"),
+};
+const HELLO_REPLY: FlowKind = FlowKind {
+    name: "hello.reply",
+    sender: "test.pusher",
+    receiver: "test.subscriber",
+    class: DelayClass::Transport,
+    role: Role::Response,
+    retry: None,
+};
+const SYNC_TICK: FlowKind = FlowKind {
+    name: "sync.Tick",
+    sender: "test.pusher",
+    receiver: "test.subscriber",
+    class: DelayClass::Transport,
+    role: Role::Data,
+    retry: None,
+};
 
 /// Server that pushes a sequence number to every connected client each
 /// 100 ms.
@@ -26,7 +52,7 @@ impl Actor for Pusher {
                 let conns: Vec<_> = self.server.clients().collect();
                 for c in conns {
                     self.server
-                        .push(ctx, c, 1, "sync.Tick", json!({ "seq": self.seq }));
+                        .push(ctx, c, 1, &SYNC_TICK, json!({ "seq": self.seq }));
                 }
                 ctx.timer_in(SimDuration::from_millis(100), 1);
             }
@@ -36,7 +62,7 @@ impl Actor for Pusher {
                 if let Ok(events) = self.server.try_handle(ctx, ev) {
                     for e in events {
                         if let RpcServerEvent::Request { conn, id, .. } = e {
-                            self.server.reply(ctx, conn, id, json!("ok"));
+                            self.server.reply(ctx, conn, id, &HELLO_REPLY, json!("ok"));
                         }
                     }
                 }
@@ -55,7 +81,7 @@ impl Actor for Subscriber {
     fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         match event {
             Event::Start => {
-                self.client.call(ctx, "hello", json!(null));
+                self.client.call(ctx, &HELLO, json!(null));
                 ctx.timer_in(SimDuration::from_millis(250), 1);
             }
             Event::Timer { .. } => {

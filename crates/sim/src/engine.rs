@@ -5,6 +5,7 @@ use crate::actor::{Actor, ActorId, Event, Payload};
 use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
 use crate::event::{EventHandle, EventQueue};
 use crate::eventd::{self, EventLog, Severity};
+use crate::flow::{DelayClass, FlowKind, Role};
 use crate::metrics::Recorder;
 use crate::prof::{self, HeapStats, ProfHandle, Profiler, ProfileSnapshot, ScopeGuard};
 use crate::registry::Registry;
@@ -440,6 +441,68 @@ impl<'a> Ctx<'a> {
         self.kernel
             .queue
             .push(self.kernel.time + delay, dst, g, Event::Msg { from, payload });
+    }
+
+    /// Send on a declared flow edge, delivered at the current instant.
+    ///
+    /// The thin statically-analyzable wrapper over [`send`](Ctx::send):
+    /// `kind` must be a [`FlowKind`] const (see `docs/MESSAGE_FLOW.md`)
+    /// whose class is `Zero` (a direct same-instant edge) or `Transport`
+    /// (an end-to-end link edge whose first hop hands the payload to the
+    /// local network stack at the same instant). A `Local` class here
+    /// would misdeclare the edge — use [`send_self`](Ctx::send_self).
+    pub fn send_to(&mut self, dst: ActorId, kind: &'static FlowKind, payload: Payload) {
+        debug_assert!(
+            matches!(kind.class, DelayClass::Zero | DelayClass::Transport),
+            "send_to({}) delivers at the current instant; class {:?} needs send_to_in/send_self",
+            kind.name,
+            kind.class,
+        );
+        let _ = kind;
+        self.send(dst, payload);
+    }
+
+    /// Send on a declared flow edge after a positive delay (the
+    /// link-latency leg of a `Transport` edge, e.g. stack-to-stack frame
+    /// delivery). Zero-class kinds must use [`send_to`](Ctx::send_to) so
+    /// the static zero-delay cycle analysis (lint F002) stays sound.
+    pub fn send_to_in(
+        &mut self,
+        dst: ActorId,
+        kind: &'static FlowKind,
+        delay: SimDuration,
+        payload: Payload,
+    ) {
+        debug_assert!(
+            kind.class == DelayClass::Transport && delay > SimDuration::ZERO,
+            "send_to_in({}) needs a Transport-class kind and a positive delay",
+            kind.name,
+        );
+        let _ = kind;
+        self.send_in(dst, delay, payload);
+    }
+
+    /// Arm a declared self-edge timer: a `Local`-class, `Timer`-role
+    /// [`FlowKind`] with `sender == receiver` and a strictly positive
+    /// delay — the livelock guard that keeps retry/timeout drivers out
+    /// of the zero-delay graph. Fires as `Event::Timer { tag }` exactly
+    /// like [`timer_in`](Ctx::timer_in).
+    pub fn send_self(
+        &mut self,
+        kind: &'static FlowKind,
+        delay: SimDuration,
+        tag: u64,
+    ) -> EventHandle {
+        debug_assert!(
+            kind.class == DelayClass::Local
+                && kind.role == Role::Timer
+                && kind.sender == kind.receiver
+                && delay > SimDuration::ZERO,
+            "send_self({}) must be a positive-delay Local/Timer self-edge",
+            kind.name,
+        );
+        let _ = kind;
+        self.timer_in(delay, tag)
     }
 
     /// Arm a timer on this actor; fires as `Event::Timer { tag }`.

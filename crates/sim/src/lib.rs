@@ -19,6 +19,7 @@ pub mod cpu;
 pub mod engine;
 mod event;
 pub mod eventd;
+pub mod flow;
 pub mod metrics;
 pub mod prof;
 pub mod registry;
@@ -28,6 +29,7 @@ pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
 pub use engine::{Ctx, ExecError, World};
 pub use event::EventHandle;
+pub use flow::{DelayClass, Dispatch, FlowKind, Role};
 pub use prof::{
     HeapStats, HostProfile, HostStopwatch, ProfileSnapshot, ScopeGuard, VirtualProfile,
 };

@@ -12,8 +12,11 @@ cargo test --workspace -q
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> magma-lint (determinism / telemetry / actor hygiene)"
+echo "==> magma-lint (determinism / telemetry / actor hygiene / message-flow graph)"
 # Capture the report so its summary can be replayed at the very end.
+# Fails on any F-rule hit, including docs/MESSAGE_FLOW.md drift (F006);
+# after an intentional graph change, re-baseline with
+# MAGMA_FLOW_ACCEPT=1 (the lint then regenerates the doc — commit it).
 LINT_OUT="$(mktemp)"
 if ! cargo run --release -p magma-lint >"$LINT_OUT" 2>&1; then
     cat "$LINT_OUT"
