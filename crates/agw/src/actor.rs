@@ -371,6 +371,10 @@ impl AgwActor {
                 // latency shows congestion, with a span over the wait.
                 let ue = mme_ue_id.0;
                 if self.ue_ctxs.contains_key(&ue) {
+                    // Root the mobility trace at S1AP ingest (the source
+                    // eNB has no earlier causal hop for the switch); the
+                    // CPU wait and the dataplane repoint become its hops.
+                    ctx.trace_start("path_switch");
                     let span = Span::begin(self.metric("mme.handover"), ctx.now());
                     self.submit_mme(
                         ctx,
@@ -544,6 +548,10 @@ impl AgwActor {
         let imsi = uectx.imsi;
         if self.cfg.feg.is_some() && self.db.get(imsi).is_none() {
             // Federated subscriber: fetch vectors from the MNO HSS.
+            // Roots a standalone S6a trace when the enclosing attach was
+            // not sampled; inside a traced attach this is a no-op and
+            // the round trip records as hops of the attach itself.
+            ctx.trace_start("s6a_auth");
             let req = json!(orc8r_proto::FegAuthRequest { imsi: imsi.0 });
             let id = self
                 .feg
@@ -582,6 +590,10 @@ impl AgwActor {
         ue: u32,
         resp: orc8r_proto::FegAuthResponse,
     ) {
+        // Vectors are back from the MNO HSS: end of the standalone S6a
+        // procedure (label-guarded — inside an attach trace this no-ops
+        // and the attach keeps recording through the NAS auth round).
+        ctx.trace_finish_as("s6a_auth");
         let Some(v) = resp.vectors.into_iter().next() else {
             self.fail_attach(ctx, ue, EmmCause::AuthFailure);
             return;
@@ -844,6 +856,10 @@ impl AgwActor {
         let now = ctx.now();
         job.span.mark("path_switch", now);
         job.span.finish(ctx.registry());
+        // Ack is on the wire and the tunnel is repointed — semantic end
+        // of the switch (guarded: a handover that rode in under an
+        // attach trace must not finish the outer procedure).
+        ctx.trace_finish_as("path_switch");
     }
 
     /// Remove a session, reporting any outstanding online credit.

@@ -99,6 +99,10 @@ pub struct MetricsdActor {
     /// Highest event id already batched into a push (the `eventd`
     /// drain cursor over the kernel ring).
     last_event_id: u64,
+    /// Ring-eviction count at the previous snapshot, so each push
+    /// reports the drops that happened during its interval as a
+    /// counter delta instead of re-counting history.
+    last_ring_dropped: u64,
 }
 
 impl MetricsdActor {
@@ -110,6 +114,7 @@ impl MetricsdActor {
             outstanding: None,
             next_seq: 1,
             last_event_id: 0,
+            last_ring_dropped: 0,
         }
     }
 
@@ -159,6 +164,20 @@ impl MetricsdActor {
         if !events.is_empty() {
             let m = self.metric("metricsd.events_shipped");
             ctx.registry().counter_add(&m, events.len() as f64);
+        }
+        // The eventd ring overwrites its oldest entries when full —
+        // silently, from the operator's point of view, because an
+        // evicted event was by definition never shipped. Surface the
+        // loss: each snapshot reports how many ring evictions happened
+        // since the last one (the ring is gateway-shared kernel state,
+        // so the count covers the whole world as observed by this
+        // daemon, mirroring how a real metricsd reports its host ring).
+        let ring_dropped = ctx.events().dropped();
+        let delta = ring_dropped.saturating_sub(self.last_ring_dropped);
+        if delta > 0 {
+            self.last_ring_dropped = ring_dropped;
+            let m = self.metric("metricsd.eventd_dropped_total");
+            ctx.registry().counter_add(&m, delta as f64);
         }
         let snapshot = {
             let _snap = ctx.profile_scope("metricsd.snapshot");
@@ -215,6 +234,10 @@ impl MetricsdActor {
                         self.queue.pop_front();
                         let m = self.metric("metricsd.push_ok");
                         ctx.registry().counter_add(&m, 1.0);
+                        // The orchestrator acked the snapshot: semantic
+                        // end of this push (label-guarded; the ack can
+                        // arrive under an unrelated dispatch's trace).
+                        ctx.trace_finish_as("metricsd_push");
                         self.flush(ctx);
                     }
                 }
@@ -253,6 +276,15 @@ impl Actor for MetricsdActor {
             Event::Timer { tag } => match tag {
                 T_SAMPLE => {
                     self.sample_cpu(ctx);
+                    // One push procedure per sample tick: serialization
+                    // CPU, the RPC hop to the orchestrator, and the ack
+                    // all record as hops. The tick itself re-arms via a
+                    // raw `timer_in`, so the trace cannot chain into the
+                    // next interval. Sampling-only daemons (no orc8r)
+                    // never finish a push, so don't root one.
+                    if self.orc8r.is_some() {
+                        ctx.trace_start("metricsd_push");
+                    }
                     // Serializing the snapshot costs control-plane CPU;
                     // the snapshot itself is taken when the job
                     // completes. A misconfigured core group degrades to

@@ -18,7 +18,8 @@
 
 use magma_ran::{SectorModel, TrafficModel};
 use magma_sim::{
-    HostProfile, HostStopwatch, ProfileSnapshot, SimDuration, SimTime, VirtualProfile,
+    HostProfile, HostStopwatch, ProcSummary, ProfileSnapshot, SimDuration, SimTime,
+    TraceSnapshot, TraceStats, VirtualProfile,
 };
 use magma_testbed::measure::{mean_over, overall_csr, throughput_mbps};
 use magma_testbed::scenario::{build, AgwSpec, Scenario, ScenarioConfig, SiteSpec};
@@ -27,7 +28,7 @@ use std::collections::BTreeMap;
 
 /// Bumped whenever the report layout changes; consumers (CI gate, smoke
 /// diff) refuse mismatched schemas instead of misreading them.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Default seed for the suite; scenario runs derive from it.
 pub const BENCH_SEED: u64 = 42;
@@ -51,6 +52,27 @@ pub struct VirtSection {
     /// simprof virtual columns: per-(actor, event-kind) dispatch counts
     /// and vCPU-seconds, heap stats, scope enter counts.
     pub profile: VirtualProfile,
+    /// magma-trace digest: tracer counters plus per-procedure
+    /// critical-path attribution (deterministic — virtual time only).
+    /// The full span trees land in `TRACE_<scenario>.json` instead.
+    pub trace: TraceDigest,
+}
+
+/// The deterministic slice of a [`TraceSnapshot`] that belongs in a
+/// bench report: aggregates only, no span firehose.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceDigest {
+    pub stats: TraceStats,
+    pub procs: Vec<ProcSummary>,
+}
+
+impl TraceDigest {
+    fn from_snapshot(snap: &TraceSnapshot) -> Self {
+        TraceDigest {
+            stats: snap.stats.clone(),
+            procs: snap.procs.clone(),
+        }
+    }
 }
 
 /// Host-dependent half: wall-clock and memory. Excluded from the
@@ -88,9 +110,41 @@ pub const SCENARIOS: [&str; 4] = [
     "partition_recovery",
 ];
 
+/// One-line description per suite scenario, for `magma-bench --list`
+/// (same order as [`SCENARIOS`]; cross-linked from docs/PROFILING.md).
+pub const SCENARIO_DESCRIPTIONS: [(&str, &str); 5] = [
+    (
+        "smoke",
+        "tiny attach storm for CI: schema check, golden diff, perf gate",
+    ),
+    (
+        "attach_storm",
+        "surge attaches at the bare-metal knee (~2 UE/s, Figure 6 worst case)",
+    ),
+    (
+        "scaling_ablation",
+        "N in {1,2,4} identical sites: capacity scales linearly with AGWs (S4.2)",
+    ),
+    (
+        "mixed",
+        "steady-state attach + HTTP traffic with session churn on a typical site",
+    ),
+    (
+        "partition_recovery",
+        "orchestrator unreachable 20s-70s, headless operation, telemetry drain (S3.2)",
+    ),
+];
+
+/// A scenario run: the serializable report plus the full trace snapshot
+/// (span trees included) for the `TRACE_<scenario>.json` sidecar.
+pub struct BenchRun {
+    pub report: BenchReport,
+    pub trace: TraceSnapshot,
+}
+
 /// Run a scenario by name; `smoke` is the extra tiny one used by
 /// `scripts/check.sh bench-smoke` and the CI gate.
-pub fn run_scenario(name: &str, seed: u64) -> Option<BenchReport> {
+pub fn run_scenario(name: &str, seed: u64) -> Option<BenchRun> {
     match name {
         "smoke" => Some(smoke(seed)),
         "attach_storm" => Some(attach_storm(seed)),
@@ -110,6 +164,8 @@ struct RunAccum {
     /// Profile of the designated primary run (the one the report's
     /// attribution columns describe).
     profile: Option<ProfileSnapshot>,
+    /// Trace snapshot of the same primary run.
+    trace: Option<TraceSnapshot>,
 }
 
 impl RunAccum {
@@ -119,6 +175,7 @@ impl RunAccum {
             total_wall_s: 0.0,
             events: 0,
             profile: None,
+            trace: None,
         }
     }
 
@@ -160,15 +217,16 @@ fn finish(
     csr: f64,
     attach_p99_s: f64,
     extra: BTreeMap<String, f64>,
-) -> BenchReport {
+) -> BenchRun {
     let snap = acc.profile.expect("scenario records a primary profile");
+    let trace = acc.trace.expect("scenario records a primary trace snapshot");
     let top_table = snap.top_table(12);
     let events_per_sec = if acc.total_wall_s > 0.0 {
         acc.events as f64 / acc.total_wall_s
     } else {
         0.0
     };
-    BenchReport {
+    let report = BenchReport {
         schema: BENCH_SCHEMA_VERSION,
         scenario: name.to_string(),
         seed,
@@ -179,6 +237,7 @@ fn finish(
             attach_p99_s,
             extra,
             profile: snap.virt,
+            trace: TraceDigest::from_snapshot(&trace),
         },
         host: HostSection {
             wall_s: acc.total_wall_s,
@@ -188,7 +247,8 @@ fn finish(
             profile: snap.host,
             top_table,
         },
-    }
+    };
+    BenchRun { report, trace }
 }
 
 /// The fig6-style "worst case" site: surge attaches while every attached
@@ -214,12 +274,13 @@ fn storm_site(rate: f64, n_ues: usize) -> SiteSpec {
 
 /// Tiny variant of the storm for `bench-smoke` and the CI gate: small
 /// enough to finish in seconds, big enough that the profile has rows.
-pub fn smoke(seed: u64) -> BenchReport {
+pub fn smoke(seed: u64) -> BenchRun {
     let mut acc = RunAccum::new();
     let sim_s = 30.0;
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 30)));
     let sc = timed_run(&mut acc, "smoke", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
+    acc.trace = Some(sc.world.trace_snapshot());
     let csr = overall_csr(sc.world.metrics(), "ran");
     let p99 = attach_p99(&sc);
     finish("smoke", seed, acc, sim_s, csr, p99, BTreeMap::new())
@@ -228,12 +289,13 @@ pub fn smoke(seed: u64) -> BenchReport {
 /// Attach storm at the bare-metal knee (~2 UE/s, Figure 6): the paper's
 /// worst-case control-plane workload, long enough for the surge plus a
 /// saturated steady state.
-pub fn attach_storm(seed: u64) -> BenchReport {
+pub fn attach_storm(seed: u64) -> BenchRun {
     let mut acc = RunAccum::new();
     let sim_s = 90.0;
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 120)));
     let sc = timed_run(&mut acc, "storm", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
+    acc.trace = Some(sc.world.trace_snapshot());
     let csr = overall_csr(sc.world.metrics(), "ran");
     let p99 = attach_p99(&sc);
     finish("attach_storm", seed, acc, sim_s, csr, p99, BTreeMap::new())
@@ -242,7 +304,7 @@ pub fn attach_storm(seed: u64) -> BenchReport {
 /// Scaling ablation sweep (§4.2's "capacity scales linearly with AGWs"):
 /// N ∈ {1, 2, 4} identical sites; the report's profile describes the
 /// largest point, the sweep lands in `virtual.extra`.
-pub fn scaling_ablation(seed: u64) -> BenchReport {
+pub fn scaling_ablation(seed: u64) -> BenchRun {
     let mut acc = RunAccum::new();
     let sim_s = 60.0;
     let mut extra = BTreeMap::new();
@@ -280,6 +342,7 @@ pub fn scaling_ablation(seed: u64) -> BenchReport {
         last_csr = overall_csr(rec, "ran");
         if n == 4 {
             acc.profile = Some(sc.world.profile());
+            acc.trace = Some(sc.world.trace_snapshot());
             let p99 = attach_p99(&sc);
             extra.insert("attach_p99_n4_s".to_string(), p99);
         }
@@ -299,7 +362,7 @@ pub fn scaling_ablation(seed: u64) -> BenchReport {
 
 /// Mixed attach + traffic on a typical site with session churn: the
 /// steady-state workload most deployments actually run.
-pub fn mixed(seed: u64) -> BenchReport {
+pub fn mixed(seed: u64) -> BenchRun {
     let mut acc = RunAccum::new();
     let sim_s = 120.0;
     let site = SiteSpec {
@@ -314,6 +377,7 @@ pub fn mixed(seed: u64) -> BenchReport {
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(site));
     let sc = timed_run(&mut acc, "mixed", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
+    acc.trace = Some(sc.world.trace_snapshot());
     let rec = sc.world.metrics();
     let csr = overall_csr(rec, "ran");
     let p99 = attach_p99(&sc);
@@ -325,7 +389,7 @@ pub fn mixed(seed: u64) -> BenchReport {
 /// Backhaul partition and recovery: orchestrator unreachable 20s–70s
 /// while attaches continue (headless operation, §3.2), then telemetry
 /// drains after the link returns.
-pub fn partition_recovery(seed: u64) -> BenchReport {
+pub fn partition_recovery(seed: u64) -> BenchRun {
     let mut acc = RunAccum::new();
     let sim_s = 120.0;
     let site = SiteSpec {
@@ -350,6 +414,7 @@ pub fn partition_recovery(seed: u64) -> BenchReport {
     acc.phase("partition.run", sw.elapsed_s());
     acc.events += sc.world.events_processed();
     acc.profile = Some(sc.world.profile());
+    acc.trace = Some(sc.world.trace_snapshot());
     let rec = sc.world.metrics();
     let csr = overall_csr(rec, "ran");
     let p99 = attach_p99(&sc);
@@ -365,21 +430,24 @@ pub fn partition_recovery(seed: u64) -> BenchReport {
     finish("partition_recovery", seed, acc, sim_s, csr, p99, extra)
 }
 
-/// simprof-disabled overhead measurement (the library default is
-/// profiling OFF; testbed/bench turn it on). Returns
+/// simprof- and magma-trace-disabled overhead measurement (the library
+/// default is both OFF; testbed/bench turn them on). Returns
 /// `(disabled_eps, enabled_eps, disabled_overhead_pct)`.
 ///
 /// The disabled machinery is exactly: one branch on a cached bool per
-/// dispatch, one per CPU submission, and three integer ops per heap
-/// push. We measure the storm's ns-per-event with profiling off, then
+/// dispatch for simprof, one per CPU submission, three integer ops per
+/// heap push, and for tracing one branch on `trace_on` per checked send
+/// plus one per delivery (the `Option<TraceCtx>` rides the event either
+/// way). We measure the storm's ns-per-event with both off, then
 /// microbenchmark a mirror of that fast path and express its per-event
 /// cost as a percentage — this bounds the overhead without needing a
 /// build that lacks the machinery entirely.
 pub fn overhead_measurement(seed: u64) -> (f64, f64, f64) {
-    // Disabled run: library-default world, profiling off.
+    // Disabled run: library-default world, profiling and tracing off.
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 60)));
     let mut sc = build(cfg);
     sc.world.enable_profiling(false);
+    sc.world.enable_tracing(false);
     let sw = HostStopwatch::start();
     sc.world.run_until(SimTime::from_secs(60));
     let disabled_wall = sw.elapsed_s();
@@ -394,13 +462,22 @@ pub fn overhead_measurement(seed: u64) -> (f64, f64, f64) {
     let enabled_eps = sc.world.events_processed() as f64 / sw.elapsed_s().max(1e-9);
 
     // Microbenchmark the disabled fast path: branch + untaken block per
-    // dispatch, branch per exec, heap-stat integer ops per push.
+    // dispatch, branch per exec, heap-stat integer ops per push, plus
+    // the two `trace_on` branches (checked send, delivery).
     let iters: u64 = 20_000_000;
     let mut peak = 0u64;
     let mut scheduled = 0u64;
     let sw = HostStopwatch::start();
     for i in 0..iters {
         // Mirror of the two `if prof_on` checks on the dispatch path.
+        if std::hint::black_box(false) {
+            peak += i;
+        }
+        if std::hint::black_box(false) {
+            scheduled += i;
+        }
+        // Mirror of the `if trace_on` checks: one on the checked-send
+        // path, one on delivery (magma-trace's whole disabled cost).
         if std::hint::black_box(false) {
             peak += i;
         }

@@ -7,24 +7,30 @@
 //! magma-bench --smoke           smoke scenario + schema validation + golden
 //!                               diff of the virtual section (installs the
 //!                               golden on first run)
-//! magma-bench --overhead        assert simprof-disabled overhead < 5%
+//! magma-bench --overhead        assert simprof+trace disabled overhead < 5%
 //! magma-bench --gate            events/sec regression gate vs the checked-in
 //!                               baseline (>10% slower fails; set
 //!                               MAGMA_BENCH_BASELINE_ACCEPT=1 to re-baseline)
-//! magma-bench --out DIR         where BENCH_*.json land (default ".")
+//! magma-bench --list            print the scenario suite with descriptions
+//! magma-bench --out DIR         where BENCH_*.json and TRACE_*.json land
+//!                               (default ".")
 //! ```
 //!
 //! Exit status is non-zero on any validation/gate failure, so the CI job
 //! and `scripts/check.sh bench-smoke` can rely on it. See
 //! docs/PROFILING.md for the report format and the determinism contract.
 
-use magma_bench::{overhead_measurement, run_scenario, BenchReport, BENCH_SEED, SCENARIOS};
+use magma_bench::{
+    overhead_measurement, run_scenario, BenchReport, BenchRun, BENCH_SEED, SCENARIOS,
+    SCENARIO_DESCRIPTIONS,
+};
+use magma_testbed::{perfetto_string, render_critical_path};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Regression threshold for `--gate` (fraction of baseline events/sec).
 const GATE_MAX_REGRESSION: f64 = 0.10;
-/// simprof-disabled overhead ceiling for `--overhead`, percent.
+/// simprof+trace disabled overhead ceiling for `--overhead`, percent.
 const OVERHEAD_MAX_PCT: f64 = 5.0;
 
 struct Args {
@@ -32,6 +38,7 @@ struct Args {
     smoke: bool,
     overhead: bool,
     gate: bool,
+    list: bool,
     out: PathBuf,
 }
 
@@ -41,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         overhead: false,
         gate: false,
+        list: false,
         out: PathBuf::from("."),
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--overhead" => args.overhead = true,
             "--gate" => args.gate = true,
+            "--list" => args.list = true,
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a dir")?),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -66,21 +75,34 @@ fn write_report(out: &Path, report: &BenchReport) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Write the Perfetto sidecar `TRACE_<scenario>.json` next to the
+/// BENCH report: the full span trees plus critical-path attribution,
+/// loadable in ui.perfetto.dev. Byte-deterministic for a given seed.
+fn write_trace(out: &Path, run: &BenchRun) -> std::io::Result<PathBuf> {
+    let path = out.join(format!("TRACE_{}.json", run.report.scenario));
+    std::fs::write(&path, perfetto_string(&run.trace))?;
+    Ok(path)
+}
+
 fn run_and_write(name: &str, out: &Path) -> Result<BenchReport, String> {
-    let report = run_scenario(name, BENCH_SEED)
+    let run = run_scenario(name, BENCH_SEED)
         .ok_or_else(|| format!("unknown scenario: {name}"))?;
-    let path = write_report(out, &report).map_err(|e| format!("write BENCH json: {e}"))?;
+    let report = &run.report;
+    let path = write_report(out, report).map_err(|e| format!("write BENCH json: {e}"))?;
+    let trace_path = write_trace(out, &run).map_err(|e| format!("write TRACE json: {e}"))?;
     eprintln!(
-        "[{}] csr={:.3} attach_p99={:.2}s events={} ({:.0}/s host) -> {}",
+        "[{}] csr={:.3} attach_p99={:.2}s events={} ({:.0}/s host) -> {} (+ {})",
         report.scenario,
         report.virt.csr,
         report.virt.attach_p99_s,
         report.virt.events_simulated,
         report.host.events_per_sec,
-        path.display()
+        path.display(),
+        trace_path.display()
     );
     eprintln!("{}", report.host.top_table);
-    Ok(report)
+    eprintln!("{}", render_critical_path(&run.trace));
+    Ok(run.report)
 }
 
 /// Structural checks every report must pass: schema version, virtual/host
@@ -187,6 +209,14 @@ fn gate_mode(out: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// List mode: the scenario suite, one line each (satellite of the
+/// tracing PR; docs/PROFILING.md links here).
+fn list_mode() {
+    for (name, desc) in SCENARIO_DESCRIPTIONS {
+        println!("{name:<20} {desc}");
+    }
+}
+
 fn overhead_mode() -> Result<(), String> {
     let (disabled_eps, enabled_eps, disabled_pct) = overhead_measurement(BENCH_SEED);
     eprintln!(
@@ -196,7 +226,7 @@ fn overhead_mode() -> Result<(), String> {
     );
     if disabled_pct >= OVERHEAD_MAX_PCT {
         return Err(format!(
-            "simprof-disabled overhead {disabled_pct:.2}% >= {OVERHEAD_MAX_PCT}% ceiling"
+            "instrumentation-disabled overhead {disabled_pct:.2}% >= {OVERHEAD_MAX_PCT}% ceiling"
         ));
     }
     eprintln!("overhead: disabled path is a near-no-op (< {OVERHEAD_MAX_PCT}%)");
@@ -211,6 +241,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.list {
+        list_mode();
+        return ExitCode::SUCCESS;
+    }
     let result = if args.smoke {
         smoke_mode(&args.out)
     } else if args.gate {

@@ -21,8 +21,8 @@ const HOST_ONLY_KEYS: [&str; 6] = [
 
 #[test]
 fn same_seed_virtual_sections_are_byte_identical() {
-    let a = smoke(7);
-    let b = smoke(7);
+    let a = smoke(7).report;
+    let b = smoke(7).report;
     let va = serde_json::to_string_pretty(&a.virt).unwrap();
     let vb = serde_json::to_string_pretty(&b.virt).unwrap();
     assert_eq!(va, vb, "virtual sections diverged across same-seed runs");
@@ -34,8 +34,8 @@ fn same_seed_virtual_sections_are_byte_identical() {
 
 #[test]
 fn different_seeds_produce_different_virtual_sections() {
-    let a = smoke(7);
-    let b = smoke(8);
+    let a = smoke(7).report;
+    let b = smoke(8).report;
     // Seeds drive UE identities and timer jitter, so the event count
     // cannot coincide; this keeps the byte-identity test non-vacuous.
     assert_ne!(
@@ -47,7 +47,7 @@ fn different_seeds_produce_different_virtual_sections() {
 
 #[test]
 fn host_fields_are_segregated_from_virtual_bytes() {
-    let report = smoke(7);
+    let report = smoke(7).report;
     let virt = serde_json::to_string_pretty(&report.virt).unwrap();
     for key in HOST_ONLY_KEYS {
         assert!(

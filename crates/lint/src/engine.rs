@@ -152,6 +152,8 @@ pub struct DocsInventory {
     pub metrics: Vec<(String, u32)>, // (name, docs line)
     /// `profile_scope` labels: rows whose Type cell is `scope` (T006).
     pub scopes: Vec<(String, u32)>,
+    /// magma-trace procedure labels: rows whose Type cell is `trace` (T007).
+    pub traces: Vec<(String, u32)>,
     /// The whole docs text (for event-kind membership checks).
     pub text: String,
     pub present: bool,
@@ -184,6 +186,7 @@ pub fn parse_docs(root: &Path) -> DocsInventory {
     };
     let mut metrics = Vec::new();
     let mut scopes = Vec::new();
+    let mut traces = Vec::new();
     let mut inside = false;
     for (idx, line) in text.lines().enumerate() {
         if line.contains("lint:metric-inventory:begin") {
@@ -207,21 +210,23 @@ pub fn parse_docs(root: &Path) -> DocsInventory {
             continue;
         }
         // The Type cell (second `|` column) routes the row: `scope` rows
-        // feed the T006 inventory, everything else is a metric.
+        // feed the T006 inventory, `trace` rows the T007 inventory, and
+        // everything else is a metric.
         let type_cell = line
             .split('|')
             .nth(2)
             .map(str::trim)
             .unwrap_or("");
-        if type_cell == "scope" {
-            scopes.push((name, idx as u32 + 1));
-        } else {
-            metrics.push((name, idx as u32 + 1));
+        match type_cell {
+            "scope" => scopes.push((name, idx as u32 + 1)),
+            "trace" => traces.push((name, idx as u32 + 1)),
+            _ => metrics.push((name, idx as u32 + 1)),
         }
     }
     DocsInventory {
         metrics,
         scopes,
+        traces,
         text,
         present: true,
     }
@@ -326,11 +331,14 @@ fn lint_files_inner(
     docs: &DocsInventory,
     check_drift: bool,
 ) -> Report {
+    #[allow(clippy::disallowed_methods)]
     // lint:allow(D002, reason = "self-timing of the lint tool on the host — not simulation state")
     let t0 = std::time::Instant::now();
     let mut report = Report::default();
     let mut all_uses: Vec<NameUse> = Vec::new();
     let mut all_scope_uses: Vec<ScopeUse> = Vec::new();
+    let mut all_trace_uses: Vec<ScopeUse> = Vec::new();
+    let mut span_sites: Vec<(String, flow::SpanSites)> = Vec::new();
     let inventory: Option<Vec<String>> = if docs.present {
         Some(docs.metrics.iter().map(|(n, _)| n.clone()).collect())
     } else {
@@ -338,6 +346,11 @@ fn lint_files_inner(
     };
     let scope_inventory: Option<Vec<String>> = if docs.present {
         Some(docs.scopes.iter().map(|(n, _)| n.clone()).collect())
+    } else {
+        None
+    };
+    let trace_inventory: Option<Vec<String>> = if docs.present {
+        Some(docs.traces.iter().map(|(n, _)| n.clone()).collect())
     } else {
         None
     };
@@ -355,6 +368,8 @@ fn lint_files_inner(
         rules::t_rules(&uses, inventory.as_deref(), &mut findings);
         let scope_uses = rules::collect_scope_uses(&ctx);
         rules::t006_scope_labels(&scope_uses, scope_inventory.as_deref(), &mut findings);
+        let trace_uses = rules::collect_trace_uses(&ctx);
+        rules::t007_trace_labels(&trace_uses, trace_inventory.as_deref(), &mut findings);
         rules::t005_event_kinds(
             &ctx,
             if docs.present { Some(&docs.text) } else { None },
@@ -362,14 +377,19 @@ fn lint_files_inner(
         );
         rules::a001_catch_all_dispatch(&ctx, &mut findings);
         rules::a002_hot_path_unwrap(&ctx, &mut findings);
-        flow::f005_span_leak(&ctx, &mut findings);
+        span_sites.push((sf.rel.clone(), flow::collect_span_sites(&ctx)));
         per_file_flows.push(flow::extract_file(&ctx));
 
         parse_allows(&sf.rel, &sf.masked, &mut report.allows, &mut report.malformed);
         all_uses.extend(uses);
         all_scope_uses.extend(scope_uses);
+        all_trace_uses.extend(trace_uses);
         report.findings.extend(findings);
     }
+
+    // F005 pairing runs over the whole scanned set: a span begun in one
+    // file may be finished in another.
+    flow::f005_span_pairing(&span_sites, &mut report.findings);
 
     // Assemble the workspace message-flow graph and run F001–F004 over
     // it. The graph covers exactly the scanned file set, so fixture runs
@@ -406,6 +426,22 @@ fn lint_files_inner(
                     msg: format!(
                         "documented scope {entry:?} matches no profile_scope call site \
                          — stale docs entry"
+                    ),
+                    allowed: false,
+                    reason: None,
+                });
+            }
+        }
+        // T007 reverse direction: documented trace labels nothing starts.
+        for (entry, docs_line) in &docs.traces {
+            if !all_trace_uses.iter().any(|u| &u.name == entry) {
+                report.findings.push(Finding {
+                    rule: "T007",
+                    file: "docs/OBSERVABILITY.md".to_string(),
+                    line: *docs_line,
+                    msg: format!(
+                        "documented trace label {entry:?} matches no trace_start / \
+                         trace_finish_as call site — stale docs entry"
                     ),
                     allowed: false,
                     reason: None,

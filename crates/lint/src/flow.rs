@@ -21,9 +21,10 @@
 //!   need `retry: Some(t)` where `t` is a declared `Timer`-role kind
 //!   with the same sender (any kind naming a retry gets the same
 //!   target validation).
-//! - `F005` span leaks: a file opening procedure spans with no
-//!   `.finish(` call anywhere in the file records stages that never
-//!   close.
+//! - `F005` span leaks: every `Span::begin` needs a `.finish(` call on
+//!   the binding it lands in, indexed across the whole scanned set —
+//!   a span begun in one file may be finished in another, and an
+//!   unrelated same-file `.finish(` does not vouch for it.
 //! - `F006` graph drift: `docs/MESSAGE_FLOW.md` is generated from the
 //!   extracted graph and must match it byte-for-byte (both directions —
 //!   any difference is drift). Regenerate with `--write-flow` or
@@ -632,20 +633,65 @@ fn find_cycle<'a>(
     None
 }
 
-/// F005: a file that opens procedure spans but never finishes any.
-/// The span type's own implementation file is exempt (it constructs
-/// spans generically on behalf of callers).
-pub fn f005_span_leak(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+/// Span-pairing sites extracted from one file for F005.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSites {
+    /// `Span::begin` call sites: (line, binding identifier). The binding
+    /// is the `let` name or struct-field name the span lands in, when
+    /// the site has one of those shapes.
+    pub begins: Vec<(u32, Option<String>)>,
+    /// Receiver identifiers of `.finish(` calls — the last path segment
+    /// before the dot (`job.span.finish(` records `span`).
+    pub finishes: Vec<String>,
+}
+
+/// Trailing identifier of `s`, if it ends in one.
+fn trailing_ident(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut i = bytes.len();
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == bytes.len() {
+        None
+    } else {
+        Some(s[i..].to_string())
+    }
+}
+
+/// The binding a `Span::begin(` at `at` is assigned to:
+/// `let [mut] NAME = [Some(]Span::begin` or `NAME: [Some(]Span::begin`.
+fn begin_binding(text: &str, at: usize) -> Option<String> {
+    let window_start = at.saturating_sub(96);
+    let mut before = text[window_start..at].trim_end();
+    if let Some(stripped) = before.strip_suffix("Some(") {
+        before = stripped.trim_end();
+    }
+    if let Some(stripped) = before.strip_suffix('=') {
+        return trailing_ident(stripped.trim_end());
+    }
+    if let Some(stripped) = before.strip_suffix(':') {
+        return trailing_ident(stripped.trim_end());
+    }
+    None
+}
+
+/// Collect one file's `Span::begin` / `.finish(` sites for the
+/// workspace-wide F005 pairing pass. The span type's own implementation
+/// file is exempt (it constructs spans generically on behalf of callers).
+pub fn collect_span_sites(ctx: &FileCtx<'_>) -> SpanSites {
+    let mut sites = SpanSites::default();
     if ctx.rel.ends_with("sim/src/registry.rs") {
-        return;
+        return sites;
     }
     let text = &ctx.masked.text;
-    let begins: Vec<usize> = find_word(text, "Span::begin(")
-        .into_iter()
-        .filter(|&at| !ctx.skipped(at))
-        .collect();
-    if begins.is_empty() {
-        return;
+    for at in find_word(text, "Span::begin(") {
+        if ctx.skipped(at) {
+            continue;
+        }
+        sites
+            .begins
+            .push((ctx.masked.line_of(at), begin_binding(text, at)));
     }
     // Plain substring scan: `.finish(` is always preceded by the span
     // binding's identifier, which a word-boundary search would reject.
@@ -653,19 +699,50 @@ pub fn f005_span_leak(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     while let Some(p) = text[from..].find(".finish(") {
         let at = from + p;
         from = at + 1;
-        if !ctx.skipped(at) {
-            return;
+        if ctx.skipped(at) {
+            continue;
+        }
+        if let Some(recv) = trailing_ident(&text[at.saturating_sub(96)..at]) {
+            sites.finishes.push(recv);
         }
     }
-    for at in begins {
-        out.push(Finding::new(
-            "F005",
-            ctx.rel,
-            ctx.masked.line_of(at),
-            "span opened with `Span::begin` but this file never calls `.finish(` — \
-             the span's stages can never close"
-                .to_string(),
-        ));
+    sites
+}
+
+/// F005: every `Span::begin` must have a matching `.finish(` call —
+/// *anywhere in the scanned set*, keyed by the binding identifier the
+/// span lands in. The cross-file index catches spans begun in one file
+/// and finished in another (no false positive), and an unrelated
+/// `.finish(` in the same file no longer vouches for a leaked span
+/// (the old same-file check's false negative). Sites with no
+/// recognizable binding fall back to the same-file check.
+pub fn f005_span_pairing(per_file: &[(String, SpanSites)], out: &mut Vec<Finding>) {
+    let finished: BTreeSet<&str> = per_file
+        .iter()
+        .flat_map(|(_, s)| s.finishes.iter().map(String::as_str))
+        .collect();
+    for (file, sites) in per_file {
+        for (line, binding) in &sites.begins {
+            let ok = match binding {
+                Some(name) => finished.contains(name.as_str()),
+                None => !sites.finishes.is_empty(),
+            };
+            if !ok {
+                let what = match binding {
+                    Some(name) => format!("`{name}`"),
+                    None => "it".to_string(),
+                };
+                out.push(Finding::new(
+                    "F005",
+                    file,
+                    *line,
+                    format!(
+                        "span opened with `Span::begin` but no scanned file ever calls \
+                         `.finish(` on {what} — the span's stages can never close"
+                    ),
+                ));
+            }
+        }
     }
 }
 

@@ -20,6 +20,10 @@
 //! - `T006` scope-label: `profile_scope` label literals must follow the
 //!   metric-name grammar and appear in the docs inventory as `scope`
 //!   rows; stale scope rows are the reverse direction of the same rule.
+//! - `T007` trace-label: `trace_start`/`trace_finish_as` procedure
+//!   labels must follow the metric-name grammar and appear in the docs
+//!   inventory as `trace` rows; stale trace rows are the reverse
+//!   direction of the same rule.
 //! - `A001` catch-all-dispatch: `_ =>` arm in an actor's top-level
 //!   `match event`.
 //! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(` in agw/orc8r/rpc.
@@ -58,8 +62,8 @@ impl Finding {
 
 /// All rule identifiers, for the summary report.
 pub const ALL_RULES: &[&str] = &[
-    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "A001", "A002", "F001",
-    "F002", "F003", "F004", "F005", "F006",
+    "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "T007", "A001", "A002",
+    "F001", "F002", "F003", "F004", "F005", "F006",
 ];
 
 /// Known first-segment namespaces for metric names — each is a bounded
@@ -481,22 +485,20 @@ pub struct ScopeUse {
     pub name: String,
 }
 
-/// Collect `Ctx::profile_scope(...)` label literals. The guard's
-/// definition takes no literal, so only call sites are captured.
-pub fn collect_scope_uses(ctx: &FileCtx<'_>) -> Vec<ScopeUse> {
-    const CALL: &str = ".profile_scope(";
+/// Collect the first string-literal argument of every `call` site into
+/// label uses (shared by the T006 scope and T007 trace collectors).
+fn collect_label_uses(ctx: &FileCtx<'_>, call: &str, uses: &mut Vec<ScopeUse>) {
     let text = &ctx.masked.text;
     let bytes = text.as_bytes();
-    let mut uses = Vec::new();
     let mut from = 0;
-    while let Some(pos) = text[from..].find(CALL) {
+    while let Some(pos) = text[from..].find(call) {
         let at = from + pos;
-        from = at + CALL.len();
+        from = at + call.len();
         if ctx.skipped(at) {
             continue;
         }
         let mut depth = 1usize;
-        let mut j = at + CALL.len();
+        let mut j = at + call.len();
         let mut lit_at = None;
         while j < bytes.len() && depth > 0 {
             match bytes[j] {
@@ -517,6 +519,23 @@ pub fn collect_scope_uses(ctx: &FileCtx<'_>) -> Vec<ScopeUse> {
             name: normalize_name(&lit.value),
         });
     }
+}
+
+/// Collect `Ctx::profile_scope(...)` label literals. The guard's
+/// definition takes no literal, so only call sites are captured.
+pub fn collect_scope_uses(ctx: &FileCtx<'_>) -> Vec<ScopeUse> {
+    let mut uses = Vec::new();
+    collect_label_uses(ctx, ".profile_scope(", &mut uses);
+    uses
+}
+
+/// Collect `Ctx::trace_start(...)` / `Ctx::trace_finish_as(...)`
+/// procedure-label literals (T007). The methods' definitions take no
+/// literal, so only call sites are captured.
+pub fn collect_trace_uses(ctx: &FileCtx<'_>) -> Vec<ScopeUse> {
+    let mut uses = Vec::new();
+    collect_label_uses(ctx, ".trace_start(", &mut uses);
+    collect_label_uses(ctx, ".trace_finish_as(", &mut uses);
     uses
 }
 
@@ -556,6 +575,53 @@ pub fn t006_scope_labels(
                 line: u.line,
                 msg: format!(
                     "scope label {:?} has no `scope` row in the docs/OBSERVABILITY.md \
+                     inventory",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+}
+
+/// T007 (use direction): magma-trace procedure labels must parse under
+/// the metric-name grammar and appear in the docs inventory as `trace`
+/// rows. Labels are single snake_case tokens (`attach`, `path_switch`)
+/// keying the `sim.trace.<label>.*` metric family, so the T002 prefix
+/// check does not apply. The reverse direction — a documented trace
+/// label with no call site — is checked workspace-wide by the engine
+/// under the same rule id.
+pub fn t007_trace_labels(
+    uses: &[ScopeUse],
+    trace_inventory: Option<&[String]>,
+    out: &mut Vec<Finding>,
+) {
+    for u in uses {
+        if !grammar_ok(&u.name) {
+            out.push(Finding {
+                rule: "T007",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "trace label {:?} is not dotted snake_case ([a-z0-9_*] segments)",
+                    u.name
+                ),
+                allowed: false,
+                reason: None,
+            });
+            continue;
+        }
+        let documented = trace_inventory
+            .map(|inv| inv.iter().any(|e| e == &u.name))
+            .unwrap_or(false);
+        if !documented {
+            out.push(Finding {
+                rule: "T007",
+                file: u.file.clone(),
+                line: u.line,
+                msg: format!(
+                    "trace label {:?} has no `trace` row in the docs/OBSERVABILITY.md \
                      inventory",
                     u.name
                 ),

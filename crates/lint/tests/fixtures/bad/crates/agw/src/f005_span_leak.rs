@@ -1,9 +1,15 @@
-//! F005: a procedure span opened with `Span::begin` in a file that never
-//! calls `.finish(` — its stage histograms can never record. The name
-//! literal routes through the `.metric(` helper and is documented, so
-//! the T rules stay quiet and exactly F005 trips.
+//! F005: a procedure span opened with `Span::begin` whose binding no
+//! scanned file ever finishes — its stage histograms can never record.
+//! The name literal routes through the `.metric(` helper and is
+//! documented, so the T rules stay quiet and exactly F005 trips.
 
 pub fn leak(&mut self, ctx: &mut Ctx<'_>) {
     let span = Span::begin(ctx.registry(), self.metric("mme.attach"), ctx.now());
     self.pending = Some(span);
+}
+
+pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    // An *unrelated* finish in the same file must not vouch for the
+    // leaked span above (the old same-file check's false negative).
+    self.window.finish(ctx.registry());
 }

@@ -1,0 +1,8 @@
+//! T007: magma-trace procedure labels that break the metric-name
+//! grammar or have no `trace` row in the docs inventory. Exactly two
+//! findings, both T007.
+
+pub fn handle(&mut self, ctx: &mut Ctx<'_>) {
+    ctx.trace_start("Bad-Label");
+    ctx.trace_finish_as("ghost_procedure");
+}

@@ -1,0 +1,9 @@
+//! F005 cross-file pairing: the span begun here lands in a struct field
+//! that `span_finish.rs` closes. The workspace-wide index must pair the
+//! two files — the old same-file check flagged this shape.
+
+pub fn open(&mut self, ctx: &mut Ctx<'_>) {
+    self.pending = PendingJob {
+        span: Some(Span::begin(ctx.registry(), self.metric("mme.attach"), ctx.now())),
+    };
+}

@@ -1,0 +1,7 @@
+//! Companion to `span_begin.rs`: finishes the span that file opened.
+
+pub fn close(&mut self, ctx: &mut Ctx<'_>) {
+    if let Some(span) = self.pending.span.take() {
+        span.finish(ctx.registry());
+    }
+}

@@ -124,6 +124,48 @@ fn t006_stale_docs_scope_fires_in_workspace_mode() {
 }
 
 #[test]
+fn t007_fires_on_bad_and_undocumented_trace_labels() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/t007_bad_trace.rs");
+    assert_eq!(rules_fired(&report), vec!["T007"], "{}", report.summary());
+    // Both the grammar breach and the missing docs row are flagged.
+    assert_eq!(
+        report.violations().iter().filter(|f| f.rule == "T007").count(),
+        2,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn t007_documented_trace_labels_lint_clean() {
+    // Non-vacuity against the real tree: the production labels are in
+    // the parsed trace inventory and never leak into the metric rows.
+    let docs = parse_docs(&repo_root());
+    for label in ["attach", "register_5g", "detach", "path_switch", "s6a_auth"] {
+        assert!(
+            docs.traces.iter().any(|(n, _)| n == label),
+            "missing trace row for {label:?} in docs/OBSERVABILITY.md"
+        );
+        assert!(!docs.metrics.iter().any(|(n, _)| n == label));
+    }
+}
+
+#[test]
+fn t007_stale_docs_trace_fires_in_workspace_mode() {
+    // The drift fixture documents a trace label nothing starts; only
+    // the whole-workspace scan can see that direction.
+    let report = lint_workspace(&fixtures().join("drift"));
+    let stale: Vec<_> = report
+        .violations()
+        .iter()
+        .filter(|f| f.rule == "T007")
+        .map(|f| f.msg.clone())
+        .collect();
+    assert_eq!(stale.len(), 1, "{}", report.summary());
+    assert!(stale[0].contains("ghost_procedure"), "{stale:?}");
+}
+
+#[test]
 fn a001_fires_on_catch_all_dispatch() {
     let (report, _) = lint_fixture("bad", "crates/agw/src/a001_catch_all.rs");
     assert_eq!(rules_fired(&report), vec!["A001"], "{}", report.summary());
@@ -207,6 +249,26 @@ fn f004_fires_on_requests_without_valid_retry_edges() {
 fn f005_fires_on_span_leak() {
     let (report, _) = lint_fixture("bad", "crates/agw/src/f005_span_leak.rs");
     assert_eq!(rules_fired(&report), vec!["F005"], "{}", report.summary());
+    // The fixture's unrelated `.finish(` on another binding must not
+    // vouch for the leaked span (the old same-file check accepted it).
+    assert_eq!(report.violations().len(), 1, "{}", report.summary());
+}
+
+#[test]
+fn f005_pairs_begin_and_finish_across_files() {
+    // A span begun in one file and finished in another is clean under
+    // the workspace-wide pairing index.
+    let docs = parse_docs(&repo_root());
+    let root = fixtures().join("ok");
+    let files = [
+        root.join("crates/agw/src/span_begin.rs"),
+        root.join("crates/agw/src/span_finish.rs"),
+    ];
+    let report = lint_files(&root, &files, &docs);
+    assert!(report.is_clean(), "{}", report.summary());
+    // Non-vacuity: linting the begin half alone must still fire.
+    let alone = lint_files(&root, &files[..1], &docs);
+    assert_eq!(rules_fired(&alone), vec!["F005"], "{}", alone.summary());
 }
 
 #[test]

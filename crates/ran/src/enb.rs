@@ -182,7 +182,22 @@ impl EnodebActor {
     fn deliver_to_ue(&mut self, ctx: &mut Ctx<'_>, idx: usize, nas: NasMessage) {
         self.slots[idx].pending_nas.push_back(nas);
         let d = self.radio_delay(ctx);
-        ctx.timer_in(d, T_RADIO_BASE + idx as u64);
+        // The radio leg is a causal hop of the procedure in flight, so
+        // the delay timer carries the trace (a plain `timer_in` would
+        // drop the downlink out of the span tree).
+        ctx.trace_timer_in(d, T_RADIO_BASE + idx as u64);
+    }
+
+    /// Root the attach procedure's trace: the control endpoint decides
+    /// whether this cell speaks S1AP (4G attach) or NGAP (5G
+    /// registration). Labels are audited by lint rule T007, which reads
+    /// the literal at each `trace_start` call site.
+    fn start_attach_trace(&self, ctx: &mut Ctx<'_>) {
+        if self.cfg.agw_ctrl.port == magma_net::ports::NGAP {
+            ctx.trace_start("register_5g");
+        } else {
+            ctx.trace_start("attach");
+        }
     }
 
     fn start_attach_for(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
@@ -215,6 +230,10 @@ impl EnodebActor {
             self.cfg.ue_attach_timeout,
             T_UETO_BASE + idx as u64,
         );
+        // Root the causal trace *after* arming the timeout: the guard
+        // timer is not a hop of the procedure, and a timed-out attach
+        // simply leaves its trace unfinished (counted, never exported).
+        self.start_attach_trace(ctx);
         // Model the radio leg as delay before the S1AP send.
         let bytes = lp_encode(&msg.encode());
         if let Some(conn) = self.conn {
@@ -341,6 +360,9 @@ impl EnodebActor {
         let phase = self.slots[idx].ue.phase;
 
         if phase == UePhase::Attached && !was_attached {
+            // Semantic end of the attach/registration procedure: the
+            // radio-delayed Attach Accept reached the UE.
+            ctx.trace_finish();
             if let Some(start) = self.slots[idx].attempt_started.take() {
                 let m = self.probe("attach_ok_at");
                 ctx.metrics().record(&m, start, now.since(start).as_secs_f64());
@@ -353,6 +375,11 @@ impl EnodebActor {
                 let life = SimDuration::from_secs(ctx.rng().gen_range(lo..=hi.max(lo + 1)));
                 ctx.timer_in(life, T_DETACH_BASE + idx as u64);
             }
+        }
+        if phase == UePhase::Detached && was_attached {
+            // Detach Accept made it back across the radio: the detach
+            // procedure rooted at the session-lifetime timer is done.
+            ctx.trace_finish();
         }
         if phase == UePhase::Failed {
             if let Some(start) = self.slots[idx].attempt_started.take() {
@@ -504,6 +531,7 @@ impl Actor for EnodebActor {
                     let idx = (t - T_DETACH_BASE) as usize;
                     if idx < self.slots.len() {
                         if let Some(req) = self.slots[idx].ue.start_detach() {
+                            ctx.trace_start("detach");
                             let m = self.probe("detach_start");
                             ctx.metrics().inc(&m, 1.0);
                             self.slots[idx].ul_teid = None;

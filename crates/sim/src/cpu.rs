@@ -91,6 +91,9 @@ pub(crate) struct Job {
     /// Remaining wall time on a core (already divided by speed).
     pub service: SimDuration,
     pub submitted: SimTime,
+    /// Causal trace context of the submitting dispatch, so CPU queue
+    /// wait + service shows up as a hop of the submitting procedure.
+    pub trace: Option<crate::trace::TraceCtx>,
 }
 
 pub(crate) struct GroupState {
@@ -287,6 +290,7 @@ mod tests {
             payload: Box::new(()),
             service: SimDuration::from_millis(service_ms),
             submitted: SimTime::ZERO,
+            trace: None,
         }
     }
 

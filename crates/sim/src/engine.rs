@@ -10,6 +10,7 @@ use crate::metrics::Recorder;
 use crate::prof::{self, HeapStats, ProfHandle, Profiler, ProfileSnapshot, ScopeGuard};
 use crate::registry::Registry;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceCtx, TraceSnapshot, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
@@ -52,6 +53,27 @@ pub struct Kernel {
     /// flag for a branch-only fast path on every dispatch.
     prof: ProfHandle,
     prof_on: bool,
+    /// magma-trace accumulator. `trace_on` mirrors its enabled flag for
+    /// a branch-only fast path on every scheduling call; `cur_trace` is
+    /// the causal context of the dispatch currently being handled.
+    tracer: Tracer,
+    trace_on: bool,
+    cur_trace: Option<TraceCtx>,
+}
+
+impl Kernel {
+    /// Open a hop span under the current dispatch's trace context (if
+    /// any) and return the context to stamp on the scheduled event.
+    /// Only called behind the `trace_on` fast-path branch.
+    fn trace_child(
+        &mut self,
+        kind: &'static str,
+        src: ActorId,
+        dst: ActorId,
+    ) -> Option<TraceCtx> {
+        let cur = self.cur_trace?;
+        self.tracer.child(cur, kind, src, dst, self.time)
+    }
 }
 
 /// The simulation world: a set of actors, hosts, and a deterministic event
@@ -82,6 +104,9 @@ impl World {
                 events_processed: 0,
                 prof: Rc::new(RefCell::new(Profiler::default())),
                 prof_on: false,
+                tracer: Tracer::new(seed),
+                trace_on: false,
+                cur_trace: None,
             },
         }
     }
@@ -103,6 +128,39 @@ impl World {
 
     pub fn profiling_enabled(&self) -> bool {
         self.kernel.prof_on
+    }
+
+    /// Switch magma-trace on or off (off by default). Enabled, every
+    /// procedure rooted by [`Ctx::trace_start`] is recorded as a causal
+    /// span tree across flow edges, the CPU model, and opted-in timers;
+    /// disabled, every hook costs one boolean branch. Tracing only
+    /// observes — it never feeds virtual time or the RNG, so it cannot
+    /// perturb a seeded run.
+    pub fn enable_tracing(&mut self, on: bool) {
+        self.kernel.tracer.set_enabled(on);
+        self.kernel.trace_on = on;
+        if !on {
+            self.kernel.cur_trace = None;
+        }
+    }
+
+    pub fn tracing_enabled(&self) -> bool {
+        debug_assert_eq!(self.kernel.trace_on, self.kernel.tracer.enabled());
+        self.kernel.tracer.enabled()
+    }
+
+    /// Head-sampling rate in [0, 1]: the deterministic seeded-hash
+    /// fraction of rooted traces that record spans (default 1.0).
+    pub fn set_trace_sample_rate(&mut self, rate: f64) {
+        self.kernel.tracer.set_sample_rate(rate);
+    }
+
+    /// Snapshot every finished trace tree, the per-procedure
+    /// critical-path aggregates, and the tracer counters. Deterministic
+    /// for a given `(scenario, seed)` — see `docs/OBSERVABILITY.md`.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        let names: Vec<&str> = self.actors.iter().map(|s| s.name.as_str()).collect();
+        self.kernel.tracer.snapshot(&names)
     }
 
     /// Snapshot the profile accumulated so far: a deterministic
@@ -142,7 +200,7 @@ impl World {
             name,
         });
         let g = self.kernel.gens[id.0 as usize];
-        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start, None);
         id
     }
 
@@ -154,6 +212,7 @@ impl World {
             dst,
             g,
             Event::Msg { from: dst, payload },
+            None,
         );
     }
 
@@ -183,7 +242,7 @@ impl World {
             name: name.clone(),
         };
         let g = self.kernel.gens[id.0 as usize];
-        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start, None);
         self.kernel.events.emit(
             self.kernel.time,
             &name,
@@ -293,6 +352,15 @@ impl World {
         self.kernel.time = sched.time;
         self.kernel.events_processed += 1;
 
+        // magma-trace: close the in-flight hop span (its duration is the
+        // schedule→delivery virtual time) and make its context current
+        // for the dispatch below. One branch when tracing is disabled.
+        if self.kernel.trace_on {
+            self.kernel.cur_trace = sched
+                .trace
+                .map(|ctx| self.kernel.tracer.deliver(ctx, sched.time));
+        }
+
         let event = sched.event;
 
         // CPU bookkeeping happens regardless of whether the owner is alive:
@@ -308,6 +376,7 @@ impl World {
             let hs = &mut self.kernel.hosts[host.0 as usize];
             if let Some((job, done)) = cpu::complete(hs, group, sched.time) {
                 let qd = sched.time.since(job.submitted);
+                let trace = job.trace;
                 self.kernel.queue.push(
                     done,
                     job.owner,
@@ -319,6 +388,7 @@ impl World {
                         group,
                         queued: qd,
                     },
+                    trace,
                 );
             }
             self.kernel
@@ -384,7 +454,7 @@ impl World {
                         name,
                     });
                     let g = self.kernel.gens[id.0 as usize];
-        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start, None);
                 }
                 PendingOp::Replace(id, actor) => {
                     self.kernel.gens[id.0 as usize] += 1;
@@ -394,7 +464,7 @@ impl World {
                         name,
                     };
                     let g = self.kernel.gens[id.0 as usize];
-        self.kernel.queue.push(self.kernel.time, id, g, Event::Start);
+        self.kernel.queue.push(self.kernel.time, id, g, Event::Start, None);
                 }
                 PendingOp::Kill(id) => {
                     self.kernel.gens[id.0 as usize] += 1;
@@ -438,9 +508,38 @@ impl<'a> Ctx<'a> {
     pub fn send_in(&mut self, dst: ActorId, delay: SimDuration, payload: Payload) {
         let from = self.self_id;
         let g = self.kernel.gens[dst.0 as usize];
-        self.kernel
-            .queue
-            .push(self.kernel.time + delay, dst, g, Event::Msg { from, payload });
+        self.kernel.queue.push(
+            self.kernel.time + delay,
+            dst,
+            g,
+            Event::Msg { from, payload },
+            None,
+        );
+    }
+
+    /// Schedule a flow-edge message carrying the dispatch's trace
+    /// context (if tracing is on and a trace is active).
+    fn send_traced(
+        &mut self,
+        dst: ActorId,
+        kind: &'static FlowKind,
+        delay: SimDuration,
+        payload: Payload,
+    ) {
+        let trace = if self.kernel.trace_on {
+            self.kernel.trace_child(kind.name, self.self_id, dst)
+        } else {
+            None
+        };
+        let from = self.self_id;
+        let g = self.kernel.gens[dst.0 as usize];
+        self.kernel.queue.push(
+            self.kernel.time + delay,
+            dst,
+            g,
+            Event::Msg { from, payload },
+            trace,
+        );
     }
 
     /// Send on a declared flow edge, delivered at the current instant.
@@ -458,8 +557,7 @@ impl<'a> Ctx<'a> {
             kind.name,
             kind.class,
         );
-        let _ = kind;
-        self.send(dst, payload);
+        self.send_traced(dst, kind, SimDuration::ZERO, payload);
     }
 
     /// Send on a declared flow edge after a positive delay (the
@@ -478,8 +576,7 @@ impl<'a> Ctx<'a> {
             "send_to_in({}) needs a Transport-class kind and a positive delay",
             kind.name,
         );
-        let _ = kind;
-        self.send_in(dst, delay, payload);
+        self.send_traced(dst, kind, delay, payload);
     }
 
     /// Arm a declared self-edge timer: a `Local`-class, `Timer`-role
@@ -501,16 +598,110 @@ impl<'a> Ctx<'a> {
             "send_self({}) must be a positive-delay Local/Timer self-edge",
             kind.name,
         );
-        let _ = kind;
-        self.timer_in(delay, tag)
+        let trace = if self.kernel.trace_on {
+            self.kernel.trace_child(kind.name, self.self_id, self.self_id)
+        } else {
+            None
+        };
+        let g = self.kernel.gens[self.self_id.0 as usize];
+        self.kernel.queue.push(
+            self.kernel.time + delay,
+            self.self_id,
+            g,
+            Event::Timer { tag },
+            trace,
+        )
     }
 
     /// Arm a timer on this actor; fires as `Event::Timer { tag }`.
+    /// Never carries trace context — re-arming a periodic tick inside a
+    /// traced dispatch must not chain unrelated work into the trace. A
+    /// timer that *is* a causal hop of the current procedure (e.g. the
+    /// RAN's radio-delay leg) opts in via
+    /// [`trace_timer_in`](Ctx::trace_timer_in).
     pub fn timer_in(&mut self, delay: SimDuration, tag: u64) -> EventHandle {
         let g = self.kernel.gens[self.self_id.0 as usize];
-        self.kernel
-            .queue
-            .push(self.kernel.time + delay, self.self_id, g, Event::Timer { tag })
+        self.kernel.queue.push(
+            self.kernel.time + delay,
+            self.self_id,
+            g,
+            Event::Timer { tag },
+            None,
+        )
+    }
+
+    /// [`timer_in`](Ctx::timer_in), but declared to be a causal hop of
+    /// the procedure being traced: the timer's delay is recorded as a
+    /// `"timer"` span and the trace context rides to the firing
+    /// dispatch. Use for modeled legs expressed as raw timers (radio
+    /// delay); periodic ticks must use plain `timer_in`.
+    pub fn trace_timer_in(&mut self, delay: SimDuration, tag: u64) -> EventHandle {
+        let trace = if self.kernel.trace_on {
+            self.kernel.trace_child("timer", self.self_id, self.self_id)
+        } else {
+            None
+        };
+        let g = self.kernel.gens[self.self_id.0 as usize];
+        self.kernel.queue.push(
+            self.kernel.time + delay,
+            self.self_id,
+            g,
+            Event::Timer { tag },
+            trace,
+        )
+    }
+
+    /// Root a new causal trace at this dispatch, labelled with the
+    /// procedure name (`&'static str`, snake_case, listed as a
+    /// `trace`-typed row in the `docs/OBSERVABILITY.md` inventory —
+    /// magma-lint rule T007). Everything this dispatch subsequently
+    /// schedules through flow edges, the CPU model, or
+    /// [`trace_timer_in`](Ctx::trace_timer_in) joins the trace, hop by
+    /// hop, until [`trace_finish`](Ctx::trace_finish). If a trace is
+    /// already active (this procedure is a sub-step of a larger traced
+    /// one, e.g. S6a auth inside an attach), the outer trace wins and
+    /// keeps recording. One branch when tracing is disabled.
+    pub fn trace_start(&mut self, label: &'static str) {
+        if self.kernel.trace_on && self.kernel.cur_trace.is_none() {
+            self.kernel.cur_trace =
+                self.kernel
+                    .tracer
+                    .start(label, self.self_id, self.kernel.time);
+        }
+    }
+
+    /// Mark the semantic completion of the current trace (if any): the
+    /// critical path is the span chain from this dispatch back to the
+    /// root, and end-to-end latency is now − root start. Clears the
+    /// context, so later sends in this dispatch are untraced. Safe to
+    /// call from untraced dispatches (one branch).
+    pub fn trace_finish(&mut self) {
+        if self.kernel.trace_on {
+            if let Some(cur) = self.kernel.cur_trace.take() {
+                self.kernel.tracer.finish(cur, self.kernel.time);
+            }
+        }
+    }
+
+    /// Finish the current trace only if it was rooted with `label`.
+    /// Procedures that may run nested inside a larger traced one (S6a
+    /// auth inside an attach, say) use this at their semantic end so
+    /// the sub-step never terminates the enclosing trace — when nested,
+    /// the outer trace keeps recording and this is a no-op.
+    pub fn trace_finish_as(&mut self, label: &'static str) {
+        if self.kernel.trace_on {
+            if let Some(cur) = self.kernel.cur_trace {
+                if self.kernel.tracer.label_of(cur.trace_id) == Some(label) {
+                    self.kernel.cur_trace = None;
+                    self.kernel.tracer.finish(cur, self.kernel.time);
+                }
+            }
+        }
+    }
+
+    /// Whether the current dispatch is part of a sampled trace.
+    pub fn trace_active(&self) -> bool {
+        self.kernel.cur_trace.is_some()
     }
 
     /// Cancel a previously armed timer (or a pending send).
@@ -547,21 +738,25 @@ impl<'a> Ctx<'a> {
         tag: u64,
         payload: Payload,
     ) -> Result<(), ExecError> {
-        let Some(hs) = self.kernel.hosts.get_mut(host.0 as usize) else {
-            return Err(ExecError {
-                host: format!("host#{}", host.0),
-                group: group.to_string(),
-                available: Vec::new(),
-            });
+        // Resolve the host and group in a scoped borrow so the tracer
+        // (another `&mut` path into the kernel) can run before submission.
+        let (gidx, speed) = {
+            let Some(hs) = self.kernel.hosts.get(host.0 as usize) else {
+                return Err(ExecError {
+                    host: format!("host#{}", host.0),
+                    group: group.to_string(),
+                    available: Vec::new(),
+                });
+            };
+            let Some(gidx) = hs.group_index(group) else {
+                return Err(ExecError {
+                    host: hs.spec.name.clone(),
+                    group: group.to_string(),
+                    available: hs.spec.groups.iter().map(|g| g.name.clone()).collect(),
+                });
+            };
+            (gidx, hs.groups[gidx as usize].spec.speed)
         };
-        let Some(gidx) = hs.group_index(group) else {
-            return Err(ExecError {
-                host: hs.spec.name.clone(),
-                group: group.to_string(),
-                available: hs.spec.groups.iter().map(|g| g.name.clone()).collect(),
-            });
-        };
-        let speed = hs.groups[gidx as usize].spec.speed;
         let service = cpu::scaled_service(demand, speed);
         if self.kernel.prof_on {
             // Charge virtual CPU-seconds to the dispatch that submitted
@@ -569,6 +764,13 @@ impl<'a> Ctx<'a> {
             self.kernel.prof.borrow_mut().charge_vcpu(service);
         }
         let gen = self.kernel.gens[self.self_id.0 as usize];
+        // The CPU model is a causal hop: queue wait + service time of a
+        // traced submission shows up as a `"cpu"` span.
+        let trace = if self.kernel.trace_on {
+            self.kernel.trace_child("cpu", self.self_id, self.self_id)
+        } else {
+            None
+        };
         let job = Job {
             owner: self.self_id,
             gen,
@@ -576,8 +778,11 @@ impl<'a> Ctx<'a> {
             payload,
             service,
             submitted: self.kernel.time,
+            trace,
         };
+        let hs = &mut self.kernel.hosts[host.0 as usize];
         if let Some((job, done)) = cpu::submit(hs, gidx, self.kernel.time, job) {
+            let trace = job.trace;
             self.kernel.queue.push(
                 done,
                 self.self_id,
@@ -589,6 +794,7 @@ impl<'a> Ctx<'a> {
                     group: gidx,
                     queued: SimDuration::ZERO,
                 },
+                trace,
             );
         }
         Ok(())

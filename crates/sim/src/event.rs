@@ -7,6 +7,7 @@
 use crate::actor::{ActorId, Event};
 use crate::prof::HeapStats;
 use crate::time::SimTime;
+use crate::trace::TraceCtx;
 use std::cmp::Ordering;
 #[allow(clippy::disallowed_types)]
 // lint:allow(D001, reason = "cancellation set is insert/remove/contains only — never iterated, so hash order is unobservable")
@@ -24,6 +25,9 @@ pub(crate) struct Scheduled {
     /// (target restarted since) are dropped at dispatch.
     pub gen: u32,
     pub event: Event,
+    /// Causal trace context stamped by the sender's dispatch (None for
+    /// untraced events and whenever tracing is off).
+    pub trace: Option<TraceCtx>,
 }
 
 impl PartialEq for Scheduled {
@@ -73,7 +77,14 @@ impl EventQueue {
         }
     }
 
-    pub fn push(&mut self, time: SimTime, target: ActorId, gen: u32, event: Event) -> EventHandle {
+    pub fn push(
+        &mut self,
+        time: SimTime,
+        target: ActorId,
+        gen: u32,
+        event: Event,
+        trace: Option<TraceCtx>,
+    ) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled {
@@ -82,6 +93,7 @@ impl EventQueue {
             target,
             gen,
             event,
+            trace,
         });
         self.stats.scheduled_total += 1;
         self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
@@ -146,9 +158,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), ActorId(0), 0, ev());
-        q.push(SimTime::from_secs(1), ActorId(1), 0, ev());
-        q.push(SimTime::from_secs(2), ActorId(2), 0, ev());
+        q.push(SimTime::from_secs(3), ActorId(0), 0, ev(), None);
+        q.push(SimTime::from_secs(1), ActorId(1), 0, ev(), None);
+        q.push(SimTime::from_secs(2), ActorId(2), 0, ev(), None);
         assert_eq!(q.pop().unwrap().target, ActorId(1));
         assert_eq!(q.pop().unwrap().target, ActorId(2));
         assert_eq!(q.pop().unwrap().target, ActorId(0));
@@ -160,7 +172,7 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_secs(1);
         for i in 0..10 {
-            q.push(t, ActorId(i), 0, ev());
+            q.push(t, ActorId(i), 0, ev(), None);
         }
         for i in 0..10 {
             assert_eq!(q.pop().unwrap().target, ActorId(i));
@@ -170,8 +182,8 @@ mod tests {
     #[test]
     fn cancellation_skips_event() {
         let mut q = EventQueue::new();
-        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev());
-        q.push(SimTime::from_secs(2), ActorId(1), 0, ev());
+        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev(), None);
+        q.push(SimTime::from_secs(2), ActorId(1), 0, ev(), None);
         q.cancel(h);
         assert_eq!(q.pop().unwrap().target, ActorId(1));
         assert!(q.pop().is_none());
@@ -180,8 +192,8 @@ mod tests {
     #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
-        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev());
-        q.push(SimTime::from_secs(5), ActorId(1), 0, ev());
+        let h = q.push(SimTime::from_secs(1), ActorId(0), 0, ev(), None);
+        q.push(SimTime::from_secs(5), ActorId(1), 0, ev(), None);
         q.cancel(h);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
     }

@@ -23,6 +23,7 @@
 //!
 //! [`Ctx::send_to`]: crate::Ctx::send_to
 //! [`Ctx::send_to_in`]: crate::Ctx::send_to_in
+//! [`flow_dispatch!`]: crate::flow_dispatch
 
 /// Delay class of a flow edge — what the sharded engine needs to know
 /// about an edge's relationship to virtual time.
@@ -127,7 +128,8 @@ pub struct FlowKind {
 /// key by which same-timestamp deliveries from distinct senders commute
 /// (or an explicit statement that kernel FIFO order is relied upon — in
 /// which case the inbound edges are un-shardable and `MESSAGE_FLOW.md`
-/// marks them as same-shard constraints). Produced by [`flow_dispatch!`].
+/// marks them as same-shard constraints). Produced by
+/// [`flow_dispatch!`](crate::flow_dispatch).
 #[derive(Debug)]
 pub struct Dispatch {
     /// Logical actor name (dotted hierarchy).
@@ -147,9 +149,9 @@ pub struct Dispatch {
 /// block that `magma-lint` parses lexically:
 ///
 /// ```
-/// # use magma_sim::{flow_dispatch, DelayClass, FlowKind, Role};
+/// # use magma_sim::flow_dispatch;
 /// # pub mod flows {
-/// #     use super::*;
+/// #     use magma_sim::{DelayClass, FlowKind, Role};
 /// #     pub const FLUID_DEMAND: FlowKind = FlowKind {
 /// #         name: "ran.fluid_demand", sender: "ran", receiver: "agw",
 /// #         class: DelayClass::Zero, role: Role::Data, retry: None,

@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod prof;
 pub mod registry;
 pub mod time;
+pub mod trace;
 
 pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
@@ -40,6 +41,10 @@ pub use registry::{
     DEFAULT_SECONDS_BOUNDS, OVERFLOW_COUNTER,
 };
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    HopShare, ProcSummary, SpanExport, TraceCtx, TraceExport, TraceSnapshot, TraceStats,
+    DEFAULT_SPAN_BUDGET,
+};
 
 #[cfg(test)]
 mod tests {

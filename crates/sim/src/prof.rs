@@ -13,8 +13,9 @@
 //!    tracked unconditionally in the queue; see [`HeapStats`]).
 //!
 //! Sub-actor hot paths (`fluid_tick`, RPC encode/decode, registry
-//! snapshots) are covered by cheap [`Ctx::profile_scope`] guards
-//! (`crate::engine::Ctx::profile_scope`): one branch when profiling is
+//! snapshots) are covered by cheap
+//! [`Ctx::profile_scope`](crate::Ctx::profile_scope) guards: one
+//! branch when profiling is
 //! disabled, a scope-row update on drop when enabled.
 //!
 //! ## Determinism contract
@@ -44,7 +45,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 /// Event kinds an actor can be dispatched with, in `Event` declaration
-/// order. Index with [`kind_index`].
+/// order. Index with `kind_index`.
 pub const KIND_NAMES: [&str; 4] = ["start", "timer", "msg", "cpu_done"];
 
 /// Dense kind index for attribution rows.

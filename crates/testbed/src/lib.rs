@@ -9,6 +9,7 @@
 pub mod experiments;
 pub mod export;
 pub mod measure;
+pub mod perfetto;
 pub mod scenario;
 pub mod trace;
 
@@ -17,4 +18,5 @@ pub use export::{
     render_orc8r_alerts, render_orc8r_events, render_orc8r_metrics, ATTACH_STAGES,
 };
 pub use measure::{cpu_percent, csr_bins, mean_attach_latency, mean_over, median_csr, overall_csr, throughput_mbps, CsrBin};
+pub use perfetto::{critical_path_json, perfetto_json, perfetto_string, render_critical_path};
 pub use scenario::{build, AgwInstance, AgwSpec, CoreLayout, Scenario, ScenarioConfig, SiteSpec, SIM_SEED};

@@ -188,6 +188,10 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     // Experiments want attribution: simprof is on for every testbed world
     // (the library default is off; see docs/PROFILING.md).
     world.enable_profiling(true);
+    // Likewise magma-trace: every testbed world records causal span
+    // trees so experiments can export Perfetto timelines and the
+    // critical-path report (see docs/OBSERVABILITY.md § Tracing).
+    world.enable_tracing(true);
     let net = new_net();
     let orc8r = new_orc8r(cfg.quota_bytes);
     orc8r.borrow_mut().checkin_interval_s =

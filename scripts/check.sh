@@ -57,6 +57,27 @@ echo "==> bench-smoke (BENCH schema + virtual-column golden diff)"
 # covers those with a tolerance instead. See docs/PROFILING.md.
 BENCH_OUT="$(mktemp -d)"
 cargo run --release -p magma-bench -- --smoke --out "$BENCH_OUT"
+
+echo "==> attach-storm Perfetto trace golden diff"
+# Every magma-bench run exports a TRACE_<scenario>.json Perfetto file
+# (magma-trace span trees, virtual-time only — see docs/OBSERVABILITY.md
+# § Causal tracing). The export must be byte-deterministic for the fixed
+# bench seed, so the attach-storm trace is pinned as a golden, installed
+# on first run like the others. After an intentional tracing change,
+# delete the golden and re-run.
+TRACE_GOLDEN="scripts/golden/trace_attach_storm.json"
+cargo run --release -p magma-bench -- --scenario attach_storm --out "$BENCH_OUT"
+if [[ -f "$TRACE_GOLDEN" ]]; then
+    diff -u "$TRACE_GOLDEN" "$BENCH_OUT/TRACE_attach_storm.json" || {
+        echo "attach-storm trace export drifted from $TRACE_GOLDEN" >&2
+        exit 1
+    }
+    echo "attach-storm trace matches golden"
+else
+    mkdir -p "$(dirname "$TRACE_GOLDEN")"
+    cp "$BENCH_OUT/TRACE_attach_storm.json" "$TRACE_GOLDEN"
+    echo "installed new trace golden at $TRACE_GOLDEN"
+fi
 rm -rf "$BENCH_OUT"
 
 # Replay the lint summary last so the allow/violation counts are the

@@ -69,6 +69,41 @@ fn sustained_breach_fires_once_per_episode_and_resolves() {
     assert!(st.firing_alerts().is_empty(), "all episodes closed");
 }
 
+#[test]
+fn staleness_episode_rearms_after_recovery() {
+    // Hysteresis must reset on resolve: a gateway that goes dark,
+    // recovers, then goes dark again is two distinct pages, not a
+    // suppressed continuation of the first.
+    let mut st = Orc8rState::new(0);
+    st.alert_rules = vec![AlertRule::push_staleness(3, SimDuration::from_secs(5))];
+
+    // Push at t=5, then silence: the 15 s staleness threshold is crossed
+    // by the t=25 sweep — episode 1 opens.
+    push_cpu(&mut st, "agw0", 1, 5, 40.0);
+    st.evaluate_staleness_rules(SimTime::from_secs(10));
+    assert!(st.alerts_for_rule("push_stale").is_empty(), "fresh gateway");
+    st.evaluate_staleness_rules(SimTime::from_secs(25));
+    assert!(st.has_open_alert("agw0", "push_stale"), "episode 1 open");
+    // Staying stale is still one episode.
+    st.evaluate_staleness_rules(SimTime::from_secs(30));
+    assert_eq!(st.alerts_for_rule("push_stale").len(), 1);
+
+    // Recovery: a fresh push resolves episode 1 on the next sweep.
+    push_cpu(&mut st, "agw0", 2, 31, 40.0);
+    st.evaluate_staleness_rules(SimTime::from_secs(35));
+    assert!(!st.has_open_alert("agw0", "push_stale"), "episode 1 closed");
+
+    // Degrade again: silence past the threshold opens a NEW episode —
+    // the engine must have re-armed, not stayed latched on the old one.
+    st.evaluate_staleness_rules(SimTime::from_secs(50));
+    let episodes = st.alerts_for_rule("push_stale");
+    assert_eq!(episodes.len(), 2, "recovered-then-degraded = new episode");
+    assert_eq!(episodes[0].resolved_at, Some(SimTime::from_secs(35)));
+    assert_eq!(episodes[1].at, SimTime::from_secs(50));
+    assert_eq!(episodes[1].resolved_at, None, "episode 2 still firing");
+    assert!(st.has_open_alert("agw0", "push_stale"));
+}
+
 /// The acceptance scenario: partition an AGW's backhaul, drive a
 /// CPU-heavy attach storm through the partition, and observe everything
 /// through the orchestrator's northbound queries alone.

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure for a handful of timed iterations and prints
+//! one line per benchmark. No warm-up, statistics, or HTML reports — just
+//! enough to keep `cargo bench` compiling and producing sanity numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const ITERS: u32 = 25;
+
+/// Benchmark registry / runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    // Wall-clock is the entire point of a bench harness; the workspace-wide
+    // Instant::now ban protects simulation results, not host-side timing.
+    #[allow(clippy::disallowed_methods)]
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut b = Bencher {
+        iters: ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / f64::from(b.iters.max(1));
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!(" ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(" ({:.0} B/s)", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name}: {:.3} us/iter{rate}", per_iter * 1e6);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        g.bench_function("mul", |b| b.iter(|| black_box(3u64) * 3));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample);
+
+    #[test]
+    fn runs_groups() {
+        benches();
+    }
+}

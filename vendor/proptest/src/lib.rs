@@ -1,0 +1,435 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` / `prop_assume!`, integer-range and
+//! `any::<T>()` strategies, `Just`, `prop_oneof!`, `prop_map`,
+//! `collection::vec`, `option::of`, and `[class]{m,n}` string patterns.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! test's module path and name), so failures reproduce across runs. There
+//! is no shrinking: a failing case panics with the regular assert message.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, for deriving stable per-test seeds from test names.
+#[doc(hidden)]
+pub fn new_case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.gen(rng)))
+    }
+}
+
+/// Type-erased strategy (`prop_oneof!` arms).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+
+    fn gen(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].gen(rng)
+    }
+}
+
+/// Full-domain generation for `any::<T>()`.
+pub trait Arb {
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arb for $t {
+            fn arb(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arb for bool {
+    fn arb(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arb for f64 {
+    fn arb(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl<T: Arb + Default + Copy, const N: usize> Arb for [T; N] {
+    fn arb(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arb(rng);
+        }
+        out
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arb> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+pub fn any<T: Arb>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_for_tuples {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.gen(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// `"[a-z0-9.]{1,30}"`-style string patterns: one character class with a
+/// `{min,max}` repetition — the only regex subset the workspace uses.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min_s, max_s) = rep.split_once(',')?;
+    let (min, max) = (min_s.parse().ok()?, max_s.parse().ok()?);
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            for c in cs[i]..=cs[i + 2] {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    (!chars.is_empty() && min <= max).then_some((chars, min, max))
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specification for [`vec()`].
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.gen(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OfStrategy<S>(S);
+
+    /// `None` one case in four, like upstream's default bias toward `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.0.gen(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut prop_rng = $crate::new_case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $parm = $crate::Strategy::gen(&($strat), &mut prop_rng);)+
+                $body
+            }
+        }
+        $crate::proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the rest of this case (continues with the next one).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_maps(x in 1u64..50, v in crate::collection::vec(any::<u8>(), 0..10), o in crate::option::of(Just(7u32))) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(v.len() < 10);
+            if let Some(seven) = o {
+                prop_assert_eq!(seven, 7);
+            }
+        }
+
+        #[test]
+        fn oneof_and_strings(tag in prop_oneof![Just(1u8), Just(2u8)], s in "[a-c]{2,5}") {
+            prop_assert!(tag == 1 || tag == 2);
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assume!(tag == 1);
+            prop_assert_ne!(tag, 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        let mut a = crate::new_case_rng("t", 3);
+        let mut b = crate::new_case_rng("t", 3);
+        assert_eq!(
+            crate::Strategy::gen(&(0u64..1000), &mut a),
+            crate::Strategy::gen(&(0u64..1000), &mut b)
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! The JSON tree shared by the vendored `serde` / `serde_json` pair.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+///
+/// Non-negative integers normalize to the unsigned representation so
+/// that `1u64` and `1i64` compare equal, mirroring upstream serde_json.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn from_u64(v: u64) -> Self {
+        Number::U(v)
+    }
+
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::U(v as u64)
+        } else {
+            Number::I(v)
+        }
+    }
+
+    /// `None` for NaN / infinities, which JSON cannot represent.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        v.is_finite().then_some(Number::F(v))
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(*v).ok(),
+            Number::I(v) => Some(*v),
+            Number::F(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::U(v) => Some(*v as f64),
+            Number::I(v) => Some(*v as f64),
+            Number::F(v) => Some(*v),
+        }
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::F(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            // Keep floats visibly floats: `2.0` rather than `2`, so a
+            // reader (and goldens) can tell them from integers.
+            Number::F(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object-key or array-index lookup; `None` on kind mismatch.
+    pub fn get<I: Index>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// Compact JSON rendering.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => render_string(s, out),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            Value::Object(o) => {
+                out.push('{');
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON rendering (two-space indent, serde_json style).
+    pub fn render_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Array(a) if !a.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    v.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(o) if !o.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.render(out),
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Key types usable with [`Value::get`] and `value[...]`.
+pub trait Index {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl Index for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object().and_then(|o| o.get(*self))
+    }
+}
+
+impl Index for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl Index for &String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl Index for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<I: Index> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Missing keys and kind mismatches yield `Null`, like serde_json.
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(v as f64)
+    }
+}
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_u64(v as u64))
+            }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::from_i64(v as i64))
+            }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64, isize);
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(v: BTreeMap<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON-tree based, see vendor/serde) for the shapes this workspace
+//! uses: named/tuple/unit structs and enums with unit, newtype, tuple, and
+//! struct variants, honoring `#[serde(rename = "...")]`,
+//! `#[serde(rename_all = "lowercase")]`, and `#[serde(default)]`.
+//!
+//! Parsing is a hand-rolled token walk (no syn/quote available offline);
+//! generics are not supported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    default: bool,
+}
+
+struct Field {
+    /// None for tuple fields.
+    name: Option<String>,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Input {
+    NamedStruct { name: String, attrs: SerdeAttrs, fields: Vec<Field> },
+    TupleStruct { name: String, _attrs: SerdeAttrs, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, attrs: SerdeAttrs, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    let container_attrs = take_attrs(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kw = next_ident(&mut toks).expect("struct or enum keyword");
+    let name = next_ident(&mut toks).expect("type name");
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Input::NamedStruct { name, attrs: container_attrs, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_fields(g.stream()).len();
+                Input::TupleStruct { name, _attrs: container_attrs, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Input::Enum { name, attrs: container_attrs, variants }
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("expected struct or enum, found {other}"),
+    }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading `#[...]` attributes, extracting `#[serde(...)]` items.
+fn take_attrs(toks: &mut Toks) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else { return };
+    let mut a = args.stream().into_iter().peekable();
+    while let Some(tok) = a.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        match key.to_string().as_str() {
+            "default" => attrs.default = true,
+            k @ ("rename" | "rename_all") => {
+                // Expect `= "literal"`.
+                match (a.next(), a.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let v = lit.to_string().trim_matches('"').to_string();
+                        if k == "rename" {
+                            attrs.rename = Some(v);
+                        } else {
+                            attrs.rename_all = Some(v);
+                        }
+                    }
+                    other => panic!("malformed #[serde({k} = ...)]: {other:?}"),
+                }
+            }
+            other => panic!("unsupported serde attribute `{other}` (vendored serde_derive)"),
+        }
+    }
+}
+
+fn skip_visibility(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+fn next_ident(toks: &mut Toks) -> Option<String> {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Collect the tokens of one type, up to a top-level `,` (angle-bracket aware).
+fn take_type(toks: &mut Toks) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        ty.push_str(&toks.next().unwrap().to_string());
+        ty.push(' ');
+    }
+    // Consume the trailing comma if present.
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        toks.next();
+    }
+    ty.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let attrs = take_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        let Some(name) = next_ident(&mut toks) else {
+            return fields;
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field {name}, found {other:?}"),
+        }
+        let ty = take_type(&mut toks);
+        fields.push(Field { name: Some(name), ty, attrs });
+    }
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let attrs = take_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        let ty = take_type(&mut toks);
+        if ty.is_empty() {
+            return fields;
+        }
+        fields.push(Field { name: None, ty, attrs });
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let attrs = take_attrs(&mut toks);
+        let Some(name) = next_ident(&mut toks) else {
+            return variants;
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_fields(g.stream()).len();
+                toks.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tok) = toks.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        toks.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            toks.next();
+        }
+        variants.push(Variant { name, attrs, shape });
+    }
+}
+
+// ------------------------------------------------------------- rendering
+
+fn apply_rename_all(name: &str, rule: &str) -> String {
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "snake_case" => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        other => panic!("unsupported rename_all rule {other:?} (vendored serde_derive)"),
+    }
+}
+
+fn field_key(f: &Field, container: &SerdeAttrs) -> String {
+    if let Some(r) = &f.attrs.rename {
+        return r.clone();
+    }
+    let name = f.name.as_deref().expect("named field");
+    match &container.rename_all {
+        Some(rule) => apply_rename_all(name, rule),
+        None => name.to_string(),
+    }
+}
+
+fn variant_key(v: &Variant, container: &SerdeAttrs) -> String {
+    if let Some(r) = &v.attrs.rename {
+        return r.clone();
+    }
+    match &container.rename_all {
+        Some(rule) => apply_rename_all(&v.name, rule),
+        None => v.name.clone(),
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.replace(' ', "");
+    t.starts_with("Option<")
+        || t.starts_with("std::option::Option<")
+        || t.starts_with("::std::option::Option<")
+        || t.starts_with("core::option::Option<")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, attrs, fields } => {
+            let mut body = String::from(
+                "let mut m = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields {
+                let key = field_key(f, attrs);
+                let fname = f.name.as_deref().unwrap();
+                body.push_str(&format!(
+                    "m.insert({key:?}.to_string(), ::serde::Serialize::to_json(&self.{fname}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1, .. } => {
+            impl_serialize(name, "::serde::Serialize::to_json(&self.0)")
+        }
+        Input::TupleStruct { name, arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Input::Enum { name, attrs, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(v, attrs);
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String({key:?}.to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(x0) => {{\n\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert({key:?}.to_string(), ::serde::Serialize::to_json(x0));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert({key:?}.to_string(), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let mut inner = String::from(
+                            "let mut fm = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            let fkey = field_key(f, &v.attrs);
+                            let fname = f.name.as_deref().unwrap();
+                            inner.push_str(&format!(
+                                "fm.insert({fkey:?}.to_string(), ::serde::Serialize::to_json({fname}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert({key:?}.to_string(), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_reads(
+    type_name: &str,
+    fields: &[Field],
+    container: &SerdeAttrs,
+    obj_expr: &str,
+) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = field_key(f, container);
+        let fname = f.name.as_deref().unwrap();
+        let missing = if f.attrs.default || container.default {
+            "::std::default::Default::default()".to_string()
+        } else if is_option(&f.ty) {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::msg(\
+                 concat!(\"missing field `\", {key:?}, \"` in {type_name}\")))"
+            )
+        };
+        out.push_str(&format!(
+            "{fname}: match {obj_expr}.get({key:?}) {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_json(x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n"
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, attrs, fields } => {
+            let reads = gen_named_field_reads(name, fields, attrs, "obj");
+            let body = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                 concat!(\"expected object for {name}\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{reads}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::TupleStruct { name, arity: 1, .. } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))"),
+        ),
+        Input::TupleStruct { name, arity, .. } => {
+            let reads: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json(&arr[{i}])?"))
+                .collect();
+            let body = format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 concat!(\"expected array for {name}\")))?;\n\
+                 if arr.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 concat!(\"wrong tuple arity for {name}\")));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                reads.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!("let _ = v; ::std::result::Result::Ok({name})"),
+        ),
+        Input::Enum { name, attrs, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let key = variant_key(v, attrs);
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_json(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{key:?} => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             concat!(\"expected array for {name}::{vname}\")))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                             concat!(\"wrong arity for {name}::{vname}\")));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let reads = gen_named_field_reads(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            &v.attrs,
+                            "fobj",
+                        );
+                        data_arms.push_str(&format!(
+                            "{key:?} => {{\n\
+                             let fobj = inner.as_object().ok_or_else(|| ::serde::Error::msg(\
+                             concat!(\"expected object for {name}::{vname}\")))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{reads}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().unwrap();\n\
+                 match k.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"cannot deserialize {name} from {{other}}\"))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
