@@ -152,6 +152,11 @@ pub struct AgwActor {
     pending_demands: Vec<FluidDemand>,
     up_inflight_bytes: u64,
     up_cores: u32,
+    /// In-flight per-tick forwarding batches, keyed by batch id. The
+    /// per-core chunks reference entries here instead of sharing an
+    /// `Rc<RefCell<..>>` (shard-movability, lint S003).
+    up_batches: BTreeMap<u64, UpBatchState>,
+    next_up_batch: u64,
     /// Edge trigger for the dataplane-overload event: set on the first
     /// tick that drops bytes, cleared on a drop-free tick.
     up_overloaded: bool,
@@ -173,15 +178,17 @@ struct UpBatch {
 }
 
 /// One per-core slice of a tick's forwarding work. The batch's grants and
-/// accounting fire when the last chunk finishes.
+/// accounting fire when the last chunk finishes; batch state lives in
+/// `AgwActor::up_batches` keyed by id, so the chunk payload is plain
+/// data (shard-movable — lint S003 bans `Rc` in dispatch-path state).
 struct UpChunk {
     bytes: u64,
-    batch: std::rc::Rc<std::cell::RefCell<UpBatchState>>,
+    batch_id: u64,
 }
 
 struct UpBatchState {
     remaining: u32,
-    batch: Option<UpBatch>,
+    batch: UpBatch,
 }
 
 impl AgwActor {
@@ -224,6 +231,8 @@ impl AgwActor {
             pending_demands: Vec::new(),
             up_inflight_bytes: 0,
             up_cores: 1,
+            up_batches: BTreeMap::new(),
+            next_up_batch: 0,
             up_overloaded: false,
             orc8r: None,
             feg: None,
@@ -1097,12 +1106,15 @@ impl AgwActor {
                     .map(|d| (d.from_ran, Vec::new()))
                     .collect();
                 let mut session_usage = Vec::new();
-                for (gi, &(cookie, ul, dl)) in result.grants.iter().enumerate() {
-                    let (c2, di, _ti, teid) = cookie_to_ran[gi];
+                for (&(cookie, ul, dl), &(c2, di, _ti, teid)) in
+                    result.grants.iter().zip(&cookie_to_ran)
+                {
                     debug_assert_eq!(cookie, c2);
                     let ul = (ul as f64 * scale) as u64;
                     let dl = (dl as f64 * scale) as u64;
-                    grants_by_ran[di].1.push((teid, ul, dl));
+                    if let Some((_, lst)) = grants_by_ran.get_mut(di) {
+                        lst.push((teid, ul, dl));
+                    }
                     if cookie != u64::MAX && (ul > 0 || dl > 0) {
                         session_usage.push((cookie, ul, dl));
                     }
@@ -1117,10 +1129,15 @@ impl AgwActor {
                 // context per core, as OVS does).
                 let k = self.up_cores.max(1) as u64;
                 let chunk_bytes = total / k;
-                let state = std::rc::Rc::new(std::cell::RefCell::new(UpBatchState {
-                    remaining: k as u32,
-                    batch: Some(batch),
-                }));
+                let batch_id = self.next_up_batch;
+                self.next_up_batch += 1;
+                self.up_batches.insert(
+                    batch_id,
+                    UpBatchState {
+                        remaining: k as u32,
+                        batch,
+                    },
+                );
                 for i in 0..k {
                     let bytes = if i == k - 1 {
                         total - chunk_bytes * (k - 1)
@@ -1135,10 +1152,7 @@ impl AgwActor {
                         &self.cfg.up_group,
                         demand.max(SimDuration(1)),
                         C_UP,
-                        Box::new(UpChunk {
-                            bytes,
-                            batch: state.clone(),
-                        }),
+                        Box::new(UpChunk { bytes, batch_id }),
                     );
                 }
             }
@@ -1171,16 +1185,17 @@ impl AgwActor {
         let now = ctx.now();
         let m = self.probe("tp_bytes");
         ctx.metrics().record(&m, now, chunk.bytes as f64);
-        let batch = {
-            let mut st = chunk.batch.borrow_mut();
-            st.remaining -= 1;
-            if st.remaining == 0 {
-                st.batch.take()
-            } else {
-                None
+        let done = match self.up_batches.get_mut(&chunk.batch_id) {
+            Some(st) => {
+                st.remaining = st.remaining.saturating_sub(1);
+                st.remaining == 0
             }
+            None => false,
         };
-        let Some(batch) = batch else {
+        if !done {
+            return;
+        }
+        let Some(UpBatchState { batch, .. }) = self.up_batches.remove(&chunk.batch_id) else {
             return;
         };
         for (ran, grants) in batch.grants_by_ran {

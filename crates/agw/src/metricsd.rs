@@ -133,11 +133,14 @@ impl MetricsdActor {
             let Some(rep) = ctx.utilization(self.cfg.host, name) else {
                 continue;
             };
-            let util = if rep.series.len() >= 2 {
-                rep.series[rep.series.len() - 2].1
-            } else {
-                rep.series.last().map(|(_, u)| *u).unwrap_or(0.0)
-            };
+            let util = rep
+                .series
+                .iter()
+                .rev()
+                .nth(1)
+                .or_else(|| rep.series.last())
+                .map(|(_, u)| *u)
+                .unwrap_or(0.0);
             let gauge = self.metric(&format!("cpu.{name}.percent"));
             ctx.registry().gauge_set(&gauge, util * 100.0);
             busy_weighted += util * *cores as f64;

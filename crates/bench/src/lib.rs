@@ -407,9 +407,9 @@ pub fn partition_recovery(seed: u64) -> BenchRun {
     let orc8r_node = sc.orc8r_node;
     let sw = HostStopwatch::start();
     sc.world.run_until(SimTime::from_secs(20));
-    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, false);
+    sc.net.set_link_up(agw_node, orc8r_node, false);
     sc.world.run_until(SimTime::from_secs(70));
-    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, true);
+    sc.net.set_link_up(agw_node, orc8r_node, true);
     sc.world.run_until(SimTime::from_secs(sim_s as u64));
     acc.phase("partition.run", sw.elapsed_s());
     acc.events += sc.world.events_processed();

@@ -10,6 +10,7 @@
 use crate::flow;
 use crate::lexer;
 use crate::rules::{self, FileCtx, Finding, NameUse, ScopeUse};
+use crate::shard;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -64,6 +65,8 @@ pub struct Report {
     pub malformed: Vec<(String, u32, String)>,
     /// The extracted message-flow graph (F rules, MESSAGE_FLOW.md).
     pub flow: flow::FlowGraph,
+    /// The derived shard plan (S rules, SHARD_PLAN.md / shard_plan.json).
+    pub shard: shard::ShardPlan,
     /// Wall-clock self-timing for the run, in milliseconds.
     pub elapsed_ms: Option<f64>,
 }
@@ -135,6 +138,13 @@ impl Report {
             self.flow.kinds.len(),
             self.flow.dispatches.len(),
             self.flow.sent.len(),
+        ));
+        out.push_str(&format!(
+            "  shard plan: {} components, {} cut edges, {} replicated hub{}\n",
+            self.shard.components.len(),
+            self.shard.cut_edges.len(),
+            self.shard.replicated.len(),
+            if self.shard.replicated.len() == 1 { "" } else { "s" },
         ));
         if let Some(ms) = self.elapsed_ms {
             out.push_str(&format!(
@@ -397,6 +407,10 @@ fn lint_files_inner(
     report.flow = flow::build_graph(&sources, per_file_flows);
     flow::graph_rules(&report.flow, &mut report.findings);
 
+    // S rules and the derived shard plan reuse the already-lexed sources
+    // and the assembled graph — no file is read or lexed twice.
+    report.shard = shard::shard_rules(root, &sources, &report.flow, check_drift, &mut report.findings);
+
     // T004: docs entries that no call site registers (stale docs).
     if check_drift && docs.present {
         for (entry, docs_line) in &docs.metrics {
@@ -495,4 +509,66 @@ pub fn lint_workspace(root: &Path) -> Report {
     let docs = parse_docs(root);
     let files = workspace_files(root);
     lint_files_inner(root, &files, &docs, true)
+}
+
+/// Render the report as JSON with a stable field order, so downstream
+/// tooling (CI annotations, dashboards) can diff runs byte-for-byte.
+/// Hand-rolled: the lint stays dependency-free. `schema_version` leads
+/// and is bumped whenever a field is added, removed, or reordered.
+pub fn json_report(report: &Report, docs_present: bool) -> String {
+    let esc = rules::json_escape;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"docs_present\": {docs_present},\n"));
+    out.push_str(&format!(
+        "  \"violations\": {},\n",
+        report.violations().len() + report.malformed.len()
+    ));
+    out.push_str(&format!(
+        "  \"allowed\": {},\n",
+        report.findings.iter().filter(|f| f.allowed).count()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\", \
+             \"allowed\": {}, \"reason\": {}}}",
+            f.rule,
+            esc(&f.file),
+            f.line,
+            esc(&f.msg),
+            f.allowed,
+            f.reason
+                .as_ref()
+                .map(|r| format!("\"{}\"", esc(r)))
+                .unwrap_or_else(|| "null".to_string()),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"malformed\": [");
+    for (i, (file, line, msg)) in report.malformed.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {line}, \"msg\": \"{}\"}}",
+            esc(file),
+            esc(msg),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"unused_allows\": [");
+    let unused: Vec<_> = report.allows.iter().filter(|a| !a.used).collect();
+    for (i, a) in unused.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            esc(&a.rule),
+            esc(&a.file),
+            a.line,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }

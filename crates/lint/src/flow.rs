@@ -53,6 +53,8 @@ pub struct KindDecl {
     pub role: String,
     /// Target kind *name* from `retry: Some("...")`.
     pub retry: Option<String>,
+    /// Link-profile name from `lookahead: Some("...")` (S002).
+    pub lookahead: Option<String>,
     pub file: String,
     pub line: u32,
 }
@@ -62,9 +64,33 @@ pub struct KindDecl {
 pub struct DispatchDecl {
     pub ident: String,
     pub actor: String,
+    /// The actor's state struct name from `state = "..."` (S003).
+    pub state: Option<String>,
     /// Last path segment of each accepts entry.
     pub accepts: Vec<String>,
     pub tie_break: Option<String>,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One parsed shared-handle alias declaration (`AliasDecl` const).
+#[derive(Debug, Clone)]
+pub struct AliasDeclParsed {
+    pub handle: String,
+    pub ctor: String,
+    pub holders: Vec<String>,
+    /// `SameComponent` / `PerComponent` (last path segment, as written).
+    pub scope: String,
+    pub reason: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One parsed co-location constraint (`Colocate` const).
+#[derive(Debug, Clone)]
+pub struct ColocateParsed {
+    pub actors: Vec<String>,
+    pub reason: String,
     pub file: String,
     pub line: u32,
 }
@@ -75,6 +101,8 @@ pub struct DispatchDecl {
 pub struct FileFlows {
     pub kinds: Vec<KindDecl>,
     pub dispatches: Vec<DispatchDecl>,
+    pub aliases: Vec<AliasDeclParsed>,
+    pub colocates: Vec<ColocateParsed>,
     pub decl_ranges: Vec<(usize, usize)>,
 }
 
@@ -83,6 +111,8 @@ pub struct FileFlows {
 pub struct FlowGraph {
     pub kinds: Vec<KindDecl>,
     pub dispatches: Vec<DispatchDecl>,
+    pub aliases: Vec<AliasDeclParsed>,
+    pub colocates: Vec<ColocateParsed>,
     /// Kind idents word-referenced outside declarations and dispatches.
     pub sent: BTreeSet<String>,
 }
@@ -207,14 +237,18 @@ pub fn extract_file(ctx: &FileCtx<'_>) -> FileFlows {
         let role = field_colon(text, open, end, "role")
             .and_then(|c| path_segment(text, c, end))
             .unwrap_or_default();
-        let retry = field_colon(text, open, end, "retry").and_then(|c| {
-            let j = skip_ws(bytes, c);
-            if text[j..end.min(text.len())].starts_with("None") {
-                None
-            } else {
-                first_string(ctx, j, end).map(str::to_string)
-            }
-        });
+        let some_or_none = |field: &str| {
+            field_colon(text, open, end, field).and_then(|c| {
+                let j = skip_ws(bytes, c);
+                if text[j..end.min(text.len())].starts_with("None") {
+                    None
+                } else {
+                    first_string(ctx, j, end).map(str::to_string)
+                }
+            })
+        };
+        let retry = some_or_none("retry");
+        let lookahead = some_or_none("lookahead");
         out.kinds.push(KindDecl {
             ident,
             name,
@@ -223,11 +257,15 @@ pub fn extract_file(ctx: &FileCtx<'_>) -> FileFlows {
             class,
             role,
             retry,
+            lookahead,
             file: ctx.rel.to_string(),
             line: ctx.masked.line_of(at),
         });
         out.decl_ranges.push((at, end));
     }
+
+    // Shard-alias and co-location consts (consumed by the S rules).
+    extract_alias_consts(ctx, &mut out);
 
     // Dispatch blocks: `<macro>! { const IDENT: actor = "...", ... }`.
     let macro_call = "flow_dispatch!";
@@ -256,6 +294,10 @@ pub fn extract_file(ctx: &FileCtx<'_>) -> FileFlows {
             .and_then(|p| first_string(ctx, p, end))
             .unwrap_or_default()
             .to_string();
+        let state = field_eq(text, open, end, "state")
+            .and_then(|p| first_string(ctx, p, end))
+            .map(str::to_string)
+            .filter(|s| !s.is_empty());
         let accepts = parse_accepts(text, open, end);
         let tie_break = field_eq(text, open, end, "tie_break").and_then(|p| {
             let j = skip_ws(bytes, p);
@@ -269,6 +311,7 @@ pub fn extract_file(ctx: &FileCtx<'_>) -> FileFlows {
             out.dispatches.push(DispatchDecl {
                 ident,
                 actor,
+                state,
                 accepts,
                 tie_break,
                 file: ctx.rel.to_string(),
@@ -278,6 +321,104 @@ pub fn extract_file(ctx: &FileCtx<'_>) -> FileFlows {
         out.decl_ranges.push((at, end));
     }
     out
+}
+
+/// Extract `AliasDecl` / `Colocate` const struct literals from one file.
+/// Same lexical shape as flow-kind consts: `const IDENT: ..Type =
+/// ..Type { ... };` with literal fields only.
+fn extract_alias_consts(ctx: &FileCtx<'_>, out: &mut FileFlows) {
+    let text = &ctx.masked.text;
+    let bytes = text.as_bytes();
+    for at in find_word(text, "const") {
+        if ctx.skipped(at) {
+            continue;
+        }
+        let j = skip_ws(bytes, at + "const".len());
+        let (ident, j) = ident_at(bytes, j);
+        if ident.is_empty() {
+            continue;
+        }
+        let j = skip_ws(bytes, j);
+        if j >= bytes.len() || bytes[j] != b':' {
+            continue;
+        }
+        let mut eq = j + 1;
+        while eq < bytes.len() && !matches!(bytes[eq], b'=' | b';' | b'{' | b'}' | b'(') {
+            eq += 1;
+        }
+        if eq >= bytes.len() || bytes[eq] != b'=' {
+            continue;
+        }
+        let ty = if !find_word(&text[j..eq], "AliasDecl").is_empty() {
+            "AliasDecl"
+        } else if !find_word(&text[j..eq], "Colocate").is_empty() {
+            "Colocate"
+        } else {
+            continue;
+        };
+        let Some(open) = text[eq..].find('{').map(|p| eq + p) else {
+            continue;
+        };
+        if find_word(&text[eq..open], ty).is_empty() {
+            continue;
+        }
+        let end = match_brace(bytes, open);
+        let get = |field: &str| -> Option<String> {
+            let c = field_colon(text, open, end, field)?;
+            first_string(ctx, c, end).map(str::to_string)
+        };
+        let line = ctx.masked.line_of(at);
+        if ty == "AliasDecl" {
+            let (Some(handle), Some(ctor)) = (get("handle"), get("ctor")) else {
+                continue;
+            };
+            let holders = field_colon(text, open, end, "holders")
+                .map(|c| string_list(ctx, c, end))
+                .unwrap_or_default();
+            let scope = field_colon(text, open, end, "scope")
+                .and_then(|c| path_segment(text, c, end))
+                .unwrap_or_default();
+            out.aliases.push(AliasDeclParsed {
+                handle,
+                ctor,
+                holders,
+                scope,
+                reason: get("reason").unwrap_or_default(),
+                file: ctx.rel.to_string(),
+                line,
+            });
+        } else {
+            let actors = field_colon(text, open, end, "actors")
+                .map(|c| string_list(ctx, c, end))
+                .unwrap_or_default();
+            out.colocates.push(ColocateParsed {
+                actors,
+                reason: get("reason").unwrap_or_default(),
+                file: ctx.rel.to_string(),
+                line,
+            });
+        }
+        out.decl_ranges.push((at, end));
+    }
+}
+
+/// Parse the string literals of a `&["a", "b"]` slice literal starting
+/// at the first `[` after `from`.
+fn string_list(ctx: &FileCtx<'_>, from: usize, to: usize) -> Vec<String> {
+    let text = &ctx.masked.text;
+    let Some(open) = text[from..to.min(text.len())].find('[').map(|p| from + p) else {
+        return Vec::new();
+    };
+    let close = text[open..to.min(text.len())]
+        .find(']')
+        .map(|p| open + p)
+        .unwrap_or(to);
+    ctx.masked
+        .strings
+        .iter()
+        .filter(|s| s.start > open && s.start < close)
+        .map(|s| s.value.clone())
+        .collect()
 }
 
 /// Find `field =` inside `text[from..to]`, returning the offset just
@@ -365,6 +506,8 @@ pub fn build_graph(sources: &[SourceFile], per_file: Vec<FileFlows>) -> FlowGrap
     for flows in per_file {
         graph.kinds.extend(flows.kinds);
         graph.dispatches.extend(flows.dispatches);
+        graph.aliases.extend(flows.aliases);
+        graph.colocates.extend(flows.colocates);
     }
     graph.kinds.sort_by(|a, b| {
         (&a.sender, &a.name, &a.file, a.line).cmp(&(&b.sender, &b.name, &b.file, b.line))
@@ -373,12 +516,18 @@ pub fn build_graph(sources: &[SourceFile], per_file: Vec<FileFlows>) -> FlowGrap
         .dispatches
         .sort_by(|a, b| (&a.actor, &a.file, a.line).cmp(&(&b.actor, &b.file, b.line)));
     graph
+        .aliases
+        .sort_by(|a, b| (&a.handle, &a.file, a.line).cmp(&(&b.handle, &b.file, b.line)));
+    graph
+        .colocates
+        .sort_by(|a, b| (&a.actors, &a.file, a.line).cmp(&(&b.actors, &b.file, b.line)));
+    graph
 }
 
 /// Does a kind with `receiver` land on a dispatch declaring `actor`?
 /// Receivers are dotted hierarchies: `agw` matches `agw.epc_baseline`;
 /// `"*"` matches anyone.
-fn receiver_matches(receiver: &str, actor: &str) -> bool {
+pub(crate) fn receiver_matches(receiver: &str, actor: &str) -> bool {
     receiver == "*" || actor == receiver || actor.starts_with(&format!("{receiver}."))
 }
 

@@ -10,6 +10,20 @@
 //! lists (with positions) for the telemetry rules and `lint:allow`
 //! parsing respectively.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of `mask` invocations. The engine lexes each file
+/// exactly once and shares the result across all rule families; this
+/// counter lets a regression test prove that stays true (see
+/// `crates/lint/tests/lex_cache.rs`).
+static MASK_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total number of times `mask` has run in this process.
+#[allow(dead_code)] // read from the lib surface (tests), not the CLI.
+pub fn mask_calls() -> usize {
+    MASK_CALLS.load(Ordering::Relaxed)
+}
+
 /// A string literal found in the source (contents, not including quotes).
 #[derive(Debug, Clone)]
 pub struct StrLit {
@@ -50,6 +64,7 @@ impl Masked {
 
 /// Lex `src`, producing the masked text plus literal/comment side tables.
 pub fn mask(src: &str) -> Masked {
+    MASK_CALLS.fetch_add(1, Ordering::Relaxed);
     let bytes = src.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut strings = Vec::new();

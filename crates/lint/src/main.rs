@@ -7,13 +7,16 @@
 //! how the OBSERVABILITY.md inventory table is regenerated. `--json`
 //! emits the findings as machine-readable JSON (stable field order);
 //! `--write-flow` (or `MAGMA_FLOW_ACCEPT=1`) regenerates
-//! `docs/MESSAGE_FLOW.md` from the extracted message-flow graph instead
-//! of failing on drift.
+//! `docs/MESSAGE_FLOW.md` from the extracted message-flow graph, and
+//! `--write-shard-plan` (or `MAGMA_SHARD_ACCEPT=1`) regenerates
+//! `docs/SHARD_PLAN.md` + `scripts/golden/shard_plan.json`, instead of
+//! failing on drift.
 
 mod engine;
 mod flow;
 mod lexer;
 mod rules;
+mod shard;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
     let mut dump_names = false;
     let mut json = false;
     let mut write_flow = false;
+    let mut write_shard = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -36,14 +40,19 @@ fn main() -> ExitCode {
             "--names" => dump_names = true,
             "--json" => json = true,
             "--write-flow" => write_flow = true,
+            "--write-shard-plan" => write_shard = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: magma-lint [--root DIR] [--names] [--json] [--write-flow] [FILES...]\n\
+                    "usage: magma-lint [--root DIR] [--names] [--json] [--write-flow] \
+                     [--write-shard-plan] [FILES...]\n\
                      Lints the workspace (or just FILES) for determinism (D),\n\
-                     telemetry naming (T), actor hygiene (A), and message-flow\n\
-                     graph (F) violations. --json emits findings as JSON;\n\
-                     --write-flow (or MAGMA_FLOW_ACCEPT=1) regenerates\n\
-                     docs/MESSAGE_FLOW.md instead of failing on F006 drift."
+                     telemetry naming (T), actor hygiene (A), message-flow\n\
+                     graph (F), and shard-safety (S) violations. --json emits\n\
+                     findings as JSON; --write-flow (or MAGMA_FLOW_ACCEPT=1)\n\
+                     regenerates docs/MESSAGE_FLOW.md instead of failing on\n\
+                     F006 drift; --write-shard-plan (or MAGMA_SHARD_ACCEPT=1)\n\
+                     regenerates docs/SHARD_PLAN.md and\n\
+                     scripts/golden/shard_plan.json instead of failing on S005."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -81,6 +90,24 @@ fn main() -> ExitCode {
         report.findings.retain(|f| f.rule != "F006");
     }
 
+    // Re-baseline the generated shard plan instead of failing on drift.
+    let accept_shard = write_shard
+        || std::env::var("MAGMA_SHARD_ACCEPT").map(|v| v == "1").unwrap_or(false);
+    if accept_shard {
+        for (rel, rendered) in [
+            ("docs/SHARD_PLAN.md", shard::render_plan(&report.shard)),
+            ("scripts/golden/shard_plan.json", shard::render_plan_json(&report.shard)),
+        ] {
+            let path = root.join(rel);
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("magma-lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("magma-lint: wrote {rel}");
+        }
+        report.findings.retain(|f| f.rule != "S005");
+    }
+
     if dump_names {
         // Re-scan for the audit dump (names only, sorted, deduped).
         let mut names: Vec<String> = Vec::new();
@@ -108,7 +135,7 @@ fn main() -> ExitCode {
     }
 
     if json {
-        print!("{}", json_report(&report, docs.present));
+        print!("{}", engine::json_report(&report, docs.present));
         return if report.is_clean() && docs.present {
             ExitCode::SUCCESS
         } else {
@@ -132,81 +159,6 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
-}
-
-/// Render the report as JSON with a stable field order, so downstream
-/// tooling (CI annotations, dashboards) can diff runs byte-for-byte.
-/// Hand-rolled: the lint stays dependency-free.
-fn json_report(report: &engine::Report, docs_present: bool) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
-    out.push_str(&format!("  \"docs_present\": {docs_present},\n"));
-    out.push_str(&format!(
-        "  \"violations\": {},\n",
-        report.violations().len() + report.malformed.len()
-    ));
-    out.push_str(&format!(
-        "  \"allowed\": {},\n",
-        report.findings.iter().filter(|f| f.allowed).count()
-    ));
-    out.push_str("  \"findings\": [");
-    for (i, f) in report.findings.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\", \
-             \"allowed\": {}, \"reason\": {}}}",
-            f.rule,
-            json_escape(&f.file),
-            f.line,
-            json_escape(&f.msg),
-            f.allowed,
-            f.reason
-                .as_ref()
-                .map(|r| format!("\"{}\"", json_escape(r)))
-                .unwrap_or_else(|| "null".to_string()),
-        ));
-    }
-    out.push_str("\n  ],\n");
-    out.push_str("  \"malformed\": [");
-    for (i, (file, line, msg)) in report.malformed.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"line\": {line}, \"msg\": \"{}\"}}",
-            json_escape(file),
-            json_escape(msg),
-        ));
-    }
-    out.push_str("\n  ],\n");
-    out.push_str("  \"unused_allows\": [");
-    let unused: Vec<_> = report.allows.iter().filter(|a| !a.used).collect();
-    for (i, a) in unused.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
-            json_escape(&a.rule),
-            json_escape(&a.file),
-            a.line,
-        ));
-    }
-    out.push_str("\n  ]\n}\n");
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 fn find_workspace_root(start: &PathBuf) -> PathBuf {

@@ -26,7 +26,8 @@
 //!   direction of the same rule.
 //! - `A001` catch-all-dispatch: `_ =>` arm in an actor's top-level
 //!   `match event`.
-//! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(` in agw/orc8r/rpc.
+//! - `A002` hot-path-unwrap: `.unwrap()`/`.expect(`/direct `ident[..]`
+//!   indexing in agw/orc8r/rpc.
 //! - `F001`–`F006` message-flow graph rules (see `flow`): orphan kinds,
 //!   zero-delay send cycles, missing tie-break contracts, requests
 //!   without retry edges, span leaks, and `docs/MESSAGE_FLOW.md` drift.
@@ -63,8 +64,26 @@ impl Finding {
 /// All rule identifiers, for the summary report.
 pub const ALL_RULES: &[&str] = &[
     "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "T007", "A001", "A002",
-    "F001", "F002", "F003", "F004", "F005", "F006",
+    "F001", "F002", "F003", "F004", "F005", "F006", "S001", "S002", "S003", "S004", "S005",
 ];
+
+/// Minimal JSON string escaping shared by the `--json` report and the
+/// generated `shard_plan.json` (the lint stays dependency-free).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Known first-segment namespaces for metric names — each is a bounded
 /// cardinality class (per-service instrument families). Grown only
@@ -774,5 +793,25 @@ pub fn a002_hot_path_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+    // Direct slice/map indexing (`ident[...]`) panics on out-of-bounds /
+    // missing keys just like `.unwrap()`. Lexical net: an ident byte
+    // immediately followed by `[` — this skips `#[attr]`, `vec![..]`,
+    // array types `[u8; 4]`, and pattern positions (all preceded by a
+    // non-ident byte). Chained forms (`)[`, `][`) are out of scope.
+    let bytes = ctx.masked.text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 || !is_ident_byte(bytes[i - 1]) || ctx.skipped(i) {
+            continue;
+        }
+        out.push(Finding::new(
+            "A002",
+            ctx.rel,
+            ctx.masked.line_of(i),
+            "direct indexing on a hot path can panic the gateway — use \
+             `.get(..)` and handle the miss, or justify the bound with \
+             lint:allow"
+                .to_string(),
+        ));
     }
 }

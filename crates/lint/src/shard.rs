@@ -1,0 +1,1121 @@
+//! Shard-safety analysis: the S-rule family and the generated shard plan.
+//!
+//! The F rules prove the message-flow graph is *consistent*; the S rules
+//! prove it is *partitionable*. A sharded conservative-time-window DES
+//! engine needs three things the type checker cannot see:
+//!
+//! - `S001` shared-handle aliasing: every `pub type X = Rc<RefCell<..>>`
+//!   outside the kernel must carry an `AliasDecl` naming its constructor,
+//!   holders, and scope. `SameComponent` aliases must have all holders in
+//!   one shard component; `PerComponent` aliases may only be held by
+//!   replicated hub actors and their constructor must never be called
+//!   outside the declaring crate. Zero-delay hub kinds (wildcard
+//!   endpoint) must terminate on a replicated actor.
+//! - `S002` lookahead bounds: every `Transport`-class kind must name a
+//!   link profile (`lookahead: Some("fiber")`) with positive static
+//!   latency in `crates/net/src/link.rs` — that latency is the
+//!   conservative window the engine can advance a neighbor shard by.
+//!   Zero/Local kinds must not name one.
+//! - `S003` shard-movable state: every dispatch surface must name its
+//!   state struct (`state = "AgwActor"`), the struct must exist in the
+//!   scanned set, and it must not embed raw `Rc<`/`RefCell<` fields —
+//!   interior sharing belongs behind a declared alias.
+//! - `S004` dispatch-path hygiene: no raw `ctx.send(`/`ctx.send_in(`
+//!   outside the kernel (the typed `send_to` family carries the declared
+//!   kind), and inside `impl Actor` files every `.borrow(`/`.borrow_mut(`
+//!   receiver must be a declared-handle field of a struct in that file.
+//! - `S005` plan drift: `docs/SHARD_PLAN.md` and
+//!   `scripts/golden/shard_plan.json` are generated from the analysis and
+//!   must match byte-for-byte. Regenerate with `--write-shard-plan` or
+//!   `MAGMA_SHARD_ACCEPT=1`.
+//!
+//! Components are computed by union-find over the zero-delay edges:
+//! receivers resolve through dispatch `accepts` lists (filtered by the
+//! dotted-hierarchy receiver match), senders resolve exact-name first and
+//! fall back to prefix expansion over dispatch actors, and `Colocate`
+//! constraints union actors no flow edge ties together. Actors with a
+//! `Transport` self-edge (the `net.stack` hub) are *replicated* — one
+//! instance per component — and excluded from the union.
+
+use crate::engine::SourceFile;
+use crate::flow::{receiver_matches, AliasDeclParsed, ColocateParsed, FlowGraph, KindDecl};
+use crate::rules::{find_word, match_brace, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+/// One shard component: a maximal set of actors connected by zero-delay
+/// edges and co-location constraints. Named by its smallest member.
+#[derive(Debug, Clone)]
+pub struct Component {
+    pub name: String,
+    pub members: Vec<String>,
+}
+
+/// One transport edge in the plan, labeled with the components (or the
+/// replicated hub / `*`) on each side and its lookahead bound.
+#[derive(Debug, Clone)]
+pub struct PlanEdge {
+    pub kind: String,
+    pub from: String,
+    pub to: String,
+    pub role: String,
+    pub profile: String,
+    pub lookahead_us: Option<u64>,
+}
+
+/// The derived shard plan, rendered to `docs/SHARD_PLAN.md` and
+/// `scripts/golden/shard_plan.json`.
+#[derive(Debug, Default)]
+pub struct ShardPlan {
+    pub components: Vec<Component>,
+    /// Actors replicated one-per-component (transport self-edge hubs).
+    pub replicated: Vec<String>,
+    /// Transport edges crossing a component boundary (or hub instances).
+    pub cut_edges: Vec<PlanEdge>,
+    /// Transport edges with both endpoints in one component.
+    pub intra_edges: Vec<PlanEdge>,
+    pub aliases: Vec<AliasDeclParsed>,
+    pub colocates: Vec<ColocateParsed>,
+    /// Link profile -> minimum static latency in microseconds.
+    pub profiles: Vec<(String, u64)>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn skip_ws(bytes: &[u8], mut j: usize) -> usize {
+    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    j
+}
+
+fn ident_at(bytes: &[u8], j: usize) -> (String, usize) {
+    let mut k = j;
+    while k < bytes.len() && is_ident_byte(bytes[k]) {
+        k += 1;
+    }
+    (String::from_utf8_lossy(&bytes[j..k]).to_string(), k)
+}
+
+/// Trailing identifier of `s` after trimming whitespace — the receiver of
+/// a method call that may be split across lines (`self.state\n.borrow()`).
+fn trailing_ident_trimmed(s: &str) -> Option<String> {
+    let t = s.trim_end();
+    let bytes = t.as_bytes();
+    let mut i = bytes.len();
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    if i == bytes.len() {
+        None
+    } else {
+        Some(t[i..].to_string())
+    }
+}
+
+fn in_kernel(rel: &str) -> bool {
+    rel.contains("crates/sim/src")
+}
+
+fn skipped(sf: &SourceFile, at: usize) -> bool {
+    sf.skips.iter().any(|&(a, b)| at >= a && at < b)
+}
+
+/// Parse the link-profile presets from any scanned `net/src/link.rs`:
+/// argless `pub fn name() -> Self` constructors whose body sets
+/// `latency: SimDuration::from_micros(N)` / `from_millis(N)` / `ZERO`.
+fn parse_link_profiles(sources: &[SourceFile]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for sf in sources {
+        if !sf.rel.ends_with("net/src/link.rs") {
+            continue;
+        }
+        let text = &sf.masked.text;
+        let bytes = text.as_bytes();
+        for at in find_word(text, "fn") {
+            if skipped(sf, at) {
+                continue;
+            }
+            let j = skip_ws(bytes, at + 2);
+            let (name, j) = ident_at(bytes, j);
+            if name.is_empty() {
+                continue;
+            }
+            let j = skip_ws(bytes, j);
+            if bytes.get(j) != Some(&b'(') {
+                continue;
+            }
+            // Presets are argless; builder methods (`with_loss(..)`) are not.
+            let k = skip_ws(bytes, j + 1);
+            if bytes.get(k) != Some(&b')') {
+                continue;
+            }
+            let Some(open) = text[k..].find('{').map(|p| k + p) else {
+                continue;
+            };
+            let end = match_brace(bytes, open);
+            let body = &text[open..end.min(text.len())];
+            let Some(lat) = find_word(body, "latency").first().copied() else {
+                continue;
+            };
+            // The field value runs to the next comma (single-line literals).
+            let to = body[lat..].find(',').map(|p| lat + p).unwrap_or(body.len());
+            let field = &body[lat..to];
+            let us = if let Some(p) = field.find("from_micros(") {
+                parse_number(&field[p + "from_micros(".len()..])
+            } else if let Some(p) = field.find("from_millis(") {
+                parse_number(&field[p + "from_millis(".len()..]).map(|n| n * 1000)
+            } else if field.contains("ZERO") {
+                Some(0)
+            } else {
+                None
+            };
+            if let Some(us) = us {
+                out.entry(name).or_insert(us);
+            }
+        }
+    }
+    out
+}
+
+/// Leading integer literal (digits and `_` separators).
+fn parse_number(s: &str) -> Option<u64> {
+    let digits: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Resolve a declared endpoint name to concrete dispatch actors:
+/// exact-name first (`"agw"` is itself an actor — it does *not* pull in
+/// `agw.metricsd`), prefix expansion for pure aggregates (`"ran"` →
+/// `ran.enb`, `ran.wifi`), literal fallback for graphs with no matching
+/// dispatch (fixture mini-trees).
+fn expand_endpoint(name: &str, dispatch_actors: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    if name == "*" {
+        return out;
+    }
+    if dispatch_actors.contains(name) {
+        out.insert(name.to_string());
+        return out;
+    }
+    for a in dispatch_actors {
+        if receiver_matches(name, a) {
+            out.insert(a.clone());
+        }
+    }
+    if out.is_empty() {
+        out.insert(name.to_string());
+    }
+    out
+}
+
+/// Concrete receivers of a kind: dispatch surfaces that *accept* it and
+/// match its declared receiver. Falls back to endpoint expansion when no
+/// accepts list names it (wildcard receivers resolve to the accepting
+/// surfaces, which is what makes `orc8r.reply` attributable).
+fn receivers_of(k: &KindDecl, g: &FlowGraph, dispatch_actors: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for d in &g.dispatches {
+        if d.accepts.iter().any(|a| a == &k.ident) && receiver_matches(&k.receiver, &d.actor) {
+            out.insert(d.actor.clone());
+        }
+    }
+    if out.is_empty() {
+        out = expand_endpoint(&k.receiver, dispatch_actors);
+    }
+    out
+}
+
+/// Union-find over actor-name indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Index of `struct Name { .. }` definitions across the scanned set:
+/// name -> (source index, file, line, body byte range). First wins.
+fn index_structs(sources: &[SourceFile]) -> BTreeMap<String, (usize, u32, (usize, usize))> {
+    let mut out: BTreeMap<String, (usize, u32, (usize, usize))> = BTreeMap::new();
+    for (idx, sf) in sources.iter().enumerate() {
+        let text = &sf.masked.text;
+        let bytes = text.as_bytes();
+        for at in find_word(text, "struct") {
+            if skipped(sf, at) {
+                continue;
+            }
+            let j = skip_ws(bytes, at + "struct".len());
+            let (name, j) = ident_at(bytes, j);
+            if name.is_empty() {
+                continue;
+            }
+            // Brace struct only: first of `{` / `;` / `(` decides.
+            let mut k = j;
+            while k < bytes.len() && !matches!(bytes[k], b'{' | b';' | b'(') {
+                k += 1;
+            }
+            if k >= bytes.len() || bytes[k] != b'{' {
+                continue;
+            }
+            let end = match_brace(bytes, k);
+            out.entry(name)
+                .or_insert((idx, sf.masked.line_of(at), (k, end)));
+        }
+    }
+    out
+}
+
+/// Field names of `struct` body `body` (a masked-text slice) whose type
+/// references `handle`: walk back from each handle occurrence over the
+/// `: ` to the field identifier.
+fn handle_fields(body: &str, handle: &str) -> Vec<String> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    for at in find_word(body, handle) {
+        let mut i = at;
+        while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i == 0 || bytes[i - 1] != b':' {
+            continue;
+        }
+        i -= 1;
+        while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        let end = i;
+        while i > 0 && is_ident_byte(bytes[i - 1]) {
+            i -= 1;
+        }
+        if i < end {
+            out.push(body[i..end].to_string());
+        }
+    }
+    out
+}
+
+/// Run S001–S005 and derive the shard plan. `check_drift` additionally
+/// compares the rendered plan against the committed files (workspace
+/// runs only — a partial file set would derive a partial plan).
+pub fn shard_rules(
+    root: &Path,
+    sources: &[SourceFile],
+    g: &FlowGraph,
+    check_drift: bool,
+    out: &mut Vec<Finding>,
+) -> ShardPlan {
+    let profiles = parse_link_profiles(sources);
+    let dispatch_actors: BTreeSet<String> =
+        g.dispatches.iter().map(|d| d.actor.clone()).collect();
+    let replicated: BTreeSet<String> = g
+        .kinds
+        .iter()
+        .filter(|k| k.class == "Transport" && k.sender == k.receiver && k.sender != "*")
+        .map(|k| k.sender.clone())
+        .collect();
+    let structs = index_structs(sources);
+
+    // ---- component computation (zero edges + colocations) ----
+    // Resolve every zero edge's endpoint sets up front so the node
+    // universe covers aggregates that match no dispatch (fixtures).
+    let mut zero_edges: Vec<(&KindDecl, BTreeSet<String>, BTreeSet<String>)> = Vec::new();
+    for k in &g.kinds {
+        if k.class != "Zero" {
+            continue;
+        }
+        let senders = expand_endpoint(&k.sender, &dispatch_actors);
+        let receivers = receivers_of(k, g, &dispatch_actors);
+        zero_edges.push((k, senders, receivers));
+    }
+    let mut universe: BTreeSet<String> = dispatch_actors
+        .iter()
+        .filter(|a| !replicated.contains(*a))
+        .cloned()
+        .collect();
+    for (_, s, r) in &zero_edges {
+        universe.extend(s.iter().filter(|a| !replicated.contains(*a)).cloned());
+        universe.extend(r.iter().filter(|a| !replicated.contains(*a)).cloned());
+    }
+    for c in &g.colocates {
+        for a in &c.actors {
+            if !dispatch_actors.contains(a) && !replicated.contains(a) {
+                out.push(Finding::new(
+                    "S001",
+                    &c.file,
+                    c.line,
+                    format!(
+                        "co-location constraint names `{a}`, which is not a declared \
+                         dispatch actor — colocate entries must be real dispatch surfaces"
+                    ),
+                ));
+            }
+            if !replicated.contains(a) {
+                universe.insert(a.clone());
+            }
+        }
+    }
+    let nodes: Vec<String> = universe.into_iter().collect();
+    let node_idx: BTreeMap<&str, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut dsu = Dsu::new(nodes.len());
+    for (k, senders, receivers) in &zero_edges {
+        let hub = senders.iter().chain(receivers).any(|a| replicated.contains(a));
+        if hub {
+            continue; // per-component hub edge; safe by replication.
+        }
+        // A zero-delay edge with an unresolvable wildcard endpoint would
+        // pin *every* component together — only a replicated hub may sit
+        // on a wildcard zero edge.
+        if (k.sender == "*" && !receivers.is_empty())
+            || (k.receiver == "*" && receivers.is_empty())
+        {
+            out.push(Finding::new(
+                "S001",
+                &k.file,
+                k.line,
+                format!(
+                    "zero-delay kind `{}` ({:?}) has a wildcard endpoint that does not \
+                     terminate on a replicated per-component actor — a zero edge open \
+                     to every actor cannot cross shard boundaries",
+                    k.ident, k.name
+                ),
+            ));
+            continue;
+        }
+        let members: Vec<usize> = senders
+            .iter()
+            .chain(receivers.iter())
+            .filter_map(|a| node_idx.get(a.as_str()).copied())
+            .collect();
+        for w in members.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+    for c in &g.colocates {
+        let members: Vec<usize> = c
+            .actors
+            .iter()
+            .filter_map(|a| node_idx.get(a.as_str()).copied())
+            .collect();
+        for w in members.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(n.clone());
+    }
+    let mut components: Vec<Component> = groups
+        .into_values()
+        .map(|mut members| {
+            members.sort();
+            Component {
+                name: members[0].clone(),
+                members,
+            }
+        })
+        .collect();
+    components.sort_by(|a, b| a.name.cmp(&b.name));
+    let comp_of: BTreeMap<&str, &str> = components
+        .iter()
+        .flat_map(|c| c.members.iter().map(move |m| (m.as_str(), c.name.as_str())))
+        .collect();
+
+    // ---- S001: alias declarations vs reality ----
+    // (a) every non-kernel Rc<RefCell<..>> type alias needs an AliasDecl.
+    for sf in sources {
+        if in_kernel(&sf.rel) {
+            continue;
+        }
+        let text = &sf.masked.text;
+        let bytes = text.as_bytes();
+        for at in find_word(text, "type") {
+            if skipped(sf, at) {
+                continue;
+            }
+            let j = skip_ws(bytes, at + "type".len());
+            let (name, j) = ident_at(bytes, j);
+            if name.is_empty() {
+                continue;
+            }
+            let j = skip_ws(bytes, j);
+            if bytes.get(j) != Some(&b'=') {
+                continue;
+            }
+            let end = text[j..].find(';').map(|p| j + p).unwrap_or(text.len());
+            let rhs = &text[j..end];
+            if !(rhs.contains("Rc<") && rhs.contains("RefCell<")) {
+                continue;
+            }
+            if !g.aliases.iter().any(|a| a.handle == name) {
+                out.push(Finding::new(
+                    "S001",
+                    &sf.rel,
+                    sf.masked.line_of(at),
+                    format!(
+                        "shared-handle alias `{name}` (Rc<RefCell<..>>) has no AliasDecl \
+                         — declare its constructor, holders, and shard scope next to \
+                         the crate's flow kinds"
+                    ),
+                ));
+            }
+        }
+    }
+    // (b)–(d): per-alias holder, scope, and constructor checks.
+    for a in &g.aliases {
+        // Observed holders: dispatch-state structs whose body references
+        // the handle type.
+        let mut observed: BTreeSet<&str> = BTreeSet::new();
+        for d in &g.dispatches {
+            let Some(state) = &d.state else { continue };
+            let Some(&(src_idx, _, (open, end))) = structs.get(state.as_str()) else {
+                continue;
+            };
+            let body = &sources[src_idx].masked.text[open..end];
+            if !find_word(body, &a.handle).is_empty() {
+                observed.insert(&d.actor);
+            }
+        }
+        for actor in &observed {
+            if !a.holders.iter().any(|h| receiver_matches(h, actor)) {
+                out.push(Finding::new(
+                    "S001",
+                    &a.file,
+                    a.line,
+                    format!(
+                        "actor `{actor}` holds `{}` in its state struct but is not a \
+                         declared holder ({:?}) — aliasing across undeclared actors \
+                         breaks shard movability",
+                        a.handle, a.holders
+                    ),
+                ));
+            }
+        }
+        for h in &a.holders {
+            let covered = observed.iter().any(|actor| receiver_matches(h, actor))
+                || replicated.contains(h.as_str());
+            if !covered && !observed.is_empty() {
+                out.push(Finding::new(
+                    "S001",
+                    &a.file,
+                    a.line,
+                    format!(
+                        "declared holder `{h}` of `{}` matches no actor whose state \
+                         struct actually holds the handle — stale alias declaration",
+                        a.handle
+                    ),
+                ));
+            }
+        }
+        match a.scope.as_str() {
+            "SameComponent" => {
+                let mut comps: BTreeSet<&str> = BTreeSet::new();
+                for h in &a.holders {
+                    for (m, c) in &comp_of {
+                        if receiver_matches(h, m) {
+                            comps.insert(c);
+                        }
+                    }
+                }
+                if comps.len() > 1 {
+                    out.push(Finding::new(
+                        "S001",
+                        &a.file,
+                        a.line,
+                        format!(
+                            "SameComponent alias `{}` has holders spanning shard \
+                             components [{}] — they can never be co-scheduled",
+                            a.handle,
+                            comps.into_iter().collect::<Vec<_>>().join(", ")
+                        ),
+                    ));
+                }
+                if a.holders.iter().any(|h| replicated.contains(h.as_str())) {
+                    out.push(Finding::new(
+                        "S001",
+                        &a.file,
+                        a.line,
+                        format!(
+                            "SameComponent alias `{}` lists a replicated hub actor as \
+                             holder — replicated holders need scope PerComponent",
+                            a.handle
+                        ),
+                    ));
+                }
+            }
+            "PerComponent" => {
+                for h in &a.holders {
+                    if !replicated.contains(h.as_str()) {
+                        out.push(Finding::new(
+                            "S001",
+                            &a.file,
+                            a.line,
+                            format!(
+                                "PerComponent alias `{}` holder `{h}` is not a \
+                                 replicated actor — per-component sharing requires one \
+                                 holder instance per shard (a transport self-edge hub)",
+                                a.handle
+                            ),
+                        ));
+                    }
+                }
+                // The constructor must stay inside the declaring crate:
+                // each component builds its own instance there.
+                let crate_prefix: String = a
+                    .file
+                    .split('/')
+                    .take(2)
+                    .collect::<Vec<_>>()
+                    .join("/");
+                for sf in sources {
+                    if sf.rel.starts_with(&crate_prefix) || in_kernel(&sf.rel) {
+                        continue;
+                    }
+                    let text = &sf.masked.text;
+                    let bytes = text.as_bytes();
+                    for at in find_word(text, &a.ctor) {
+                        if skipped(sf, at) {
+                            continue;
+                        }
+                        let j = skip_ws(bytes, at + a.ctor.len());
+                        if bytes.get(j) != Some(&b'(') {
+                            continue; // import / doc reference, not a call.
+                        }
+                        if text[..at].trim_end().ends_with("fn") {
+                            continue; // a definition, not a call.
+                        }
+                        out.push(Finding::new(
+                            "S001",
+                            &sf.rel,
+                            sf.masked.line_of(at),
+                            format!(
+                                "constructor `{}` of per-component handle `{}` called \
+                                 outside {crate_prefix} — each shard component must \
+                                 build its own instance through the owning crate",
+                                a.ctor, a.handle
+                            ),
+                        ));
+                    }
+                }
+            }
+            other => {
+                out.push(Finding::new(
+                    "S001",
+                    &a.file,
+                    a.line,
+                    format!(
+                        "alias `{}` declares unknown scope `{other}` — use \
+                         SameComponent or PerComponent",
+                        a.handle
+                    ),
+                ));
+            }
+        }
+    }
+
+    // ---- S002: transport kinds carry a resolvable lookahead bound ----
+    for k in &g.kinds {
+        match (k.class.as_str(), &k.lookahead) {
+            ("Transport", None) => out.push(Finding::new(
+                "S002",
+                &k.file,
+                k.line,
+                format!(
+                    "transport kind `{}` ({:?}) declares no lookahead — name the link \
+                     profile whose static latency bounds the conservative window \
+                     (lookahead: Some(\"fiber\"))",
+                    k.ident, k.name
+                ),
+            )),
+            // Profile resolution only when presets are in the scanned set
+            // (fixture mini-trees carry kinds but no link.rs).
+            ("Transport", Some(_)) if profiles.is_empty() => {}
+            ("Transport", Some(p)) => match profiles.get(p) {
+                None => out.push(Finding::new(
+                    "S002",
+                    &k.file,
+                    k.line,
+                    format!(
+                        "kind `{}` names lookahead profile {p:?}, which is not a \
+                         preset in net/src/link.rs ([{}])",
+                        k.ident,
+                        profiles.keys().cloned().collect::<Vec<_>>().join(", ")
+                    ),
+                )),
+                Some(0) => out.push(Finding::new(
+                    "S002",
+                    &k.file,
+                    k.line,
+                    format!(
+                        "kind `{}` names lookahead profile {p:?} with zero static \
+                         latency — a conservative window needs a positive bound",
+                        k.ident
+                    ),
+                )),
+                Some(_) => {}
+            },
+            (_, Some(p)) => out.push(Finding::new(
+                "S002",
+                &k.file,
+                k.line,
+                format!(
+                    "{} kind `{}` declares lookahead {p:?} — only transport edges ride \
+                     a link and carry a lookahead bound",
+                    k.class.to_lowercase(),
+                    k.ident
+                ),
+            )),
+            _ => {}
+        }
+    }
+
+    // ---- S003: dispatch state structs are shard-movable ----
+    for d in &g.dispatches {
+        let Some(state) = &d.state else {
+            out.push(Finding::new(
+                "S003",
+                &d.file,
+                d.line,
+                format!(
+                    "dispatch `{}` (actor {:?}) declares no state struct — shard \
+                     migration needs to know the actor's owned state (state = \"..\")",
+                    d.ident, d.actor
+                ),
+            ));
+            continue;
+        };
+        let Some(&(src_idx, _, (open, end))) = structs.get(state.as_str()) else {
+            out.push(Finding::new(
+                "S003",
+                &d.file,
+                d.line,
+                format!(
+                    "dispatch `{}` names state struct `{state}`, which is not defined \
+                     anywhere in the scanned sources",
+                    d.ident
+                ),
+            ));
+            continue;
+        };
+        let sf = &sources[src_idx];
+        if in_kernel(&sf.rel) {
+            continue;
+        }
+        let body = &sf.masked.text[open..end];
+        let body_bytes = body.as_bytes();
+        let mut flagged: BTreeSet<u32> = BTreeSet::new();
+        for word in ["Rc", "RefCell"] {
+            for at in find_word(body, word) {
+                let j = skip_ws(body_bytes, at + word.len());
+                if body_bytes.get(j) != Some(&b'<') {
+                    continue;
+                }
+                let line = sf.masked.line_of(open + at);
+                if flagged.insert(line) {
+                    out.push(Finding::new(
+                        "S003",
+                        &sf.rel,
+                        line,
+                        format!(
+                            "state struct `{state}` (actor {:?}) embeds a raw \
+                             `{word}<..>` field — interior sharing in actor state must \
+                             go through a declared handle alias or the actor cannot \
+                             move between shards",
+                            d.actor
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- S004: dispatch paths stay on the typed flow layer ----
+    for sf in sources {
+        if in_kernel(&sf.rel) {
+            continue;
+        }
+        let text = &sf.masked.text;
+        for needle in ["ctx.send(", "ctx.send_in("] {
+            let mut from = 0;
+            while let Some(p) = text[from..].find(needle) {
+                let at = from + p;
+                from = at + 1;
+                if skipped(sf, at) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    "S004",
+                    &sf.rel,
+                    sf.masked.line_of(at),
+                    format!(
+                        "raw `{}..)` bypasses the typed flow layer — route through the \
+                         `send_to` family so the edge carries its declared FlowKind",
+                        needle
+                    ),
+                ));
+            }
+        }
+        // Borrow audit inside actor-implementation files: only declared
+        // handle fields of structs defined in this file may be borrowed.
+        let audited = find_word(text, "impl").iter().any(|&at| {
+            !skipped(sf, at) && {
+                let bytes = text.as_bytes();
+                let j = skip_ws(bytes, at + "impl".len());
+                text[j..].starts_with("Actor")
+                    && text[j..]
+                        .strip_prefix("Actor")
+                        .map(|r| r.trim_start().starts_with("for"))
+                        .unwrap_or(false)
+            }
+        });
+        if !audited {
+            continue;
+        }
+        let mut allowed: BTreeSet<String> = BTreeSet::new();
+        for (src_idx, _, (open, end)) in structs.values() {
+            if sources[*src_idx].rel != sf.rel {
+                continue;
+            }
+            let body = &sf.masked.text[*open..*end];
+            for a in &g.aliases {
+                allowed.extend(handle_fields(body, &a.handle));
+            }
+        }
+        let mut from = 0;
+        while let Some(p) = text[from..].find(".borrow") {
+            let at = from + p;
+            from = at + 1;
+            let rest = &text[at + ".borrow".len()..];
+            if !(rest.starts_with('(') || rest.starts_with("_mut(")) {
+                continue;
+            }
+            if skipped(sf, at) {
+                continue;
+            }
+            let recv = trailing_ident_trimmed(&text[at.saturating_sub(160)..at]);
+            let ok = recv.as_ref().is_some_and(|r| allowed.contains(r));
+            if !ok {
+                out.push(Finding::new(
+                    "S004",
+                    &sf.rel,
+                    sf.masked.line_of(at),
+                    format!(
+                        "borrow of shared state `{}` inside an actor-implementation \
+                         file — only declared handle fields ([{}]) may be borrowed on \
+                         dispatch paths; move other state into the actor struct",
+                        recv.as_deref().unwrap_or("<expr>"),
+                        allowed.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    // ---- assemble the plan ----
+    let side_label = |set: &BTreeSet<String>, declared: &str| -> String {
+        if set.is_empty() {
+            return declared.to_string();
+        }
+        if let Some(rep) = set.iter().find(|a| replicated.contains(*a)) {
+            return rep.clone();
+        }
+        let comps: BTreeSet<&str> = set
+            .iter()
+            .map(|a| comp_of.get(a.as_str()).copied().unwrap_or(a.as_str()))
+            .collect();
+        comps.into_iter().collect::<Vec<_>>().join("+")
+    };
+    let mut cut_edges = Vec::new();
+    let mut intra_edges = Vec::new();
+    for k in &g.kinds {
+        if k.class != "Transport" {
+            continue;
+        }
+        let senders = expand_endpoint(&k.sender, &dispatch_actors);
+        let receivers = receivers_of(k, g, &dispatch_actors);
+        let from = side_label(&senders, &k.sender);
+        let to = side_label(&receivers, &k.receiver);
+        let hub = senders.iter().chain(&receivers).any(|a| replicated.contains(a));
+        let edge = PlanEdge {
+            kind: k.name.clone(),
+            from,
+            to,
+            role: k.role.to_lowercase(),
+            profile: k.lookahead.clone().unwrap_or_else(|| "?".to_string()),
+            lookahead_us: k.lookahead.as_ref().and_then(|p| profiles.get(p)).copied(),
+        };
+        if hub || edge.from != edge.to || edge.to == "*" {
+            cut_edges.push(edge);
+        } else {
+            intra_edges.push(edge);
+        }
+    }
+    let edge_key = |e: &PlanEdge| (e.from.clone(), e.to.clone(), e.kind.clone());
+    cut_edges.sort_by_key(edge_key);
+    intra_edges.sort_by_key(edge_key);
+
+    let plan = ShardPlan {
+        components,
+        replicated: replicated.into_iter().collect(),
+        cut_edges,
+        intra_edges,
+        aliases: g.aliases.clone(),
+        colocates: g.colocates.clone(),
+        profiles: profiles.into_iter().collect(),
+    };
+
+    // ---- S005: generated plan drift ----
+    if check_drift {
+        for (rel, rendered) in [
+            ("docs/SHARD_PLAN.md", render_plan(&plan)),
+            ("scripts/golden/shard_plan.json", render_plan_json(&plan)),
+        ] {
+            let stale = match fs::read_to_string(root.join(rel)) {
+                Ok(existing) => existing != rendered,
+                Err(_) => true,
+            };
+            if stale {
+                out.push(Finding::new(
+                    "S005",
+                    rel,
+                    1,
+                    "generated shard plan is stale (or missing) — regenerate with \
+                     `cargo run -p magma-lint -- --write-shard-plan` or \
+                     MAGMA_SHARD_ACCEPT=1"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    plan
+}
+
+/// Render the plan as `docs/SHARD_PLAN.md`. Byte-deterministic: every
+/// section iterates sorted structures.
+pub fn render_plan(p: &ShardPlan) -> String {
+    let mut out = String::new();
+    out.push_str("# Shard plan\n\n");
+    out.push_str(
+        "<!-- GENERATED by magma-lint from the message-flow graph and the\n\
+         \x20    AliasDecl / Colocate declarations. Do not edit by hand.\n\
+         \x20    Regenerate with:\n\
+         \x20        cargo run -p magma-lint -- --write-shard-plan\n\
+         \x20    or MAGMA_SHARD_ACCEPT=1 scripts/check.sh. Drift fails lint rule S005. -->\n\n",
+    );
+    out.push_str(
+        "How a sharded conservative-time-window engine may partition the\n\
+         workspace's actors. Components are the connected sets of the\n\
+         zero-delay edge graph (plus co-location constraints): everything\n\
+         inside one component must be co-scheduled; every edge *between*\n\
+         components rides a modeled link whose minimum static latency is the\n\
+         lookahead bound — the window by which one shard may safely run ahead\n\
+         of its neighbors.\n\n",
+    );
+
+    out.push_str("## Components\n\n");
+    for c in &p.components {
+        out.push_str(&format!(
+            "### `{}` — {} actor{}\n\n",
+            c.name,
+            c.members.len(),
+            if c.members.len() == 1 { "" } else { "s" },
+        ));
+        for m in &c.members {
+            out.push_str(&format!("- `{m}`\n"));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Replicated per-component actors\n\n");
+    out.push_str(
+        "Hub actors with a transport self-edge: one instance runs inside\n\
+         *every* component, so their zero-delay fan-in/fan-out never crosses\n\
+         a shard boundary.\n\n",
+    );
+    for r in &p.replicated {
+        out.push_str(&format!("- `{r}`\n"));
+    }
+    out.push('\n');
+
+    out.push_str("## Cut edges\n\n");
+    out.push_str(
+        "Transport edges between components (or between replicated hub\n\
+         instances). The lookahead column is the link profile's minimum\n\
+         static latency — the conservative window for that cut.\n\n",
+    );
+    out.push_str("| kind | from | to | role | link profile | lookahead |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for e in &p.cut_edges {
+        out.push_str(&render_edge_row(e));
+    }
+    out.push('\n');
+
+    out.push_str("## Intra-component transport edges\n\n");
+    out.push_str(
+        "Positive-latency edges that stay inside one component — they do not\n\
+         constrain the shard cut but still ride a modeled link.\n\n",
+    );
+    out.push_str("| kind | from | to | role | link profile | lookahead |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for e in &p.intra_edges {
+        out.push_str(&render_edge_row(e));
+    }
+    out.push('\n');
+
+    out.push_str("## Shared-handle aliases\n\n");
+    out.push_str("| handle | constructor | holders | scope | reason |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for a in &p.aliases {
+        out.push_str(&format!(
+            "| `{}` | `{}` | {} | {} | {} |\n",
+            a.handle,
+            a.ctor,
+            a.holders
+                .iter()
+                .map(|h| format!("`{h}`"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            a.scope,
+            a.reason,
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Co-location constraints\n\n");
+    for c in &p.colocates {
+        out.push_str(&format!(
+            "- {} — {}\n",
+            c.actors
+                .iter()
+                .map(|a| format!("`{a}`"))
+                .collect::<Vec<_>>()
+                .join(" + "),
+            c.reason,
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Link profiles (lookahead floors)\n\n");
+    out.push_str("| profile | min static latency |\n");
+    out.push_str("|---|---|\n");
+    for (name, us) in &p.profiles {
+        out.push_str(&format!("| `{name}` | {us} µs |\n"));
+    }
+    out
+}
+
+fn render_edge_row(e: &PlanEdge) -> String {
+    format!(
+        "| `{}` | `{}` | `{}` | {} | `{}` | {} |\n",
+        e.kind,
+        e.from,
+        e.to,
+        e.role,
+        e.profile,
+        e.lookahead_us
+            .map(|us| format!("{us} µs"))
+            .unwrap_or_else(|| "—".to_string()),
+    )
+}
+
+/// Render the plan as `scripts/golden/shard_plan.json`. Hand-rolled with
+/// a stable field order (the lint stays dependency-free).
+pub fn render_plan_json(p: &ShardPlan) -> String {
+    let esc = crate::rules::json_escape;
+    let strs = |xs: &[String]| -> String {
+        xs.iter()
+            .map(|x| format!("\"{}\"", esc(x)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"components\": [");
+    for (i, c) in p.components.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"members\": [{}]}}",
+            esc(&c.name),
+            strs(&c.members),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"replicated\": [{}],\n", strs(&p.replicated)));
+    for (key, edges) in [("cut_edges", &p.cut_edges), ("intra_transport", &p.intra_edges)] {
+        out.push_str(&format!("  \"{key}\": ["));
+        for (i, e) in edges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"from\": \"{}\", \"to\": \"{}\", \
+                 \"role\": \"{}\", \"profile\": \"{}\", \"lookahead_us\": {}}}",
+                esc(&e.kind),
+                esc(&e.from),
+                esc(&e.to),
+                esc(&e.role),
+                esc(&e.profile),
+                e.lookahead_us
+                    .map(|us| us.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+            ));
+        }
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"aliases\": [");
+    for (i, a) in p.aliases.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"handle\": \"{}\", \"ctor\": \"{}\", \"holders\": [{}], \
+             \"scope\": \"{}\", \"reason\": \"{}\"}}",
+            esc(&a.handle),
+            esc(&a.ctor),
+            strs(&a.holders),
+            esc(&a.scope),
+            esc(&a.reason),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"colocations\": [");
+    for (i, c) in p.colocates.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"actors\": [{}], \"reason\": \"{}\"}}",
+            strs(&c.actors),
+            esc(&c.reason),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"profiles\": {");
+    for (i, (name, us)) in p.profiles.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{}\": {us}", esc(name)));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}

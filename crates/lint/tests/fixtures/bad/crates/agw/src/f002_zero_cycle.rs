@@ -12,6 +12,7 @@ pub const PING: FlowKind = FlowKind {
     class: DelayClass::Zero,
     role: Role::Data,
     retry: None,
+    lookahead: None,
 };
 
 pub const PONG: FlowKind = FlowKind {
@@ -21,16 +22,27 @@ pub const PONG: FlowKind = FlowKind {
     class: DelayClass::Zero,
     role: Role::Data,
     retry: None,
+    lookahead: None,
 };
+
+pub struct AgwState {
+    pub pongs: u64,
+}
+
+pub struct OrcState {
+    pub pings: u64,
+}
 
 flow_dispatch! {
     pub const AGW_DISPATCH: actor = "agw",
+    state = "AgwState",
     accepts = [PONG],
     tie_break = Some("n/a"),
 }
 
 flow_dispatch! {
     pub const ORC8R_DISPATCH: actor = "orc8r",
+    state = "OrcState",
     accepts = [PING],
     tie_break = Some("n/a"),
 }

@@ -12,6 +12,7 @@ pub const FROM_RAN: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Data,
     retry: None,
+    lookahead: Some("fiber"),
 };
 
 pub const FROM_FEG: FlowKind = FlowKind {
@@ -21,10 +22,16 @@ pub const FROM_FEG: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Data,
     retry: None,
+    lookahead: Some("fiber"),
 };
+
+pub struct AgwState {
+    pub frames: u64,
+}
 
 flow_dispatch! {
     pub const AGW_DISPATCH: actor = "agw",
+    state = "AgwState",
     accepts = [FROM_RAN, FROM_FEG],
     tie_break = None,
 }

@@ -1,0 +1,23 @@
+//! S001: shared-handle aliasing violations — a raw `Rc<RefCell<..>>`
+//! type alias with no `AliasDecl`, and a declared alias with a scope
+//! that is neither SameComponent nor PerComponent.
+
+use magma_sim::{AliasDecl, AliasScope};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct RogueShared {
+    pub counter: u64,
+}
+
+/// No AliasDecl names this handle: one S001 finding.
+pub type RogueHandle = Rc<RefCell<RogueShared>>;
+
+/// Unknown shard scope: a second S001 finding.
+pub const BAD_SCOPE_ALIAS: AliasDecl = AliasDecl {
+    handle: "ScopedHandle",
+    ctor: "new_scoped",
+    holders: &["agw"],
+    scope: AliasScope::Global,
+    reason: "global sharing can never be shard-partitioned",
+};

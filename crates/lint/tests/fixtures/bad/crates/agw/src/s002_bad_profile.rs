@@ -1,0 +1,44 @@
+//! S002 profile resolution: transport kinds whose named lookahead
+//! profile is unknown or has zero static latency. Only meaningful when
+//! linted together with the fixture `crates/net/src/link.rs` (profile
+//! resolution is skipped when no link presets are in the scanned set).
+
+use magma_sim::flow_dispatch;
+use magma_sim::{DelayClass, FlowKind, Role};
+
+/// Names a profile no preset defines.
+pub const WARP_REQUEST: FlowKind = FlowKind {
+    name: "mme.warp_request",
+    sender: "agw",
+    receiver: "orc8r",
+    class: DelayClass::Transport,
+    role: Role::Data,
+    retry: None,
+    lookahead: Some("warp"),
+};
+
+/// Names a preset whose static latency is zero — no conservative window.
+pub const DEAD_REQUEST: FlowKind = FlowKind {
+    name: "mme.dead_request",
+    sender: "agw",
+    receiver: "orc8r",
+    class: DelayClass::Transport,
+    role: Role::Data,
+    retry: None,
+    lookahead: Some("dead"),
+};
+
+pub struct OrcState {
+    pub seen: u64,
+}
+
+flow_dispatch! {
+    pub const ORC8R_DISPATCH: actor = "orc8r",
+    state = "OrcState",
+    accepts = [WARP_REQUEST, DEAD_REQUEST],
+    tie_break = Some("rpc call id"),
+}
+
+pub fn send_sites() {
+    let _ = (&WARP_REQUEST, &DEAD_REQUEST);
+}

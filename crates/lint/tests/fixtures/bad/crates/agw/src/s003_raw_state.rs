@@ -1,0 +1,71 @@
+//! S003: shard-movable state violations — a dispatch with no state
+//! declaration, one naming a struct that does not exist, and one whose
+//! state struct embeds a raw `Rc<RefCell<..>>` field.
+
+use magma_sim::flow_dispatch;
+use magma_sim::{DelayClass, FlowKind, Role};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub const TICK_A: FlowKind = FlowKind {
+    name: "mme.tick_a",
+    sender: "mme.a",
+    receiver: "mme.a",
+    class: DelayClass::Local,
+    role: Role::Timer,
+    retry: None,
+    lookahead: None,
+};
+
+pub const TICK_B: FlowKind = FlowKind {
+    name: "mme.tick_b",
+    sender: "mme.b",
+    receiver: "mme.b",
+    class: DelayClass::Local,
+    role: Role::Timer,
+    retry: None,
+    lookahead: None,
+};
+
+pub const TICK_C: FlowKind = FlowKind {
+    name: "mme.tick_c",
+    sender: "mme.c",
+    receiver: "mme.c",
+    class: DelayClass::Local,
+    role: Role::Timer,
+    retry: None,
+    lookahead: None,
+};
+
+/// Embeds interior sharing without a declared handle alias.
+pub struct LeakyState {
+    pub ticks: u64,
+    pub cache: Rc<RefCell<u64>>,
+}
+
+flow_dispatch! {
+    /// No `state = ".."` at all.
+    pub const A_DISPATCH: actor = "mme.a",
+    accepts = [TICK_A],
+    tie_break = None,
+}
+
+flow_dispatch! {
+    /// Names a struct nothing defines.
+    pub const B_DISPATCH: actor = "mme.b",
+    state = "GhostState",
+    accepts = [TICK_B],
+    tie_break = None,
+}
+
+flow_dispatch! {
+    /// State exists but smuggles a raw shared cell.
+    pub const C_DISPATCH: actor = "mme.c",
+    state = "LeakyState",
+    accepts = [TICK_C],
+    tie_break = None,
+}
+
+pub fn send_sites() {
+    let _ = (&TICK_A, &TICK_B, &TICK_C);
+}

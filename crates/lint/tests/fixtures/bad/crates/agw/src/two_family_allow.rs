@@ -1,0 +1,9 @@
+//! One line trips two rule families — a D002 clock read and an A002
+//! hot-path unwrap — but the single `lint:allow` names only D002. The
+//! accounting must suppress exactly the named family (allow used, D002
+//! counted as justified) while the A002 violation stays live.
+
+pub fn stamp() -> u128 {
+    // lint:allow(D002, reason = "fixture: the clock read is justified, the panic is not")
+    std::time::Instant::now().elapsed().as_nanos().checked_mul(1).unwrap()
+}

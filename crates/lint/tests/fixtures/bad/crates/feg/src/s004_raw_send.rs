@@ -1,0 +1,20 @@
+//! S004: dispatch-path hygiene violations — raw `ctx.send` /
+//! `ctx.send_in` outside the kernel, and a borrow of shared state that
+//! is not a declared handle field inside an actor-implementation file.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct RogueActor {
+    pub shared: Rc<RefCell<u64>>,
+}
+
+impl Actor for RogueActor {
+    fn handle(&mut self, ctx: &mut Ctx, ev: Event) {
+        // Raw sends bypass the typed flow layer: two findings.
+        ctx.send(ev.target, ev.payload);
+        ctx.send_in(ev.delay, ev.target, ev.payload);
+        // Undeclared shared-state borrow on the dispatch path: a third.
+        *self.shared.borrow_mut() += 1;
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture link presets for the S002 profile-resolution tests: one
+//! usable profile and one with zero static latency.
+
+pub struct Link {
+    pub latency: SimDuration,
+}
+
+impl Link {
+    pub fn lan() -> Self {
+        Link {
+            latency: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Zero static latency: naming this as a lookahead profile is S002.
+    pub fn dead() -> Self {
+        Link {
+            latency: SimDuration::ZERO,
+        }
+    }
+}

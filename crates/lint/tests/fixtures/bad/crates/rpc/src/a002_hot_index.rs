@@ -1,0 +1,7 @@
+//! Known-bad: reason-less `.expect(` and direct slice indexing on a hot
+//! serving path — both panic the gateway on a bad input.
+
+pub fn route(table: &[u32], idx: usize) -> u32 {
+    let base = table.first().copied().expect("non-empty");
+    base + table[idx]
+}

@@ -13,6 +13,7 @@ pub const SYNC_REQUEST: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Request,
     retry: Some("mme.sync_tick"),
+    lookahead: Some("fiber"),
 };
 
 pub const SYNC_TICK: FlowKind = FlowKind {
@@ -22,16 +23,27 @@ pub const SYNC_TICK: FlowKind = FlowKind {
     class: DelayClass::Local,
     role: Role::Timer,
     retry: None,
+    lookahead: None,
 };
+
+pub struct OrcState {
+    pub seen: u64,
+}
+
+pub struct AgwState {
+    pub ticks: u64,
+}
 
 flow_dispatch! {
     pub const ORC8R_DISPATCH: actor = "orc8r",
+    state = "OrcState",
     accepts = [SYNC_REQUEST],
     tie_break = Some("rpc call id"),
 }
 
 flow_dispatch! {
     pub const AGW_DISPATCH: actor = "agw",
+    state = "AgwState",
     accepts = [SYNC_TICK],
     tie_break = None,
 }

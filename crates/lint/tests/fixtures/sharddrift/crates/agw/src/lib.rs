@@ -1,0 +1,53 @@
+//! A consistent mini flow graph whose generated *shard plan* is stale:
+//! the committed `docs/SHARD_PLAN.md` in this fixture tree does not
+//! match what the analysis renders, so a workspace-mode scan fires S005
+//! (and nothing else — `docs/MESSAGE_FLOW.md` here is current).
+
+use magma_sim::flow_dispatch;
+use magma_sim::{DelayClass, FlowKind, Role};
+
+pub const SYNC_REQUEST: FlowKind = FlowKind {
+    name: "mme.sync_request",
+    sender: "agw",
+    receiver: "orc8r",
+    class: DelayClass::Transport,
+    role: Role::Request,
+    retry: Some("mme.sync_tick"),
+    lookahead: Some("fiber"),
+};
+
+pub const SYNC_TICK: FlowKind = FlowKind {
+    name: "mme.sync_tick",
+    sender: "agw",
+    receiver: "agw",
+    class: DelayClass::Local,
+    role: Role::Timer,
+    retry: None,
+    lookahead: None,
+};
+
+pub struct OrcState {
+    pub seen: u64,
+}
+
+pub struct AgwState {
+    pub ticks: u64,
+}
+
+flow_dispatch! {
+    pub const ORC8R_DISPATCH: actor = "orc8r",
+    state = "OrcState",
+    accepts = [SYNC_REQUEST],
+    tie_break = Some("rpc call id"),
+}
+
+flow_dispatch! {
+    pub const AGW_DISPATCH: actor = "agw",
+    state = "AgwState",
+    accepts = [SYNC_TICK],
+    tie_break = None,
+}
+
+pub fn send_sites() {
+    let _ = (&SYNC_REQUEST, &SYNC_TICK);
+}

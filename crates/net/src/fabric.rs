@@ -1,0 +1,226 @@
+//! Per-shard-component topology fabric.
+//!
+//! [`NetFabric`] partitions the physical network into *domains*: one
+//! [`Topology`](crate::Topology) instance per shard component of the flow graph (see
+//! `docs/SHARD_PLAN.md`). Each node lives in exactly one domain, and a
+//! node's [`NetStack`](crate::NetStack) only ever holds the handle of
+//! its own domain — so no `Rc<RefCell<Topology>>` is aliased across
+//! shard components (lint rule S001). Links between nodes of different
+//! domains are split directionally: the `(a, b)` [`Link`](crate::Link)
+//! lives in `a`'s domain and `(b, a)` in `b`'s, matching how a sharded
+//! kernel would charge serialization on the sending side of a cut edge.
+//!
+//! Stack bindings are replicated into every domain: an `ActorId` is
+//! immutable routing metadata, not mutable state, so replication keeps
+//! `transmit` lookups local without sharing the map. Node addresses come
+//! from a fabric-global allocator so they are byte-identical to the
+//! single-topology world (golden exports depend on this).
+
+use crate::addr::NodeAddr;
+use crate::link::LinkProfile;
+use crate::topology::{new_net, LinkStats, NetHandle};
+use magma_sim::ActorId;
+use std::collections::BTreeMap;
+
+/// Index of one topology domain (shard component) within a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DomainId(pub usize);
+
+/// A set of per-component topologies behind one building/fault-injection
+/// facade. Owned (not `Rc`-shared) by the scenario harness.
+pub struct NetFabric {
+    domains: Vec<NetHandle>,
+    node_domain: BTreeMap<NodeAddr, DomainId>,
+    /// Master binding table; replicated into every domain so the sending
+    /// side of a cut edge can resolve the destination stack locally.
+    stacks: BTreeMap<NodeAddr, ActorId>,
+    next_addr: u32,
+}
+
+impl NetFabric {
+    pub fn new() -> Self {
+        NetFabric {
+            domains: Vec::new(),
+            node_domain: BTreeMap::new(),
+            stacks: BTreeMap::new(),
+            next_addr: 0,
+        }
+    }
+
+    /// Create a new empty domain (one per shard component), seeded with
+    /// every binding registered so far.
+    pub fn add_domain(&mut self) -> DomainId {
+        let id = DomainId(self.domains.len());
+        let d = new_net();
+        for (&node, &stack) in &self.stacks {
+            d.borrow_mut().bind_stack(node, stack);
+        }
+        self.domains.push(d);
+        id
+    }
+
+    /// Number of domains in the fabric.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The topology handle of the domain `node` belongs to. This is what
+    /// gets passed to [`NetStack::new`](crate::NetStack::new) — the only
+    /// place a `NetHandle` should escape the fabric.
+    pub fn handle_of(&self, node: NodeAddr) -> NetHandle {
+        self.domains[self.domain_of(node).0].clone()
+    }
+
+    /// Which domain a node was added to.
+    pub fn domain_of(&self, node: NodeAddr) -> DomainId {
+        *self
+            .node_domain
+            .get(&node)
+            .expect("node registered with the fabric")
+    }
+
+    /// Allocate a node in `domain`. Addresses are fabric-global, so the
+    /// allocation order (and thus every `NodeAddr`) is independent of
+    /// the domain partition.
+    pub fn add_node(&mut self, domain: DomainId, name: &str) -> NodeAddr {
+        let addr = NodeAddr(self.next_addr);
+        self.next_addr += 1;
+        self.domains[domain.0].borrow_mut().insert_node(addr, name);
+        self.node_domain.insert(addr, domain);
+        addr
+    }
+
+    /// Bind a node's stack actor. Replicated into every domain so any
+    /// sending side of a cut edge can resolve the destination locally.
+    /// Must be re-invoked when a stack actor is replaced (restart).
+    pub fn bind_stack(&mut self, node: NodeAddr, stack: ActorId) {
+        self.stacks.insert(node, stack);
+        for d in &self.domains {
+            d.borrow_mut().bind_stack(node, stack);
+        }
+    }
+
+    pub fn stack_of(&self, node: NodeAddr) -> Option<ActorId> {
+        self.stacks.get(&node).copied()
+    }
+
+    /// Connect two nodes symmetrically. The `(a, b)` direction lives in
+    /// `a`'s domain, `(b, a)` in `b`'s (the same domain when the nodes
+    /// are co-located, which also covers the intra-domain case).
+    pub fn connect(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        self.connect_asym(a, b, profile, profile);
+    }
+
+    /// Connect two nodes with asymmetric profiles.
+    pub fn connect_asym(
+        &mut self,
+        a: NodeAddr,
+        b: NodeAddr,
+        a_to_b: LinkProfile,
+        b_to_a: LinkProfile,
+    ) {
+        let da = self.domain_of(a);
+        let db = self.domain_of(b);
+        self.domains[da.0]
+            .borrow_mut()
+            .connect_asym(a, b, a_to_b, b_to_a);
+        if db != da {
+            self.domains[db.0]
+                .borrow_mut()
+                .connect_asym(a, b, a_to_b, b_to_a);
+        }
+    }
+
+    /// Bring both directions of a link up or down (partition injection).
+    /// Applied to both endpoint domains; `Topology::set_link_up` ignores
+    /// directions a domain does not carry.
+    pub fn set_link_up(&mut self, a: NodeAddr, b: NodeAddr, up: bool) {
+        let da = self.domain_of(a);
+        let db = self.domain_of(b);
+        self.domains[da.0].borrow_mut().set_link_up(a, b, up);
+        if db != da {
+            self.domains[db.0].borrow_mut().set_link_up(a, b, up);
+        }
+    }
+
+    /// Replace both directions' profiles (e.g., degrade fiber→satellite).
+    pub fn set_profile(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
+        let da = self.domain_of(a);
+        let db = self.domain_of(b);
+        self.domains[da.0].borrow_mut().set_profile(a, b, profile);
+        if db != da {
+            self.domains[db.0].borrow_mut().set_profile(a, b, profile);
+        }
+    }
+
+    /// Whether the `a → b` direction is up (read from the sending side's
+    /// domain, where that direction's link lives).
+    pub fn link_up(&self, a: NodeAddr, b: NodeAddr) -> bool {
+        self.domains[self.domain_of(a).0].borrow().link_up(a, b)
+    }
+
+    /// Delivery statistics for the `a → b` direction.
+    pub fn stats(&self, a: NodeAddr, b: NodeAddr) -> LinkStats {
+        self.domains[self.domain_of(a).0].borrow().stats(a, b)
+    }
+}
+
+impl Default for NetFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magma_sim::SimTime;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn addresses_are_global_across_domains() {
+        let mut f = NetFabric::new();
+        let d0 = f.add_domain();
+        let d1 = f.add_domain();
+        let a = f.add_node(d0, "a");
+        let b = f.add_node(d1, "b");
+        let c = f.add_node(d0, "c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(f.domain_of(b), d1);
+    }
+
+    #[test]
+    fn cut_link_directions_live_in_sender_domains() {
+        let mut f = NetFabric::new();
+        let d0 = f.add_domain();
+        let d1 = f.add_domain();
+        let a = f.add_node(d0, "a");
+        let b = f.add_node(d1, "b");
+        f.connect(a, b, LinkProfile::lan());
+        f.bind_stack(a, ActorId(7));
+        f.bind_stack(b, ActorId(8));
+        let mut rng = SmallRng::seed_from_u64(1);
+        // a→b transmits through a's domain, b→a through b's.
+        let ha = f.handle_of(a);
+        let hb = f.handle_of(b);
+        assert!(ha
+            .borrow_mut()
+            .transmit(SimTime::ZERO, a, b, 100, &mut rng)
+            .is_some());
+        assert!(hb
+            .borrow_mut()
+            .transmit(SimTime::ZERO, b, a, 100, &mut rng)
+            .is_some());
+        // Fault injection reaches both directions.
+        f.set_link_up(a, b, false);
+        assert!(!f.link_up(a, b));
+        assert!(!f.link_up(b, a));
+        assert!(ha
+            .borrow_mut()
+            .transmit(SimTime::ZERO, a, b, 100, &mut rng)
+            .is_none());
+        f.set_link_up(a, b, true);
+        assert_eq!(f.stats(a, b).dropped, 1);
+    }
+}

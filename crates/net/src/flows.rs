@@ -11,7 +11,22 @@
 //! kinds in their owning crates; the hub kinds describe the physical
 //! legs those payloads ride on.
 
-use magma_sim::{flow_dispatch, DelayClass, FlowKind, Role};
+use magma_sim::{flow_dispatch, AliasDecl, AliasScope, DelayClass, FlowKind, Role};
+
+/// Shard-alias contract for [`NetHandle`](crate::NetHandle): the shared
+/// topology a handle points at must never span shard components. The
+/// scenario builder therefore constructs one topology *per shard
+/// component* (a [`crate::NetFabric`] domain) and only `net.stack`
+/// actors hold the handle; cross-component traffic rides [`NET_FRAME`],
+/// never a shared `RefCell`. Lint rule S001 enforces the per-component
+/// scope by flagging any `new_net` call outside this crate.
+pub const NET_ALIAS: AliasDecl = AliasDecl {
+    handle: "NetHandle",
+    ctor: "new_net",
+    holders: &["net.stack"],
+    scope: AliasScope::PerComponent,
+    reason: "one Topology per shard component; cross-component bytes ride net.frame cut edges",
+};
 
 /// Any actor handing a [`SockCmd`](crate::SockCmd) to its local stack
 /// (listen/open/close and payload sends that carry their own logical
@@ -23,6 +38,7 @@ pub const SOCK_CMD: FlowKind = FlowKind {
     class: DelayClass::Zero,
     role: Role::Data,
     retry: None,
+    lookahead: None,
 };
 
 /// The stack notifying a socket owner ([`SockEvent`](crate::SockEvent)).
@@ -36,6 +52,7 @@ pub const SOCK_EVENT: FlowKind = FlowKind {
     class: DelayClass::Zero,
     role: Role::Response,
     retry: None,
+    lookahead: None,
 };
 
 /// A wire frame between two stacks over a modeled link — positive,
@@ -48,6 +65,7 @@ pub const NET_FRAME: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Data,
     retry: Some("net.stack.rto"),
+    lookahead: Some("loopback"),
 };
 
 /// Per-connection retransmission timer (sliding-window ARQ deadline).
@@ -58,6 +76,7 @@ pub const NET_RTO: FlowKind = FlowKind {
     class: DelayClass::Local,
     role: Role::Timer,
     retry: None,
+    lookahead: None,
 };
 
 flow_dispatch! {
@@ -67,6 +86,7 @@ flow_dispatch! {
     /// connections commutes, within one connection kernel schedule
     /// order is FIFO per sender.
     pub const STACK_DISPATCH: actor = "net.stack",
+    state = "NetStack",
     accepts = [SOCK_CMD, NET_FRAME, NET_RTO],
     tie_break = Some("conn key / listener port (cross-connection commutes)"),
 }

@@ -16,6 +16,7 @@
 //! or swapping profiles at runtime.
 
 pub mod addr;
+pub mod fabric;
 pub mod flows;
 pub mod frame;
 pub mod link;
@@ -25,6 +26,7 @@ pub mod topology;
 pub mod util;
 
 pub use addr::{ports, Endpoint, NodeAddr};
+pub use fabric::{DomainId, NetFabric};
 pub use frame::{Frame, FramePayload, FRAME_OVERHEAD, MTU};
 pub use link::{Link, LinkProfile, TxOutcome};
 pub use stack::{NetStack, SockCmd, SockEvent};

@@ -51,6 +51,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Periodic gateway check-in: state report + config pull.
     pub const CHECKIN: FlowKind = FlowKind {
@@ -60,6 +61,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Runtime-state checkpoint upload (backup AGW instance, §3.3).
     pub const CHECKPOINT: FlowKind = FlowKind {
@@ -69,6 +71,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Online charging: request a quota.
     pub const CREDIT_REQUEST: FlowKind = FlowKind {
@@ -78,6 +81,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Online charging: report usage / release reservation.
     pub const CREDIT_REPORT: FlowKind = FlowKind {
@@ -87,6 +91,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Telemetry: a gateway `metricsd` registry snapshot.
     pub const METRICS_PUSH: FlowKind = FlowKind {
@@ -96,6 +101,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.metricsd.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Server-push frame for subscriber/config sync (desired state flows
     /// downhill unprompted; delivery is best-effort per connection).
@@ -106,6 +112,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Data,
         retry: None,
+        lookahead: Some("fiber"),
     };
     /// Any unary response from the orchestrator (success or error). One
     /// kind covers all reply bodies: the response edge is demand-bounded
@@ -117,6 +124,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Response,
         retry: None,
+        lookahead: Some("fiber"),
     };
     /// Federation: fetch auth vectors from the MNO HSS via the FeG.
     pub const FEG_AUTH: FlowKind = FlowKind {
@@ -126,6 +134,7 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("agw.rpc_tick"),
+        lookahead: Some("fiber"),
     };
     /// Any unary response from the federation gateway.
     pub const FEG_REPLY: FlowKind = FlowKind {
@@ -135,6 +144,23 @@ pub mod flows {
         class: DelayClass::Transport,
         role: Role::Response,
         retry: None,
+        lookahead: Some("fiber"),
+    };
+
+    use magma_sim::{AliasDecl, AliasScope};
+
+    /// Shard-alias contract for
+    /// [`Orc8rHandle`](crate::state::Orc8rHandle): the orchestrator's
+    /// authoritative state is shared between the southbound RPC actor
+    /// and the northbound harness API, both of which live in the
+    /// `orc8r` shard component. Lint rule S001 verifies no other
+    /// component's actor ever holds this handle.
+    pub const ORC8R_ALIAS: AliasDecl = AliasDecl {
+        handle: "Orc8rHandle",
+        ctor: "new_orc8r",
+        holders: &["orc8r"],
+        scope: AliasScope::SameComponent,
+        reason: "orchestrator state shared only between the orc8r actor and the northbound API",
     };
 }
 

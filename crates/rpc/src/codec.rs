@@ -34,12 +34,8 @@ impl Framer {
     pub fn push(&mut self, bytes: &[u8]) -> Vec<RpcFrame> {
         self.buf.extend_from_slice(bytes);
         let mut out = Vec::new();
-        loop {
-            if self.buf.len() < 4 {
-                break;
-            }
-            let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                as usize;
+        while let Some(&[b0, b1, b2, b3]) = self.buf.get(..4) {
+            let len = u32::from_be_bytes([b0, b1, b2, b3]) as usize;
             if self.buf.len() < 4 + len {
                 break;
             }

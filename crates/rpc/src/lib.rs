@@ -33,6 +33,7 @@ mod tests {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("test.caller.tick"),
+        lookahead: None,
     };
     const ECHO_NO_SUCH: FlowKind = FlowKind {
         name: "echo.NoSuch",
@@ -41,6 +42,7 @@ mod tests {
         class: DelayClass::Transport,
         role: Role::Request,
         retry: Some("test.caller.tick"),
+        lookahead: None,
     };
     const ECHO_REPLY: FlowKind = FlowKind {
         name: "echo.reply",
@@ -49,6 +51,7 @@ mod tests {
         class: DelayClass::Transport,
         role: Role::Response,
         retry: None,
+        lookahead: None,
     };
 
     /// Echo RPC server actor: replies to "echo.Echo" with the request

@@ -15,6 +15,7 @@ const HELLO: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Request,
     retry: Some("test.subscriber.tick"),
+    lookahead: None,
 };
 const HELLO_REPLY: FlowKind = FlowKind {
     name: "hello.reply",
@@ -23,6 +24,7 @@ const HELLO_REPLY: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Response,
     retry: None,
+    lookahead: None,
 };
 const SYNC_TICK: FlowKind = FlowKind {
     name: "sync.Tick",
@@ -31,6 +33,7 @@ const SYNC_TICK: FlowKind = FlowKind {
     class: DelayClass::Transport,
     role: Role::Data,
     retry: None,
+    lookahead: None,
 };
 
 /// Server that pushes a sequence number to every connected client each

@@ -30,7 +30,7 @@ pub use actor::{downcast, try_downcast, Actor, ActorId, Event, Payload};
 pub use cpu::{CoreGroupSpec, HostId, HostSpec, UtilizationReport};
 pub use engine::{Ctx, ExecError, World};
 pub use event::EventHandle;
-pub use flow::{DelayClass, Dispatch, FlowKind, Role};
+pub use flow::{AliasDecl, AliasScope, Colocate, DelayClass, Dispatch, FlowKind, Role};
 pub use prof::{
     HeapStats, HostProfile, HostStopwatch, ProfileSnapshot, ScopeGuard, VirtualProfile,
 };

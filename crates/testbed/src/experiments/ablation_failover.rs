@@ -76,7 +76,7 @@ pub fn run(seed: u64) -> FailoverResult {
     sc.world.restart(
         agw.stack,
         // The node address is stable; the stack rebinds on Start.
-        Box::new(NetStack::new(agw.node, sc.net.clone())),
+        Box::new(NetStack::new(agw.node, sc.net.handle_of(agw.node))),
     );
     let mut restored = AgwActor::restore(agw.cfg.clone(), agw.handle.clone(), checkpoint);
     restored.set_up_cores(agw.up_cores);

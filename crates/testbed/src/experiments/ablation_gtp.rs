@@ -12,7 +12,7 @@
 use crate::scenario::SIM_SEED;
 use magma_agw::{new_agw_handle, AgwActor, AgwConfig};
 use magma_epc_baseline::{EpcCoreActor, PathMgmt};
-use magma_net::{new_net, Endpoint, LinkProfile, NetStack, ports};
+use magma_net::{Endpoint, LinkProfile, NetFabric, NetStack, ports};
 use magma_ran::{ue_fleet_with_quirk, EnbConfig, EnodebActor, TrafficModel};
 use magma_sim::{HostSpec, SimDuration, SimTime, World};
 use magma_subscriber::{SubscriberDb, SubscriberProfile};
@@ -56,20 +56,20 @@ fn backhaul(loss: f64) -> LinkProfile {
 /// standalone mode, lossy backhaul carrying only Internet traffic.
 pub fn run_magma(seed: u64, loss: f64, duration: SimTime) -> GtpPoint {
     let mut w = World::new(seed);
-    let net = new_net();
-    let (site, enb_node) = {
-        let mut t = net.borrow_mut();
-        let s = t.add_node("site");
-        let e = t.add_node("enb");
-        t.connect(e, s, LinkProfile::lan());
-        // The lossy backhaul exists (to the Internet) but carries no
-        // radio-specific protocol in the Magma architecture.
-        let inet = t.add_node("inet");
-        t.connect(s, inet, backhaul(loss));
-        (s, e)
-    };
-    let site_stack = w.add_actor(Box::new(NetStack::new(site, net.clone())));
-    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.clone())));
+    let mut net = NetFabric::new();
+    let site_domain = net.add_domain();
+    let core_domain = net.add_domain();
+    let site = net.add_node(site_domain, "site");
+    let enb_node = net.add_node(site_domain, "enb");
+    net.connect(enb_node, site, LinkProfile::lan());
+    // The lossy backhaul exists (to the Internet) but carries no
+    // radio-specific protocol in the Magma architecture.
+    let inet = net.add_node(core_domain, "inet");
+    net.connect(site, inet, backhaul(loss));
+    let site_stack = w.add_actor(Box::new(NetStack::new(site, net.handle_of(site))));
+    net.bind_stack(site, site_stack);
+    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.handle_of(enb_node))));
+    net.bind_stack(enb_node, enb_stack);
     let host = w.add_host(HostSpec::uniform("agw", 4, 1.0));
     let cfg = AgwConfig::new("agw0", host, site_stack);
     let mut agw = AgwActor::new(cfg, new_agw_handle());
@@ -100,16 +100,16 @@ pub fn run_magma(seed: u64, loss: f64, duration: SimTime) -> GtpPoint {
 /// GTP-U path management active.
 pub fn run_baseline(seed: u64, loss: f64, duration: SimTime) -> GtpPoint {
     let mut w = World::new(seed);
-    let net = new_net();
-    let (core, enb_node) = {
-        let mut t = net.borrow_mut();
-        let c = t.add_node("core");
-        let e = t.add_node("enb");
-        t.connect(e, c, backhaul(loss));
-        (c, e)
-    };
-    let core_stack = w.add_actor(Box::new(NetStack::new(core, net.clone())));
-    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.clone())));
+    let mut net = NetFabric::new();
+    let core_domain = net.add_domain();
+    let site_domain = net.add_domain();
+    let core = net.add_node(core_domain, "core");
+    let enb_node = net.add_node(site_domain, "enb");
+    net.connect(enb_node, core, backhaul(loss));
+    let core_stack = w.add_actor(Box::new(NetStack::new(core, net.handle_of(core))));
+    net.bind_stack(core, core_stack);
+    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.handle_of(enb_node))));
+    net.bind_stack(enb_node, enb_stack);
     let epc = EpcCoreActor::new(core_stack, provision_db(), loss).with_path_mgmt(PathMgmt {
         // Rural gear commonly probes aggressively to fail over between
         // backhauls quickly; 5 s echo spacing.

@@ -51,7 +51,7 @@ pub fn run(seed: u64) -> HeadlessResult {
     // Partition.
     let agw_node = sc.agws[0].node;
     let orc8r_node = sc.orc8r_node;
-    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, false);
+    sc.net.set_link_up(agw_node, orc8r_node, false);
 
     // Make a configuration change while partitioned.
     sc.world.run_until(SimTime::from_secs(PARTITION.0 + 5));
@@ -76,7 +76,7 @@ pub fn run(seed: u64) -> HeadlessResult {
     let agw_version_before_heal = sc.agws[0].handle.borrow().last_db_version;
 
     // Heal and measure time to config convergence.
-    sc.net.borrow_mut().set_link_up(agw_node, orc8r_node, true);
+    sc.net.set_link_up(agw_node, orc8r_node, true);
     let heal_at = sc.world.now();
     let mut sync_delay = f64::NAN;
     for _ in 0..600 {

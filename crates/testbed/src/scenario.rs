@@ -9,7 +9,7 @@
 use magma_agw::{
     new_agw_handle, AgwActor, AgwConfig, AgwHandle, CpuProfile, MetricsdActor, MetricsdConfig,
 };
-use magma_net::{new_net, Endpoint, LinkProfile, NetHandle, NetStack, NodeAddr, ports};
+use magma_net::{Endpoint, LinkProfile, NetFabric, NetStack, NodeAddr, ports};
 use magma_orc8r::{new_orc8r, AlertRule, Orc8rActor, Orc8rHandle};
 use magma_policy::PolicyRule;
 use magma_ran::{ue_fleet, EnbConfig, EnodebActor, SectorModel, TrafficModel, UeSim};
@@ -168,7 +168,10 @@ pub struct AgwInstance {
 /// A fully built scenario.
 pub struct Scenario {
     pub world: World,
-    pub net: NetHandle,
+    /// The physical network, partitioned into one topology domain per
+    /// shard component (core + one per gateway site) so no `NetHandle`
+    /// is aliased across shard components (docs/SHARD_PLAN.md, S001).
+    pub net: NetFabric,
     pub orc8r: Orc8rHandle,
     pub orc8r_node: NodeAddr,
     pub orc8r_actor: ActorId,
@@ -192,15 +195,24 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     // trees so experiments can export Perfetto timelines and the
     // critical-path report (see docs/OBSERVABILITY.md § Tracing).
     world.enable_tracing(true);
-    let net = new_net();
+    // One topology domain per shard component: the orchestration core
+    // plus one per gateway site (shard components per docs/SHARD_PLAN.md).
+    // Node addresses are fabric-global, so the partition is invisible to
+    // address-sensitive golden exports.
+    let mut net = NetFabric::new();
+    let core_domain = net.add_domain();
     let orc8r = new_orc8r(cfg.quota_bytes);
     orc8r.borrow_mut().checkin_interval_s =
         cfg.checkin_interval.as_secs_f64().max(1.0) as u64;
     orc8r.borrow_mut().alert_rules = cfg.alert_rules.clone();
 
     // Orchestrator node.
-    let orc8r_node = net.borrow_mut().add_node("orc8r");
-    let orc8r_stack = world.add_actor(Box::new(NetStack::new(orc8r_node, net.clone())));
+    let orc8r_node = net.add_node(core_domain, "orc8r");
+    let orc8r_stack = world.add_actor(Box::new(NetStack::new(
+        orc8r_node,
+        net.handle_of(orc8r_node),
+    )));
+    net.bind_stack(orc8r_node, orc8r_stack);
     let orc8r_actor = world.add_actor(Box::new(Orc8rActor::new(
         orc8r.clone(),
         orc8r_stack,
@@ -242,9 +254,11 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
             CoreLayout::Pinned { cp, up } => HostSpec::pinned(&id, cp, up, spec.speed),
         };
         let host = world.add_host(host_spec);
-        let node = net.borrow_mut().add_node(&id);
-        net.borrow_mut().connect(node, orc8r_node, spec.backhaul);
-        let stack = world.add_actor(Box::new(NetStack::new(node, net.clone())));
+        let site_domain = net.add_domain();
+        let node = net.add_node(site_domain, &id);
+        net.connect(node, orc8r_node, spec.backhaul);
+        let stack = world.add_actor(Box::new(NetStack::new(node, net.handle_of(node))));
+        net.bind_stack(node, stack);
 
         let mut agw_cfg = AgwConfig::new(&id, host, stack)
             .with_orc8r(Endpoint::new(orc8r_node, ports::ORC8R))
@@ -275,9 +289,13 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         let per_enb_rate = spec.site.attach_rate_per_sec / spec.site.enbs.max(1) as f64;
         let mut enbs = Vec::new();
         for e in 0..spec.site.enbs {
-            let enb_node = net.borrow_mut().add_node(&format!("{id}-enb{e}"));
-            net.borrow_mut().connect(enb_node, node, LinkProfile::lan());
-            let enb_stack = world.add_actor(Box::new(NetStack::new(enb_node, net.clone())));
+            let enb_node = net.add_node(site_domain, &format!("{id}-enb{e}"));
+            net.connect(enb_node, node, LinkProfile::lan());
+            let enb_stack = world.add_actor(Box::new(NetStack::new(
+                enb_node,
+                net.handle_of(enb_node),
+            )));
+            net.bind_stack(enb_node, enb_stack);
             let ues: Vec<UeSim> = ue_fleet(
                 SIM_SEED,
                 msin_for(a, e, 0),

@@ -44,7 +44,7 @@ fn partitioned_gateway_raises_offline_alert_then_recovers() {
 
     // Partition the gateway's backhaul: check-ins stop.
     let (a, o) = (sc.agws[0].node, sc.orc8r_node);
-    sc.net.borrow_mut().set_link_up(a, o, false);
+    sc.net.set_link_up(a, o, false);
     sc.world.run_until(SimTime::from_secs(90));
     {
         let orc8r = sc.orc8r.borrow();
@@ -57,7 +57,7 @@ fn partitioned_gateway_raises_offline_alert_then_recovers() {
     }
 
     // Heal: the gateway checks back in and is online again.
-    sc.net.borrow_mut().set_link_up(a, o, true);
+    sc.net.set_link_up(a, o, true);
     sc.world.run_for(SimDuration::from_secs(60));
     {
         let orc8r = sc.orc8r.borrow();

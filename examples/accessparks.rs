@@ -11,28 +11,27 @@ use magma::ran::{SectorModel, WifiApActor, WifiApConfig};
 use magma::sim::{HostSpec, SimDuration, SimTime, World};
 use magma::testbed::trace::{accessparks_trace, summarize, TraceParams};
 use magma_agw::{new_agw_handle, AgwActor, AgwConfig};
-use magma_net::{new_net, Endpoint, LinkProfile, NetStack, ports};
+use magma_net::{Endpoint, LinkProfile, NetFabric, NetStack, ports};
 use magma_subscriber::{SubscriberDb, SubscriberProfile};
 use magma_wire::Imsi;
 
 fn main() {
     let mut w = World::new(2022);
-    let net = new_net();
+    // The whole site is one shard component — a single topology domain.
+    let mut net = NetFabric::new();
+    let site_domain = net.add_domain();
 
     // One site AGW; four WiFi APs (CBRS fixed-wireless modems) behind it.
-    let (agw_node, ap_nodes) = {
-        let mut t = net.borrow_mut();
-        let a = t.add_node("agw");
-        let aps: Vec<_> = (0..4)
-            .map(|i| {
-                let n = t.add_node(&format!("ap{i}"));
-                t.connect(n, a, LinkProfile::lan());
-                n
-            })
-            .collect();
-        (a, aps)
-    };
-    let agw_stack = w.add_actor(Box::new(NetStack::new(agw_node, net.clone())));
+    let agw_node = net.add_node(site_domain, "agw");
+    let ap_nodes: Vec<_> = (0..4)
+        .map(|i| {
+            let n = net.add_node(site_domain, &format!("ap{i}"));
+            net.connect(n, agw_node, LinkProfile::lan());
+            n
+        })
+        .collect();
+    let agw_stack = w.add_actor(Box::new(NetStack::new(agw_node, net.handle_of(agw_node))));
+    net.bind_stack(agw_node, agw_stack);
     let host = w.add_host(HostSpec::uniform("agw", 4, 1.0));
 
     // Provision the APs as WiFi subscribers (union schema: no SIM, just
@@ -53,7 +52,8 @@ fn main() {
     let agw = w.add_actor(Box::new(agw));
 
     for (i, node) in ap_nodes.iter().enumerate() {
-        let stack = w.add_actor(Box::new(NetStack::new(*node, net.clone())));
+        let stack = w.add_actor(Box::new(NetStack::new(*node, net.handle_of(*node))));
+        net.bind_stack(*node, stack);
         w.add_actor(Box::new(WifiApActor::new(WifiApConfig {
             name: format!("ap-{i}"),
             stack,

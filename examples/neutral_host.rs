@@ -13,29 +13,34 @@
 use magma::feg::{scaling_comparison, FegActor, GtpaParams, MnoCoreActor};
 use magma::sim::{HostSpec, SimTime, World};
 use magma_agw::{new_agw_handle, AgwActor, AgwConfig};
-use magma_net::{new_net, Endpoint, LinkProfile, NetStack, ports};
+use magma_net::{Endpoint, LinkProfile, NetFabric, NetStack, ports};
 use magma_ran::{ue_fleet, EnbConfig, EnodebActor, TrafficModel};
 use magma_subscriber::{SubscriberDb, SubscriberProfile};
 use magma_wire::Imsi;
 
 fn main() {
     let mut w = World::new(33);
-    let net = new_net();
-    let (agw_node, feg_node, mno_node, enb_node) = {
-        let mut t = net.borrow_mut();
-        let a = t.add_node("micro-operator-agw");
-        let f = t.add_node("feg");
-        let m = t.add_node("incumbent-mno");
-        let e = t.add_node("enb");
-        t.connect(a, f, LinkProfile::fiber());
-        t.connect(f, m, LinkProfile::fiber());
-        t.connect(e, a, LinkProfile::lan());
-        (a, f, m, e)
-    };
-    let agw_stack = w.add_actor(Box::new(NetStack::new(agw_node, net.clone())));
-    let feg_stack = w.add_actor(Box::new(NetStack::new(feg_node, net.clone())));
-    let mno_stack = w.add_actor(Box::new(NetStack::new(mno_node, net.clone())));
-    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.clone())));
+    // One topology domain per shard component: the micro-operator site,
+    // the FeG, and the incumbent MNO core (see docs/SHARD_PLAN.md).
+    let mut net = NetFabric::new();
+    let site_domain = net.add_domain();
+    let feg_domain = net.add_domain();
+    let mno_domain = net.add_domain();
+    let agw_node = net.add_node(site_domain, "micro-operator-agw");
+    let feg_node = net.add_node(feg_domain, "feg");
+    let mno_node = net.add_node(mno_domain, "incumbent-mno");
+    let enb_node = net.add_node(site_domain, "enb");
+    net.connect(agw_node, feg_node, LinkProfile::fiber());
+    net.connect(feg_node, mno_node, LinkProfile::fiber());
+    net.connect(enb_node, agw_node, LinkProfile::lan());
+    let agw_stack = w.add_actor(Box::new(NetStack::new(agw_node, net.handle_of(agw_node))));
+    net.bind_stack(agw_node, agw_stack);
+    let feg_stack = w.add_actor(Box::new(NetStack::new(feg_node, net.handle_of(feg_node))));
+    net.bind_stack(feg_node, feg_stack);
+    let mno_stack = w.add_actor(Box::new(NetStack::new(mno_node, net.handle_of(mno_node))));
+    net.bind_stack(mno_node, mno_stack);
+    let enb_stack = w.add_actor(Box::new(NetStack::new(enb_node, net.handle_of(enb_node))));
+    net.bind_stack(enb_node, enb_stack);
 
     // Ten incumbent-MNO subscribers, known only to the MNO's HSS.
     let mut mno_db = SubscriberDb::new();

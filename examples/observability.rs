@@ -42,9 +42,9 @@ fn run(seed: u64) -> (String, String) {
     // drains in order after the heal (seq-dedupe keeps it exactly-once).
     d.world.run_until(SimTime::from_secs(30));
     let agw0_node = d.agws[0].node;
-    d.net.borrow_mut().set_link_up(agw0_node, d.orc8r_node, false);
+    d.net.set_link_up(agw0_node, d.orc8r_node, false);
     d.world.run_until(SimTime::from_secs(60));
-    d.net.borrow_mut().set_link_up(agw0_node, d.orc8r_node, true);
+    d.net.set_link_up(agw0_node, d.orc8r_node, true);
     d.world.run_until(SimTime::from_secs(90));
 
     let st = d.orc8r.borrow();

@@ -63,12 +63,12 @@ fn main() {
     println!("\n-- backhaul outage (3 minutes, orchestrator unreachable) --");
     let agw_node = d.agws[0].node;
     let orc8r_node = d.orc8r_node;
-    d.net.borrow_mut().set_link_up(agw_node, orc8r_node, false);
+    d.net.set_link_up(agw_node, orc8r_node, false);
     d.world.run_until(SimTime::from_secs(90 + 180));
     let csr_2 = overall_csr(d.world.metrics(), "ran");
     println!("phase 2 (headless): CSR = {csr_2:.3} — attaches continued");
 
-    d.net.borrow_mut().set_link_up(agw_node, orc8r_node, true);
+    d.net.set_link_up(agw_node, orc8r_node, true);
     d.world.run_until(SimTime::from_secs(90 + 180 + 60));
 
     let rec = d.world.metrics();

@@ -12,11 +12,14 @@ cargo test --workspace -q
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> magma-lint (determinism / telemetry / actor hygiene / message-flow graph)"
+echo "==> magma-lint (determinism / telemetry / actor hygiene / message-flow graph / shard safety)"
 # Capture the report so its summary can be replayed at the very end.
-# Fails on any F-rule hit, including docs/MESSAGE_FLOW.md drift (F006);
-# after an intentional graph change, re-baseline with
-# MAGMA_FLOW_ACCEPT=1 (the lint then regenerates the doc — commit it).
+# Fails on any F- or S-rule hit, including drift of the generated
+# docs/MESSAGE_FLOW.md (F006) and of docs/SHARD_PLAN.md +
+# scripts/golden/shard_plan.json (S005); after an intentional graph
+# change, re-baseline with MAGMA_FLOW_ACCEPT=1 and/or
+# MAGMA_SHARD_ACCEPT=1 (the lint then regenerates the files — commit
+# them).
 LINT_OUT="$(mktemp)"
 if ! cargo run --release -p magma-lint >"$LINT_OUT" 2>&1; then
     cat "$LINT_OUT"

@@ -128,9 +128,9 @@ fn storm_run(seed: u64) -> (String, Vec<(String, Option<u64>)>, usize, usize) {
     // Partition the backhaul 20s..70s; the storm runs right through it.
     d.world.run_until(SimTime::from_secs(20));
     let agw0_node = d.agws[0].node;
-    d.net.borrow_mut().set_link_up(agw0_node, d.orc8r_node, false);
+    d.net.set_link_up(agw0_node, d.orc8r_node, false);
     d.world.run_until(SimTime::from_secs(70));
-    d.net.borrow_mut().set_link_up(agw0_node, d.orc8r_node, true);
+    d.net.set_link_up(agw0_node, d.orc8r_node, true);
     d.world.run_until(SimTime::from_secs(120));
 
     let st = d.orc8r.borrow();

@@ -98,14 +98,15 @@ fn path_switch_moves_downlink_tunnel() {
     let mut sc = magma::deploy(cfg);
 
     // A second (target) eNodeB node appears at the same site.
-    let target_node = sc.net.borrow_mut().add_node("target-enb");
+    let site_domain = sc.net.domain_of(sc.agws[0].node);
+    let target_node = sc.net.add_node(site_domain, "target-enb");
     sc.net
-        .borrow_mut()
         .connect(target_node, sc.agws[0].node, magma_net::LinkProfile::lan());
     let target_stack = {
         let w: &mut World = &mut sc.world;
-        w.add_actor(Box::new(NetStack::new(target_node, sc.net.clone())))
+        w.add_actor(Box::new(NetStack::new(target_node, sc.net.handle_of(target_node))))
     };
+    sc.net.bind_stack(target_node, target_stack);
     sc.world.add_actor(Box::new(TargetEnb {
         stack: target_stack,
         agw: Endpoint::new(sc.agws[0].node, ports::S1AP),

@@ -31,17 +31,16 @@ fn orc8r_crash_and_restart_preserves_state_and_resyncs() {
         // The stack is the first actor added in build(); recover it from
         // the topology binding instead of relying on construction order.
         sc.net
-            .borrow()
             .stack_of(sc.orc8r_node)
             .expect("orc8r stack bound")
     });
     sc.world.run_until(SimTime::from_secs(30));
 
     // Replacement instances attach to the same durable state.
-    let stack_actor = sc.net.borrow().stack_of(sc.orc8r_node).unwrap();
+    let stack_actor = sc.net.stack_of(sc.orc8r_node).unwrap();
     sc.world.restart(
         stack_actor,
-        Box::new(NetStack::new(sc.orc8r_node, sc.net.clone())),
+        Box::new(NetStack::new(sc.orc8r_node, sc.net.handle_of(sc.orc8r_node))),
     );
     sc.world.restart(
         sc.orc8r_actor,
@@ -104,7 +103,7 @@ fn metricsd_queues_pushes_across_orc8r_crash_window() {
     assert!(seq_before > 0, "pushes landed before the crash");
 
     sc.world.crash(sc.orc8r_actor);
-    sc.world.crash(sc.net.borrow().stack_of(sc.orc8r_node).unwrap());
+    sc.world.crash(sc.net.stack_of(sc.orc8r_node).unwrap());
     sc.world.run_until(SimTime::from_secs(50));
 
     // Nothing lands while the orchestrator is down…
@@ -117,10 +116,10 @@ fn metricsd_queues_pushes_across_orc8r_crash_window() {
         .unwrap_or(0);
     assert_eq!(seq_during, seq_before);
 
-    let stack_actor = sc.net.borrow().stack_of(sc.orc8r_node).unwrap();
+    let stack_actor = sc.net.stack_of(sc.orc8r_node).unwrap();
     sc.world.restart(
         stack_actor,
-        Box::new(NetStack::new(sc.orc8r_node, sc.net.clone())),
+        Box::new(NetStack::new(sc.orc8r_node, sc.net.handle_of(sc.orc8r_node))),
     );
     sc.world.restart(
         sc.orc8r_actor,
@@ -176,7 +175,7 @@ fn agw_restart_without_checkpoint_forces_reattach() {
     sc.world.run_until(SimTime::from_secs(25));
     let agw = &sc.agws[0];
     sc.world
-        .restart(agw.stack, Box::new(NetStack::new(agw.node, sc.net.clone())));
+        .restart(agw.stack, Box::new(NetStack::new(agw.node, sc.net.handle_of(agw.node))));
     let mut fresh = magma_agw::AgwActor::new(agw.cfg.clone(), agw.handle.clone());
     fresh.preprovision(sc.orc8r.borrow().db.snapshot());
     fresh.set_up_cores(agw.up_cores);
