@@ -18,8 +18,8 @@
 
 use magma_ran::{SectorModel, TrafficModel};
 use magma_sim::{
-    HostProfile, HostStopwatch, ProcSummary, ProfileSnapshot, SimDuration, SimTime,
-    TraceSnapshot, TraceStats, VirtualProfile,
+    HostProfile, HostStopwatch, ProcSummary, ProfileSnapshot, ShardSnapshot, SimDuration,
+    SimTime, TraceSnapshot, TraceStats, VirtualProfile,
 };
 use magma_testbed::measure::{mean_over, overall_csr, throughput_mbps};
 use magma_testbed::scenario::{build, AgwSpec, Scenario, ScenarioConfig, SiteSpec};
@@ -28,7 +28,8 @@ use std::collections::BTreeMap;
 
 /// Bumped whenever the report layout changes; consumers (CI gate, smoke
 /// diff) refuse mismatched schemas instead of misreading them.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// v3 added the `shard` block to the virtual section (shardscope).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Default seed for the suite; scenario runs derive from it.
 pub const BENCH_SEED: u64 = 42;
@@ -56,6 +57,10 @@ pub struct VirtSection {
     /// critical-path attribution (deterministic — virtual time only).
     /// The full span trees land in `TRACE_<scenario>.json` instead.
     pub trace: TraceDigest,
+    /// shardscope: per-component load, cut-edge telemetry, and the
+    /// conservative-window speedup prediction (deterministic — virtual
+    /// time only). See docs/PROFILING.md § Shardscope.
+    pub shard: ShardSnapshot,
 }
 
 /// The deterministic slice of a [`TraceSnapshot`] that belongs in a
@@ -166,6 +171,8 @@ struct RunAccum {
     profile: Option<ProfileSnapshot>,
     /// Trace snapshot of the same primary run.
     trace: Option<TraceSnapshot>,
+    /// Shardscope snapshot of the same primary run.
+    shard: Option<ShardSnapshot>,
 }
 
 impl RunAccum {
@@ -176,6 +183,7 @@ impl RunAccum {
             events: 0,
             profile: None,
             trace: None,
+            shard: None,
         }
     }
 
@@ -220,6 +228,7 @@ fn finish(
 ) -> BenchRun {
     let snap = acc.profile.expect("scenario records a primary profile");
     let trace = acc.trace.expect("scenario records a primary trace snapshot");
+    let shard = acc.shard.expect("scenario records a primary shard snapshot");
     let top_table = snap.top_table(12);
     let events_per_sec = if acc.total_wall_s > 0.0 {
         acc.events as f64 / acc.total_wall_s
@@ -238,6 +247,7 @@ fn finish(
             extra,
             profile: snap.virt,
             trace: TraceDigest::from_snapshot(&trace),
+            shard,
         },
         host: HostSection {
             wall_s: acc.total_wall_s,
@@ -281,6 +291,7 @@ pub fn smoke(seed: u64) -> BenchRun {
     let sc = timed_run(&mut acc, "smoke", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
+    acc.shard = Some(sc.world.shard_snapshot());
     let csr = overall_csr(sc.world.metrics(), "ran");
     let p99 = attach_p99(&sc);
     finish("smoke", seed, acc, sim_s, csr, p99, BTreeMap::new())
@@ -296,6 +307,7 @@ pub fn attach_storm(seed: u64) -> BenchRun {
     let sc = timed_run(&mut acc, "storm", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
+    acc.shard = Some(sc.world.shard_snapshot());
     let csr = overall_csr(sc.world.metrics(), "ran");
     let p99 = attach_p99(&sc);
     finish("attach_storm", seed, acc, sim_s, csr, p99, BTreeMap::new())
@@ -343,6 +355,7 @@ pub fn scaling_ablation(seed: u64) -> BenchRun {
         if n == 4 {
             acc.profile = Some(sc.world.profile());
             acc.trace = Some(sc.world.trace_snapshot());
+            acc.shard = Some(sc.world.shard_snapshot());
             let p99 = attach_p99(&sc);
             extra.insert("attach_p99_n4_s".to_string(), p99);
         }
@@ -378,6 +391,7 @@ pub fn mixed(seed: u64) -> BenchRun {
     let sc = timed_run(&mut acc, "mixed", cfg, SimTime::from_secs(sim_s as u64));
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
+    acc.shard = Some(sc.world.shard_snapshot());
     let rec = sc.world.metrics();
     let csr = overall_csr(rec, "ran");
     let p99 = attach_p99(&sc);
@@ -415,6 +429,7 @@ pub fn partition_recovery(seed: u64) -> BenchRun {
     acc.events += sc.world.events_processed();
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
+    acc.shard = Some(sc.world.shard_snapshot());
     let rec = sc.world.metrics();
     let csr = overall_csr(rec, "ran");
     let p99 = attach_p99(&sc);
@@ -448,6 +463,7 @@ pub fn overhead_measurement(seed: u64) -> (f64, f64, f64) {
     let mut sc = build(cfg);
     sc.world.enable_profiling(false);
     sc.world.enable_tracing(false);
+    sc.world.enable_shardscope(false);
     let sw = HostStopwatch::start();
     sc.world.run_until(SimTime::from_secs(60));
     let disabled_wall = sw.elapsed_s();

@@ -14,6 +14,10 @@
 //! magma-bench --list            print the scenario suite with descriptions
 //! magma-bench --out DIR         where BENCH_*.json and TRACE_*.json land
 //!                               (default ".")
+//! magma-bench --shard-report P  run the fixed-seed attach storm and write
+//!                               the shardscope markdown report to P
+//!                               (docs/SHARD_REPORT.md; golden-diffed by
+//!                               scripts/check.sh)
 //! ```
 //!
 //! Exit status is non-zero on any validation/gate failure, so the CI job
@@ -24,7 +28,7 @@ use magma_bench::{
     overhead_measurement, run_scenario, BenchReport, BenchRun, BENCH_SEED, SCENARIOS,
     SCENARIO_DESCRIPTIONS,
 };
-use magma_testbed::{perfetto_string, render_critical_path};
+use magma_testbed::{perfetto_string_sharded, render_critical_path, render_shard_table, shard_report_md};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -40,6 +44,7 @@ struct Args {
     gate: bool,
     list: bool,
     out: PathBuf,
+    shard_report: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         gate: false,
         list: false,
         out: PathBuf::from("."),
+        shard_report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +68,10 @@ fn parse_args() -> Result<Args, String> {
             "--gate" => args.gate = true,
             "--list" => args.list = true,
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a dir")?),
+            "--shard-report" => {
+                args.shard_report =
+                    Some(PathBuf::from(it.next().ok_or("--shard-report needs a path")?));
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -77,10 +87,14 @@ fn write_report(out: &Path, report: &BenchReport) -> std::io::Result<PathBuf> {
 
 /// Write the Perfetto sidecar `TRACE_<scenario>.json` next to the
 /// BENCH report: the full span trees plus critical-path attribution,
-/// loadable in ui.perfetto.dev. Byte-deterministic for a given seed.
+/// grouped into one Perfetto process per shard component, loadable in
+/// ui.perfetto.dev. Byte-deterministic for a given seed.
 fn write_trace(out: &Path, run: &BenchRun) -> std::io::Result<PathBuf> {
     let path = out.join(format!("TRACE_{}.json", run.report.scenario));
-    std::fs::write(&path, perfetto_string(&run.trace))?;
+    std::fs::write(
+        &path,
+        perfetto_string_sharded(&run.trace, &run.report.virt.shard),
+    )?;
     Ok(path)
 }
 
@@ -102,6 +116,7 @@ fn run_and_write(name: &str, out: &Path) -> Result<BenchReport, String> {
     );
     eprintln!("{}", report.host.top_table);
     eprintln!("{}", render_critical_path(&run.trace));
+    eprintln!("{}", render_shard_table(&report.virt.shard));
     Ok(run.report)
 }
 
@@ -135,6 +150,42 @@ fn validate(report: &BenchReport) -> Result<(), String> {
             frac * 100.0
         ));
     }
+    // Shardscope: testbed scenarios assign every actor at build time, so
+    // attribution must be exactly total, and every cross-component send
+    // must ride a declared cut edge of the shard plan.
+    let shard = &report.virt.shard;
+    if !shard.enabled {
+        return Err("shardscope was not enabled".into());
+    }
+    if shard.attribution.dispatches_unattributed != 0 {
+        return Err(format!(
+            "{} dispatches escaped shard-component attribution",
+            shard.attribution.dispatches_unattributed
+        ));
+    }
+    if shard.attribution.noncut_cross_messages != 0 {
+        return Err(format!(
+            "{} cross-component sends off the shard plan's cut set",
+            shard.attribution.noncut_cross_messages
+        ));
+    }
+    Ok(())
+}
+
+/// Shard-report mode: run the fixed-seed attach storm and render the
+/// shardscope markdown report (the generated docs/SHARD_REPORT.md that
+/// scripts/check.sh golden-diffs).
+fn shard_report_mode(out: &Path, path: &Path) -> Result<(), String> {
+    let report = run_and_write("attach_storm", out)?;
+    validate(&report)?;
+    let md = shard_report_md(&report.virt.shard, &report.scenario, report.seed);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir report dir: {e}"))?;
+        }
+    }
+    std::fs::write(path, md).map_err(|e| format!("write shard report: {e}"))?;
+    eprintln!("shard-report: wrote {}", path.display());
     Ok(())
 }
 
@@ -245,7 +296,9 @@ fn main() -> ExitCode {
         list_mode();
         return ExitCode::SUCCESS;
     }
-    let result = if args.smoke {
+    let result = if let Some(path) = &args.shard_report {
+        shard_report_mode(&args.out, path)
+    } else if args.smoke {
         smoke_mode(&args.out)
     } else if args.gate {
         gate_mode(&args.out)

@@ -1,0 +1,52 @@
+//! The shardscope determinism contract (docs/PROFILING.md, "Shardscope"
+//! section):
+//!
+//! - the `shard` block of the bench report's virtual section is a pure
+//!   function of (scenario, seed) — same-seed runs serialize to
+//!   byte-identical JSON, and the rendered `SHARD_REPORT.md` is
+//!   byte-identical too (it is golden-diffed by `scripts/check.sh`);
+//! - testbed scenarios assign every actor to a shard-plan component at
+//!   build time, so every dispatch attributes to exactly one component
+//!   (attribution fraction = 100%) and no cross-component message rides
+//!   a kind missing from the declared cut set.
+
+use magma_bench::attach_storm;
+use magma_testbed::shard_report_md;
+
+#[test]
+fn same_seed_shard_sections_are_byte_identical() {
+    let a = attach_storm(42).report;
+    let b = attach_storm(42).report;
+    let sa = serde_json::to_string_pretty(&a.virt.shard).unwrap();
+    let sb = serde_json::to_string_pretty(&b.virt.shard).unwrap();
+    assert_eq!(sa, sb, "shard sections diverged across same-seed runs");
+    let ra = shard_report_md(&a.virt.shard, "attach_storm", 42);
+    let rb = shard_report_md(&b.virt.shard, "attach_storm", 42);
+    assert_eq!(ra, rb, "shard reports diverged across same-seed runs");
+    // The run did real attributed work (guards against a vacuous pass).
+    assert!(a.virt.shard.attribution.dispatches_attributed > 0);
+    assert!(!a.virt.shard.components.is_empty());
+}
+
+#[test]
+fn every_dispatch_attributes_to_exactly_one_component() {
+    let run = attach_storm(42).report;
+    let shard = &run.virt.shard;
+    assert!(shard.enabled, "shardscope was not enabled");
+    assert_eq!(
+        shard.attribution.dispatches_unattributed, 0,
+        "dispatches escaped shard-component attribution"
+    );
+    assert_eq!(
+        shard.attribution.fraction, 1.0,
+        "attribution fraction must be exactly 100%"
+    );
+    assert_eq!(
+        shard.attribution.noncut_cross_messages, 0,
+        "cross-component sends off the shard plan's cut set"
+    );
+    // "Exactly one" — the per-component rows partition the dispatch
+    // count, no double-attribution.
+    let per_component: u64 = shard.components.iter().map(|c| c.dispatches).sum();
+    assert_eq!(per_component, shard.attribution.dispatches_attributed);
+}

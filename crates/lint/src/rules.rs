@@ -97,6 +97,13 @@ pub const KNOWN_PREFIXES: &[&str] = &[
     "ran", "sim",
 ];
 
+/// Known second-segment families under the kernel's `sim.` prefix —
+/// each one observability subsystem (`sim.cpu.*` queueing, `sim.prof.*`
+/// simprof, `sim.trace.*` magma-trace, `sim.shard.*` shardscope). The
+/// T002 sub-check keeps new kernel instruments from squatting an
+/// unreviewed namespace. Grown only alongside `docs/OBSERVABILITY.md`.
+pub const SIM_FAMILIES: &[&str] = &["cpu", "prof", "trace", "shard"];
+
 /// A scanned file plus precomputed skip ranges (`#[cfg(test)]` items).
 pub struct FileCtx<'a> {
     pub rel: &'a str,
@@ -477,6 +484,26 @@ pub fn t_rules(
                 allowed: false,
                 reason: None,
             });
+        }
+        // Second tier: kernel instruments must sit in a registered
+        // `sim.<family>` namespace (wildcard family literals are
+        // resolved through the docs inventory like the first tier).
+        if prefix_ok && first == "sim" {
+            let family = full.split('.').nth(1).unwrap_or("");
+            if family != "*" && !SIM_FAMILIES.contains(&family) {
+                out.push(Finding {
+                    rule: "T002",
+                    file: u.file.clone(),
+                    line: u.line,
+                    msg: format!(
+                        "metric name {:?} is not under a known sim.<family> namespace ({})",
+                        full,
+                        SIM_FAMILIES.join(", ")
+                    ),
+                    allowed: false,
+                    reason: None,
+                });
+            }
         }
         if matched.is_none() {
             out.push(Finding {

@@ -935,7 +935,11 @@ pub fn render_plan(p: &ShardPlan) -> String {
          inside one component must be co-scheduled; every edge *between*\n\
          components rides a modeled link whose minimum static latency is the\n\
          lookahead bound — the window by which one shard may safely run ahead\n\
-         of its neighbors.\n\n",
+         of its neighbors.\n\n\
+         Observed per-component load, cut-edge traffic, and the predicted\n\
+         conservative-window speedup for this partition are measured by\n\
+         shardscope — see the \"Shardscope\" section of `docs/PROFILING.md`\n\
+         and the generated `docs/SHARD_REPORT.md`.\n\n",
     );
 
     out.push_str("## Components\n\n");

@@ -148,7 +148,16 @@ impl NetStack {
             net.transmit(now, src, dst, size, ctx.rng())
         };
         if let Some((arrival, stack)) = outcome {
-            ctx.send_to_in(stack, &flows::NET_FRAME, arrival.since(now), Box::new(frame));
+            // Sized variant: the frame's wire size feeds shardscope's
+            // cut-edge byte accounting when src and dst stacks live in
+            // different shard components.
+            ctx.send_to_in_sized(
+                stack,
+                &flows::NET_FRAME,
+                arrival.since(now),
+                Box::new(frame),
+                size,
+            );
         }
     }
 

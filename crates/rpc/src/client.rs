@@ -179,6 +179,9 @@ impl RpcClient {
             let _enc = ctx.profile_scope("rpc.encode");
             encode_frame(&frame)
         };
+        // The method is a logical shard cut edge; it rides inside the
+        // stream payload, so shardscope samples it here at encode time.
+        ctx.shard_logical(&p.method, bytes.len());
         ctx.send_to(
             self.stack,
             &flows::SOCK_CMD,

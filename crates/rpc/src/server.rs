@@ -116,7 +116,7 @@ impl RpcServer {
             "RPC replies must use a Response-role flow kind, got {}",
             kind.name
         );
-        self.send_frame(ctx, conn, RpcFrame::response(id, body));
+        self.send_frame(ctx, conn, kind, RpcFrame::response(id, body));
     }
 
     /// Send an application error (same `Response` edge as [`reply`](Self::reply)).
@@ -133,7 +133,7 @@ impl RpcServer {
             "RPC replies must use a Response-role flow kind, got {}",
             kind.name
         );
-        self.send_frame(ctx, conn, RpcFrame::error(id, msg));
+        self.send_frame(ctx, conn, kind, RpcFrame::error(id, msg));
     }
 
     /// Push an unsolicited frame (desired-state sync) to a connected
@@ -150,7 +150,7 @@ impl RpcServer {
         if !self.conns.contains_key(&conn) {
             return false;
         }
-        self.send_frame(ctx, conn, RpcFrame::push(stream_id, kind.name, body));
+        self.send_frame(ctx, conn, kind, RpcFrame::push(stream_id, kind.name, body));
         true
     }
 
@@ -159,11 +159,20 @@ impl RpcServer {
         self.conns.keys().copied()
     }
 
-    fn send_frame(&mut self, ctx: &mut Ctx<'_>, conn: StreamHandle, frame: RpcFrame) {
+    fn send_frame(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: StreamHandle,
+        kind: &'static FlowKind,
+        frame: RpcFrame,
+    ) {
         let bytes = {
             let _enc = ctx.profile_scope("rpc.encode");
             encode_frame(&frame)
         };
+        // Reply/push edges are logical shard cut edges; they ride inside
+        // the stream payload, so shardscope samples them at encode time.
+        ctx.shard_logical(kind.name, bytes.len());
         ctx.send_to(
             self.stack,
             &flows::SOCK_CMD,

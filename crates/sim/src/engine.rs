@@ -9,6 +9,7 @@ use crate::flow::{DelayClass, FlowKind, Role};
 use crate::metrics::Recorder;
 use crate::prof::{self, HeapStats, ProfHandle, Profiler, ProfileSnapshot, ScopeGuard};
 use crate::registry::Registry;
+use crate::shardscope::{ShardScope, ShardSnapshot};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceCtx, TraceSnapshot, Tracer};
 use rand::rngs::SmallRng;
@@ -59,6 +60,10 @@ pub struct Kernel {
     tracer: Tracer,
     trace_on: bool,
     cur_trace: Option<TraceCtx>,
+    /// shardscope accumulator. `shard_on` mirrors its enabled flag for a
+    /// branch-only fast path on every dispatch and flow-edge send.
+    shard: ShardScope,
+    shard_on: bool,
 }
 
 impl Kernel {
@@ -107,6 +112,8 @@ impl World {
                 tracer: Tracer::new(seed),
                 trace_on: false,
                 cur_trace: None,
+                shard: ShardScope::default(),
+                shard_on: false,
             },
         }
     }
@@ -147,6 +154,51 @@ impl World {
     pub fn tracing_enabled(&self) -> bool {
         debug_assert_eq!(self.kernel.trace_on, self.kernel.tracer.enabled());
         self.kernel.tracer.enabled()
+    }
+
+    /// Switch shardscope on or off (off by default). Enabled, every
+    /// dispatch and vCPU charge is attributed to the shard-component
+    /// instance of the target actor (see
+    /// [`World::shard_assign`]) and cross-component flow-edge sends are
+    /// recorded against the plan's cut edges; disabled, every hook
+    /// costs one boolean branch. Shardscope only observes — it never
+    /// feeds virtual time or the RNG, so it cannot perturb a seeded
+    /// run.
+    pub fn enable_shardscope(&mut self, on: bool) {
+        self.kernel.shard.set_enabled(on);
+        self.kernel.shard_on = on;
+    }
+
+    pub fn shardscope_enabled(&self) -> bool {
+        self.kernel.shard_on
+    }
+
+    /// Assign an actor to instance `instance` of the shard-plan
+    /// component owning flow-graph member `member` (dotted-ancestor
+    /// resolution, same rules as the lint). Panics on a replicated hub
+    /// (use [`shard_assign_hub`](World::shard_assign_hub)) or an
+    /// unknown member: both are scenario wiring bugs.
+    pub fn shard_assign(&mut self, id: ActorId, member: &str, instance: u32) {
+        if let Err(e) = self.kernel.shard.assign(id, member, instance) {
+            panic!("shard_assign: {e}");
+        }
+    }
+
+    /// Assign a replicated-hub actor (e.g. a `net.stack`) to the
+    /// component instance hosting it. Panics if `hub` is not in the
+    /// plan's replicated list or `host_member` is unknown.
+    pub fn shard_assign_hub(&mut self, id: ActorId, hub: &str, host_member: &str, instance: u32) {
+        if let Err(e) = self.kernel.shard.assign_hub(id, hub, host_member, instance) {
+            panic!("shard_assign_hub: {e}");
+        }
+    }
+
+    /// Snapshot shardscope: per-component load, cut-edge telemetry,
+    /// and the conservative-window model. Deterministic for a given
+    /// `(scenario, seed)` — see `docs/PROFILING.md` § Shardscope.
+    pub fn shard_snapshot(&self) -> ShardSnapshot {
+        let names: Vec<&str> = self.actors.iter().map(|s| s.name.as_str()).collect();
+        self.kernel.shard.snapshot(&names)
     }
 
     /// Head-sampling rate in [0, 1]: the deterministic seeded-hash
@@ -425,6 +477,13 @@ impl World {
         } else {
             None
         };
+        // shardscope attribution: the dispatch (and its vCPU charges)
+        // belong to the target actor's shard-component instance.
+        if self.kernel.shard_on {
+            self.kernel
+                .shard
+                .dispatch_begin(idx, sched.time.as_micros());
+        }
         {
             let mut ctx = Ctx {
                 kernel: &mut self.kernel,
@@ -435,6 +494,9 @@ impl World {
         if let Some((kind, t0)) = prof_t0 {
             let ns = t0.elapsed().as_nanos() as u64;
             self.kernel.prof.borrow_mut().dispatch_end(idx, kind, ns);
+        }
+        if self.kernel.shard_on {
+            self.kernel.shard.dispatch_end();
         }
         // The actor may have been replaced/killed by itself (rare) — only
         // put it back if the slot is still empty.
@@ -518,19 +580,32 @@ impl<'a> Ctx<'a> {
     }
 
     /// Schedule a flow-edge message carrying the dispatch's trace
-    /// context (if tracing is on and a trace is active).
+    /// context (if tracing is on and a trace is active). `wire_bytes`
+    /// is the on-the-wire size for shardscope cut-edge accounting
+    /// (0 for edges with no physical wire representation).
     fn send_traced(
         &mut self,
         dst: ActorId,
         kind: &'static FlowKind,
         delay: SimDuration,
         payload: Payload,
+        wire_bytes: usize,
     ) {
         let trace = if self.kernel.trace_on {
             self.kernel.trace_child(kind.name, self.self_id, dst)
         } else {
             None
         };
+        if self.kernel.shard_on {
+            self.kernel.shard.record_send(
+                self.self_id,
+                dst,
+                kind.name,
+                self.kernel.time.as_micros(),
+                delay.as_micros(),
+                wire_bytes,
+            );
+        }
         let from = self.self_id;
         let g = self.kernel.gens[dst.0 as usize];
         self.kernel.queue.push(
@@ -557,7 +632,7 @@ impl<'a> Ctx<'a> {
             kind.name,
             kind.class,
         );
-        self.send_traced(dst, kind, SimDuration::ZERO, payload);
+        self.send_traced(dst, kind, SimDuration::ZERO, payload, 0);
     }
 
     /// Send on a declared flow edge after a positive delay (the
@@ -576,7 +651,41 @@ impl<'a> Ctx<'a> {
             "send_to_in({}) needs a Transport-class kind and a positive delay",
             kind.name,
         );
-        self.send_traced(dst, kind, delay, payload);
+        self.send_traced(dst, kind, delay, payload, 0);
+    }
+
+    /// [`send_to_in`](Ctx::send_to_in) with a declared on-the-wire
+    /// byte size, so shardscope can account cut-edge bytes (net stacks
+    /// know the frame's wire size; plain `send_to_in` records 0).
+    pub fn send_to_in_sized(
+        &mut self,
+        dst: ActorId,
+        kind: &'static FlowKind,
+        delay: SimDuration,
+        payload: Payload,
+        wire_bytes: usize,
+    ) {
+        debug_assert!(
+            kind.class == DelayClass::Transport && delay > SimDuration::ZERO,
+            "send_to_in_sized({}) needs a Transport-class kind and a positive delay",
+            kind.name,
+        );
+        self.send_traced(dst, kind, delay, payload, wire_bytes);
+    }
+
+    /// Record a logical shard cut-edge occurrence: an RPC method
+    /// (request, reply, or push) being encoded into a stream payload.
+    /// Logical methods never cross shard components at the kernel —
+    /// the carrying `net.frame`s do — so their counts/bytes are
+    /// sampled here at the encode site instead. `method` must match a
+    /// cut-edge kind in `scripts/golden/shard_plan.json`; unknown
+    /// methods are ignored. One branch when shardscope is disabled.
+    pub fn shard_logical(&mut self, method: &str, wire_bytes: usize) {
+        if self.kernel.shard_on {
+            self.kernel
+                .shard
+                .record_logical(method, self.kernel.time.as_micros(), wire_bytes);
+        }
     }
 
     /// Arm a declared self-edge timer: a `Local`-class, `Timer`-role
@@ -763,6 +872,9 @@ impl<'a> Ctx<'a> {
             // the job, once, at submission.
             self.kernel.prof.borrow_mut().charge_vcpu(service);
         }
+        if self.kernel.shard_on {
+            self.kernel.shard.charge_vcpu(service);
+        }
         let gen = self.kernel.gens[self.self_id.0 as usize];
         // The CPU model is a causal hop: queue wait + service time of a
         // traced submission shows up as a `"cpu"` span.
@@ -883,10 +995,16 @@ impl<'a> Ctx<'a> {
     }
 
     /// Spawn a new actor; `Start` is delivered at the current instant.
+    /// Under shardscope the child inherits its spawner's shard
+    /// component (the wildcard-receiver rule: dynamically created
+    /// receivers live in their creator's shard).
     pub fn spawn(&mut self, actor: Box<dyn Actor>) -> ActorId {
         let id = ActorId(self.kernel.next_actor_id);
         self.kernel.next_actor_id += 1;
         self.kernel.gens.push(0);
+        if self.kernel.shard_on {
+            self.kernel.shard.inherit(self.self_id, id);
+        }
         self.kernel.pending.push(PendingOp::Spawn(id, actor));
         id
     }

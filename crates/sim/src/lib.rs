@@ -23,6 +23,7 @@ pub mod flow;
 pub mod metrics;
 pub mod prof;
 pub mod registry;
+pub mod shardscope;
 pub mod time;
 pub mod trace;
 
@@ -39,6 +40,10 @@ pub use metrics::{Histogram, Recorder, Series};
 pub use registry::{
     BucketHistogram, Registry, RegistrySnapshot, Span, DEFAULT_MAX_INSTRUMENTS_PER_PREFIX,
     DEFAULT_SECONDS_BOUNDS, OVERFLOW_COUNTER,
+};
+pub use shardscope::{
+    PlanComponent, PlanCutEdge, ShardAssignmentRow, ShardAttribution, ShardComponentRow,
+    ShardCrossingRow, ShardEdgeRow, ShardPlan, ShardSnapshot, WindowModel, SHARD_PLAN_JSON,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{

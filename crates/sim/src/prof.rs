@@ -381,11 +381,12 @@ pub struct VirtualProfile {
 }
 
 impl VirtualProfile {
-    /// Fraction of virtual CPU-seconds attributed to a named row
-    /// (1.0 when nothing was submitted at all).
+    /// Fraction of virtual CPU-seconds attributed to a named row. A
+    /// run that submitted no CPU work at all reports 0.0 — never NaN —
+    /// so empty scenarios stay valid JSON and comparable.
     pub fn attribution_fraction(&self) -> f64 {
         if self.vcpu_total_s <= 0.0 {
-            1.0
+            0.0
         } else {
             self.vcpu_attributed_s / self.vcpu_total_s
         }
@@ -514,6 +515,16 @@ mod tests {
         assert_eq!(mme.kind, "msg");
         assert!((mme.vcpu_s - 0.015).abs() < 1e-12);
         assert!((snap.virt.attribution_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_reports_zero_fraction_not_nan() {
+        let p = Profiler::default();
+        let snap = p.snapshot(&[], HeapStats::default(), 0);
+        assert_eq!(snap.virt.vcpu_total_s, 0.0);
+        let frac = snap.virt.attribution_fraction();
+        assert!(frac.is_finite());
+        assert_eq!(frac, 0.0);
     }
 
     #[test]

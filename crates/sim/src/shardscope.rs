@@ -1,0 +1,1032 @@
+//! # shardscope — shard-component-aware observability
+//!
+//! The derived shard partition (`docs/SHARD_PLAN.md`, byte-pinned as
+//! `scripts/golden/shard_plan.json`) names the components, replicated
+//! hubs, and per-cut-edge lookahead bounds a conservative-time-window
+//! DES engine would start from. Shardscope measures, during today's
+//! single-threaded deterministic runs, whether that partition will
+//! actually pay:
+//!
+//! 1. **Per-component load** — every dispatch and virtual-CPU charge is
+//!    attributed to its shard-component *instance* (`agw[0]`,
+//!    `orc8r[0]`), using the same member-resolution rules the lint uses
+//!    to derive the plan (dotted-ancestor walk over component member
+//!    lists; replicated hubs assigned to their hosting component).
+//! 2. **Cut-edge telemetry** — message counts, wire bytes, inter-send
+//!    virtual-time gap histograms, and **lookahead slack**: the
+//!    send-to-deliver gap minus the edge's lookahead bound, i.e. the
+//!    margin a conservative window scheduler would have had. Slack is
+//!    measured on physically-crossing kernel sends (`net.frame` is the
+//!    only kind that crosses components at the kernel — RPC methods
+//!    ride inside stream payloads); logical cut edges (the RPC methods)
+//!    are counted at their encode sites via `Ctx::shard_logical`.
+//! 3. **Window model** — an online replay of the per-component dispatch
+//!    timeline through an idealized conservative-time-window scheduler
+//!    (window = min cut-edge lookahead): per-component busy fraction,
+//!    blocking windows, and a **predicted parallel speedup** (per-window
+//!    critical-component bound), with the whole-run critical-component
+//!    bound and the ideal N-way split as brackets.
+//!
+//! Determinism contract: identical to simprof/magma-trace — shardscope
+//! only observes virtual-time quantities, never feeds time or the RNG,
+//! and every container is a `Vec`/`BTreeMap`, so same-seed runs export
+//! byte-identical [`ShardSnapshot`] JSON. Disabled (the default), every
+//! hook costs one cached-bool branch.
+
+use crate::actor::ActorId;
+use crate::registry::Registry;
+use crate::time::SimDuration;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// The byte-pinned shard plan, compiled in so the kernel needs no I/O
+/// (and cannot drift from the lint-generated golden without a rebuild).
+pub const SHARD_PLAN_JSON: &str = include_str!("../../../scripts/golden/shard_plan.json");
+
+/// Number of log2-µs buckets in a cut edge's inter-send gap histogram:
+/// bucket 0 holds zero-gap sends, bucket `b` holds gaps in
+/// `[2^(b-1), 2^b)` µs, and the last bucket absorbs everything longer.
+pub const GAP_BUCKETS: usize = 24;
+
+fn gap_bucket(gap_us: u64) -> usize {
+    if gap_us == 0 {
+        0
+    } else {
+        (64 - gap_us.leading_zeros() as usize).min(GAP_BUCKETS - 1)
+    }
+}
+
+/// Replace metric-name-hostile characters in an interpolated segment:
+/// lowercased, `]` dropped, everything outside `[a-z0-9_]` becomes `_`
+/// (`agw[0]` → `agw_0`, `net.frame` → `net_frame`).
+fn metric_seg(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        let c = c.to_ascii_lowercase();
+        match c {
+            ']' => {}
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// One component of the shard plan: a name and the flow-graph member
+/// prefixes that map into it.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct PlanComponent {
+    pub name: String,
+    pub members: Vec<String>,
+}
+
+/// One cut edge of the shard plan with its lookahead bound.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct PlanCutEdge {
+    pub kind: String,
+    pub from: String,
+    pub to: String,
+    pub lookahead_us: u64,
+}
+
+/// The parsed shard plan (`scripts/golden/shard_plan.json`, generated
+/// and byte-pinned by magma-lint rule S005).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    pub schema_version: u64,
+    pub components: Vec<PlanComponent>,
+    pub replicated: Vec<String>,
+    pub cut_edges: Vec<PlanCutEdge>,
+    /// The conservative time window: the minimum cut-edge lookahead.
+    pub window_us: u64,
+    edge_by_kind: BTreeMap<String, usize>,
+}
+
+impl ShardPlan {
+    /// Parse a plan from its JSON form. Errors name the missing field —
+    /// a malformed plan is a build artifact bug, not a runtime state.
+    pub fn parse(json: &str) -> Result<ShardPlan, String> {
+        let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or("shard plan: missing schema_version")?;
+        let mut components = Vec::new();
+        for c in v
+            .get("components")
+            .and_then(Value::as_array)
+            .ok_or("shard plan: missing components")?
+        {
+            let name = c
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("shard plan: component without name")?
+                .to_string();
+            let members = c
+                .get("members")
+                .and_then(Value::as_array)
+                .ok_or("shard plan: component without members")?
+                .iter()
+                .filter_map(|m| m.as_str().map(str::to_string))
+                .collect();
+            components.push(PlanComponent { name, members });
+        }
+        let replicated = v
+            .get("replicated")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|m| m.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut cut_edges = Vec::new();
+        let mut edge_by_kind = BTreeMap::new();
+        for e in v
+            .get("cut_edges")
+            .and_then(Value::as_array)
+            .ok_or("shard plan: missing cut_edges")?
+        {
+            let get = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("shard plan: cut edge missing {k}"))
+            };
+            let edge = PlanCutEdge {
+                kind: get("kind")?,
+                from: get("from")?,
+                to: get("to")?,
+                lookahead_us: e
+                    .get("lookahead_us")
+                    .and_then(Value::as_u64)
+                    .ok_or("shard plan: cut edge missing lookahead_us")?,
+            };
+            edge_by_kind.insert(edge.kind.clone(), cut_edges.len());
+            cut_edges.push(edge);
+        }
+        if cut_edges.is_empty() {
+            return Err("shard plan: no cut edges".to_string());
+        }
+        let window_us = cut_edges.iter().map(|e| e.lookahead_us).min().unwrap();
+        Ok(ShardPlan {
+            schema_version,
+            components,
+            replicated,
+            cut_edges,
+            window_us,
+            edge_by_kind,
+        })
+    }
+
+    /// The compiled-in plan.
+    pub fn builtin() -> ShardPlan {
+        ShardPlan::parse(SHARD_PLAN_JSON).expect("scripts/golden/shard_plan.json parses")
+    }
+
+    /// Resolve a flow-graph member path to its component index: exact
+    /// member match first, then the dotted-ancestor walk the lint's
+    /// wildcard-receiver rules use (`agw.epc_baseline.mme` → member
+    /// `agw.epc_baseline`; `ran.enb` is a member of component `agw`).
+    pub fn resolve_member(&self, member: &str) -> Option<usize> {
+        let mut probe = member;
+        loop {
+            for (i, c) in self.components.iter().enumerate() {
+                if c.members.iter().any(|m| m == probe) {
+                    return Some(i);
+                }
+            }
+            match probe.rfind('.') {
+                Some(p) => probe = &probe[..p],
+                None => return None,
+            }
+        }
+    }
+
+    /// Whether `member` is a replicated hub (one instance per hosting
+    /// component, e.g. `net.stack`).
+    pub fn is_replicated(&self, member: &str) -> bool {
+        self.replicated.iter().any(|r| r == member)
+    }
+
+    /// Index of the cut edge declared for `kind`, if any.
+    pub fn edge_index(&self, kind: &str) -> Option<usize> {
+        self.edge_by_kind.get(kind).copied()
+    }
+}
+
+/// Per-component-instance accumulator.
+#[derive(Debug, Clone, Default)]
+struct InstCell {
+    comp: usize,
+    instance: u32,
+    actors: u64,
+    hub_actors: u64,
+    dispatches: u64,
+    vcpu_us: u64,
+    busy_windows: u64,
+}
+
+/// Per-cut-edge accumulator.
+#[derive(Debug, Clone)]
+struct EdgeCell {
+    messages: u64,
+    bytes: u64,
+    min_slack_us: Option<i64>,
+    negative_slack: u64,
+    last_us: Option<u64>,
+    gap_hist: [u64; GAP_BUCKETS],
+}
+
+impl Default for EdgeCell {
+    fn default() -> Self {
+        EdgeCell {
+            messages: 0,
+            bytes: 0,
+            min_slack_us: None,
+            negative_slack: 0,
+            last_us: None,
+            gap_hist: [0; GAP_BUCKETS],
+        }
+    }
+}
+
+/// Per-(src instance, dst instance) physical-crossing accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairCell {
+    messages: u64,
+    bytes: u64,
+    min_slack_us: Option<i64>,
+}
+
+fn fold_min_slack(slot: &mut Option<i64>, slack: i64) {
+    *slot = Some(match *slot {
+        Some(cur) => cur.min(slack),
+        None => slack,
+    });
+}
+
+/// The kernel-owned shardscope accumulator. All methods are cheap and
+/// deterministic; none are called when shardscope is disabled (the
+/// kernel guards every call with a cached bool).
+#[derive(Debug, Default)]
+pub struct ShardScope {
+    enabled: bool,
+    plan: Option<ShardPlan>,
+    /// Actor index → component-instance index.
+    assign: Vec<Option<u16>>,
+    instances: Vec<InstCell>,
+    inst_lookup: BTreeMap<(usize, u32), u16>,
+    /// The instance of the dispatch currently being handled, for vCPU
+    /// attribution (mirrors simprof's `current`).
+    cur_inst: Option<u16>,
+    dispatches_attributed: u64,
+    dispatches_unattributed: u64,
+    vcpu_unattributed_us: u64,
+    /// Parallel to `plan.cut_edges`.
+    edges: Vec<EdgeCell>,
+    pairs: BTreeMap<(u16, u16), PairCell>,
+    /// Cross-instance physical sends whose kind is NOT a declared cut
+    /// edge — nonzero means the plan's cut set is incomplete.
+    noncut_cross: u64,
+    // Online conservative-window fold.
+    cur_window: Option<u64>,
+    win_counts: Vec<u64>,
+    occupied_windows: u64,
+    serial_units: u64,
+    parallel_units: u64,
+    first_window: Option<u64>,
+    last_window: u64,
+}
+
+impl ShardScope {
+    fn ensure_plan(&mut self) -> &ShardPlan {
+        if self.plan.is_none() {
+            let plan = ShardPlan::builtin();
+            self.edges = vec![EdgeCell::default(); plan.cut_edges.len()];
+            self.plan = Some(plan);
+        }
+        self.plan.as_ref().unwrap()
+    }
+
+    pub fn set_enabled(&mut self, on: bool) {
+        if on {
+            self.ensure_plan();
+        }
+        self.enabled = on;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn intern_instance(&mut self, comp: usize, instance: u32) -> u16 {
+        if let Some(&i) = self.inst_lookup.get(&(comp, instance)) {
+            return i;
+        }
+        let i = self.instances.len() as u16;
+        self.instances.push(InstCell {
+            comp,
+            instance,
+            ..InstCell::default()
+        });
+        self.win_counts.push(0);
+        self.inst_lookup.insert((comp, instance), i);
+        i
+    }
+
+    fn set_assign(&mut self, actor: ActorId, inst: u16) {
+        let idx = actor.0 as usize;
+        if self.assign.len() <= idx {
+            self.assign.resize(idx + 1, None);
+        }
+        self.assign[idx] = Some(inst);
+    }
+
+    /// Assign an actor to the instance `instance` of the component that
+    /// owns flow-graph member `member`. Replicated hubs must use
+    /// [`assign_hub`](ShardScope::assign_hub) — the plan replicates
+    /// them per hosting component, so the member alone is ambiguous.
+    pub(crate) fn assign(
+        &mut self,
+        actor: ActorId,
+        member: &str,
+        instance: u32,
+    ) -> Result<(), String> {
+        let plan = self.ensure_plan();
+        if plan.is_replicated(member) {
+            return Err(format!(
+                "member '{member}' is a replicated hub; use shard_assign_hub with its hosting component"
+            ));
+        }
+        let Some(comp) = plan.resolve_member(member) else {
+            return Err(format!(
+                "member '{member}' resolves to no shard-plan component"
+            ));
+        };
+        let inst = self.intern_instance(comp, instance);
+        self.instances[inst as usize].actors += 1;
+        self.set_assign(actor, inst);
+        Ok(())
+    }
+
+    /// Assign a replicated-hub actor (e.g. a `net.stack` instance) to
+    /// the component instance hosting it.
+    pub(crate) fn assign_hub(
+        &mut self,
+        actor: ActorId,
+        hub: &str,
+        host_member: &str,
+        instance: u32,
+    ) -> Result<(), String> {
+        let plan = self.ensure_plan();
+        if !plan.is_replicated(hub) {
+            return Err(format!(
+                "'{hub}' is not in the plan's replicated-hub list"
+            ));
+        }
+        let Some(comp) = plan.resolve_member(host_member) else {
+            return Err(format!(
+                "host member '{host_member}' resolves to no shard-plan component"
+            ));
+        };
+        let inst = self.intern_instance(comp, instance);
+        self.instances[inst as usize].hub_actors += 1;
+        self.set_assign(actor, inst);
+        Ok(())
+    }
+
+    /// A child actor spawned mid-dispatch inherits its parent's
+    /// component instance (the wildcard-receiver rule: dynamically
+    /// created receivers live in their creator's shard).
+    pub(crate) fn inherit(&mut self, parent: ActorId, child: ActorId) {
+        let Some(inst) = self.assign.get(parent.0 as usize).copied().flatten() else {
+            return;
+        };
+        self.instances[inst as usize].actors += 1;
+        self.set_assign(child, inst);
+    }
+
+    fn window_us(&self) -> u64 {
+        self.plan.as_ref().map(|p| p.window_us).unwrap_or(1).max(1)
+    }
+
+    fn fold_window(&mut self) {
+        let mut sum = 0u64;
+        let mut mx = 0u64;
+        for (i, c) in self.win_counts.iter_mut().enumerate() {
+            if *c > 0 {
+                sum += *c;
+                mx = mx.max(*c);
+                self.instances[i].busy_windows += 1;
+                *c = 0;
+            }
+        }
+        if sum > 0 {
+            self.occupied_windows += 1;
+            self.serial_units += sum;
+            self.parallel_units += mx;
+        }
+    }
+
+    /// Attribute one dispatch (only called when enabled). `time_us` is
+    /// the dispatch's virtual time; the window fold advances on it.
+    pub(crate) fn dispatch_begin(&mut self, actor: usize, time_us: u64) {
+        let w = time_us / self.window_us();
+        match self.cur_window {
+            Some(cw) if cw == w => {}
+            Some(_) => {
+                self.fold_window();
+                self.cur_window = Some(w);
+            }
+            None => {
+                self.cur_window = Some(w);
+                self.first_window = Some(w);
+            }
+        }
+        self.last_window = w;
+        let inst = self.assign.get(actor).copied().flatten();
+        match inst {
+            Some(i) => {
+                self.instances[i as usize].dispatches += 1;
+                self.win_counts[i as usize] += 1;
+                self.dispatches_attributed += 1;
+            }
+            None => self.dispatches_unattributed += 1,
+        }
+        self.cur_inst = inst;
+    }
+
+    /// The dispatch finished; later vCPU charges are unattributed.
+    pub(crate) fn dispatch_end(&mut self) {
+        self.cur_inst = None;
+    }
+
+    /// Charge a CPU-model job's service time to the component instance
+    /// of the dispatch that submitted it (only called when enabled).
+    pub(crate) fn charge_vcpu(&mut self, service: SimDuration) {
+        match self.cur_inst {
+            Some(i) => self.instances[i as usize].vcpu_us += service.as_micros(),
+            None => self.vcpu_unattributed_us += service.as_micros(),
+        }
+    }
+
+    /// Record a kernel-scheduled flow-edge send. Only cross-instance
+    /// sends count: they are the messages a sharded kernel would have
+    /// to fence with the conservative window, and their scheduling
+    /// delay minus the edge's lookahead bound is the slack the window
+    /// scheduler would have had.
+    pub(crate) fn record_send(
+        &mut self,
+        src: ActorId,
+        dst: ActorId,
+        kind: &str,
+        now_us: u64,
+        delay_us: u64,
+        bytes: usize,
+    ) {
+        let si = self.assign.get(src.0 as usize).copied().flatten();
+        let di = self.assign.get(dst.0 as usize).copied().flatten();
+        let (Some(a), Some(b)) = (si, di) else { return };
+        if a == b {
+            return;
+        }
+        let eidx = self.plan.as_ref().and_then(|p| p.edge_index(kind));
+        let Some(eidx) = eidx else {
+            self.noncut_cross += 1;
+            return;
+        };
+        let lookahead = self.plan.as_ref().unwrap().cut_edges[eidx].lookahead_us;
+        let slack = delay_us as i64 - lookahead as i64;
+        let e = &mut self.edges[eidx];
+        e.messages += 1;
+        e.bytes += bytes as u64;
+        fold_min_slack(&mut e.min_slack_us, slack);
+        if slack < 0 {
+            e.negative_slack += 1;
+        }
+        if let Some(last) = e.last_us {
+            e.gap_hist[gap_bucket(now_us.saturating_sub(last))] += 1;
+        }
+        e.last_us = Some(now_us);
+        let p = self.pairs.entry((a, b)).or_default();
+        p.messages += 1;
+        p.bytes += bytes as u64;
+        fold_min_slack(&mut p.min_slack_us, slack);
+    }
+
+    /// Record a logical cut-edge occurrence: an RPC method (request,
+    /// reply, or push) encoded into a stream payload. These never cross
+    /// components at the kernel — the carrying `net.frame`s do — so
+    /// they are counted at their encode sites with wire bytes but no
+    /// physical slack sample.
+    pub(crate) fn record_logical(&mut self, method: &str, now_us: u64, bytes: usize) {
+        let Some(eidx) = self.plan.as_ref().and_then(|p| p.edge_index(method)) else {
+            return;
+        };
+        let e = &mut self.edges[eidx];
+        e.messages += 1;
+        e.bytes += bytes as u64;
+        if let Some(last) = e.last_us {
+            e.gap_hist[gap_bucket(now_us.saturating_sub(last))] += 1;
+        }
+        e.last_us = Some(now_us);
+    }
+
+    fn label(&self, inst: u16) -> String {
+        let c = &self.instances[inst as usize];
+        let name = self
+            .plan
+            .as_ref()
+            .map(|p| p.components[c.comp].name.as_str())
+            .unwrap_or("?");
+        format!("{name}[{}]", c.instance)
+    }
+
+    /// Assemble the snapshot; `names` maps actor index → name for the
+    /// assignment table. Deterministic for a given `(scenario, seed)`.
+    pub(crate) fn snapshot(&self, names: &[&str]) -> ShardSnapshot {
+        let plan = self.plan.as_ref();
+        // Fold the pending window without mutating (snapshot is `&self`).
+        let mut busy: Vec<u64> = self.instances.iter().map(|c| c.busy_windows).collect();
+        let mut occupied = self.occupied_windows;
+        let mut serial = self.serial_units;
+        let mut parallel = self.parallel_units;
+        if self.cur_window.is_some() {
+            let mut sum = 0u64;
+            let mut mx = 0u64;
+            for (i, c) in self.win_counts.iter().enumerate() {
+                if *c > 0 {
+                    sum += *c;
+                    mx = mx.max(*c);
+                    busy[i] += 1;
+                }
+            }
+            if sum > 0 {
+                occupied += 1;
+                serial += sum;
+                parallel += mx;
+            }
+        }
+
+        let mut components = Vec::with_capacity(self.instances.len());
+        let mut max_comp_dispatches = 0u64;
+        let mut active = 0u64;
+        for (&(comp, instance), &i) in &self.inst_lookup {
+            let c = &self.instances[i as usize];
+            max_comp_dispatches = max_comp_dispatches.max(c.dispatches);
+            if c.dispatches > 0 {
+                active += 1;
+            }
+            components.push(ShardComponentRow {
+                component: plan
+                    .map(|p| p.components[comp].name.clone())
+                    .unwrap_or_default(),
+                label: self.label(i),
+                actors: c.actors,
+                hub_actors: c.hub_actors,
+                dispatches: c.dispatches,
+                vcpu_s: c.vcpu_us as f64 / 1e6,
+                busy_windows: busy[i as usize],
+                blocked_windows: occupied - busy[i as usize],
+                busy_fraction: if occupied > 0 {
+                    busy[i as usize] as f64 / occupied as f64
+                } else {
+                    0.0
+                },
+            });
+            let _ = instance;
+        }
+
+        let edges = plan
+            .map(|p| {
+                p.cut_edges
+                    .iter()
+                    .zip(&self.edges)
+                    .map(|(spec, cell)| {
+                        let mut gap_hist: Vec<u64> = cell.gap_hist.to_vec();
+                        while gap_hist.last() == Some(&0) {
+                            gap_hist.pop();
+                        }
+                        ShardEdgeRow {
+                            kind: spec.kind.clone(),
+                            from: spec.from.clone(),
+                            to: spec.to.clone(),
+                            lookahead_us: spec.lookahead_us,
+                            messages: cell.messages,
+                            bytes: cell.bytes,
+                            min_slack_us: cell.min_slack_us,
+                            negative_slack: cell.negative_slack,
+                            gap_hist,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let crossings = self
+            .pairs
+            .iter()
+            .map(|(&(a, b), p)| ShardCrossingRow {
+                from: self.label(a),
+                to: self.label(b),
+                messages: p.messages,
+                bytes: p.bytes,
+                min_slack_us: p.min_slack_us,
+            })
+            .collect();
+
+        let total = self.dispatches_attributed + self.dispatches_unattributed;
+        let mut assignments: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for (idx, inst) in self.assign.iter().enumerate() {
+            let Some(i) = inst else { continue };
+            let name = names.get(idx).copied().unwrap_or("?").to_string();
+            *assignments.entry((name, self.label(*i))).or_default() += 1;
+        }
+
+        ShardSnapshot {
+            enabled: self.enabled,
+            plan_schema_version: plan.map(|p| p.schema_version).unwrap_or(0),
+            components,
+            edges,
+            crossings,
+            window_model: WindowModel {
+                window_us: self.window_us(),
+                occupied_windows: occupied,
+                span_windows: self
+                    .first_window
+                    .map(|f| self.last_window - f + 1)
+                    .unwrap_or(0),
+                serial_units: serial,
+                parallel_units: parallel,
+                predicted_speedup: if parallel > 0 {
+                    serial as f64 / parallel as f64
+                } else {
+                    0.0
+                },
+                critical_bound: if max_comp_dispatches > 0 {
+                    self.dispatches_attributed as f64 / max_comp_dispatches as f64
+                } else {
+                    0.0
+                },
+                ideal_speedup: active as f64,
+            },
+            attribution: ShardAttribution {
+                dispatches_attributed: self.dispatches_attributed,
+                dispatches_unattributed: self.dispatches_unattributed,
+                fraction: if total > 0 {
+                    self.dispatches_attributed as f64 / total as f64
+                } else {
+                    0.0
+                },
+                vcpu_unattributed_s: self.vcpu_unattributed_us as f64 / 1e6,
+                noncut_cross_messages: self.noncut_cross,
+            },
+            assignments: assignments
+                .into_iter()
+                .map(|((actor, label), count)| ShardAssignmentRow {
+                    actor,
+                    label,
+                    count,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Load attribution for one component instance.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardComponentRow {
+    /// Plan component name (`agw`).
+    pub component: String,
+    /// Instance label (`agw[0]`).
+    pub label: String,
+    /// Actors assigned (replicated-hub actors counted separately).
+    pub actors: u64,
+    pub hub_actors: u64,
+    pub dispatches: u64,
+    pub vcpu_s: f64,
+    /// Conservative windows in which this instance had ≥1 dispatch.
+    pub busy_windows: u64,
+    /// Occupied windows in which this instance had none — windows it
+    /// would have sat blocked on the barrier.
+    pub blocked_windows: u64,
+    pub busy_fraction: f64,
+}
+
+/// Telemetry for one declared cut edge.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardEdgeRow {
+    pub kind: String,
+    pub from: String,
+    pub to: String,
+    pub lookahead_us: u64,
+    pub messages: u64,
+    pub bytes: u64,
+    /// Minimum observed slack (send-to-deliver gap − lookahead bound);
+    /// `None` for edges with no physically-crossing sample (logical RPC
+    /// edges ride `net.frame`).
+    pub min_slack_us: Option<i64>,
+    /// Samples with negative slack: messages a conservative window
+    /// scheduler could not have delivered in time.
+    pub negative_slack: u64,
+    /// log2-µs inter-send gap histogram, trailing zeros trimmed.
+    pub gap_hist: Vec<u64>,
+}
+
+/// Physical message traffic between two component instances.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardCrossingRow {
+    pub from: String,
+    pub to: String,
+    pub messages: u64,
+    pub bytes: u64,
+    pub min_slack_us: Option<i64>,
+}
+
+/// The idealized conservative-time-window replay of the run.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct WindowModel {
+    pub window_us: u64,
+    /// Windows with at least one dispatch.
+    pub occupied_windows: u64,
+    /// Windows spanned from first to last dispatch.
+    pub span_windows: u64,
+    /// Total dispatch work units (1 per dispatch), the serial cost.
+    pub serial_units: u64,
+    /// Sum over windows of the busiest instance's units — the wall
+    /// cost if every window ran its components in parallel.
+    pub parallel_units: u64,
+    /// `serial_units / parallel_units`: the speedup an idealized
+    /// conservative-window engine would get from this partition.
+    pub predicted_speedup: f64,
+    /// Whole-run critical-component bound: total dispatches over the
+    /// busiest instance's dispatches (ignores window synchronization).
+    pub critical_bound: f64,
+    /// Active instance count — the ideal N-way-split speedup.
+    pub ideal_speedup: f64,
+}
+
+/// How complete the actor→component mapping was.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardAttribution {
+    pub dispatches_attributed: u64,
+    pub dispatches_unattributed: u64,
+    /// Attributed fraction; 0.0 for an empty run (never NaN).
+    pub fraction: f64,
+    pub vcpu_unattributed_s: f64,
+    /// Cross-instance kernel sends not matching any declared cut edge.
+    pub noncut_cross_messages: u64,
+}
+
+/// One (actor name, component label) assignment, with the number of
+/// actor slots it covers.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardAssignmentRow {
+    pub actor: String,
+    pub label: String,
+    pub count: u64,
+}
+
+/// Everything shardscope measured, resolved to names and serializable.
+/// Byte-deterministic for a given `(scenario, seed)`: virtual-time
+/// quantities only, every collection ordered.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ShardSnapshot {
+    pub enabled: bool,
+    pub plan_schema_version: u64,
+    pub components: Vec<ShardComponentRow>,
+    pub edges: Vec<ShardEdgeRow>,
+    pub crossings: Vec<ShardCrossingRow>,
+    pub window_model: WindowModel,
+    pub attribution: ShardAttribution,
+    pub assignments: Vec<ShardAssignmentRow>,
+}
+
+impl ShardSnapshot {
+    /// Register the shardscope aggregates as `sim.shard.*` rows (see
+    /// the `docs/OBSERVABILITY.md` inventory). Call once per registry,
+    /// the same contract as `ProfileSnapshot::observe_into`.
+    pub fn observe_into(&self, reg: &mut Registry) {
+        reg.counter_add(
+            "sim.shard.dispatch_attributed_total",
+            self.attribution.dispatches_attributed as f64,
+        );
+        reg.counter_add(
+            "sim.shard.dispatch_unattributed_total",
+            self.attribution.dispatches_unattributed as f64,
+        );
+        reg.counter_add(
+            "sim.shard.noncut_cross_total",
+            self.attribution.noncut_cross_messages as f64,
+        );
+        let msgs: u64 = self.edges.iter().map(|e| e.messages).sum();
+        let bytes: u64 = self.edges.iter().map(|e| e.bytes).sum();
+        reg.counter_add("sim.shard.cut_messages_total", msgs as f64);
+        reg.counter_add("sim.shard.cut_bytes_total", bytes as f64);
+        reg.gauge_set("sim.shard.window_us", self.window_model.window_us as f64);
+        reg.gauge_set(
+            "sim.shard.predicted_speedup",
+            self.window_model.predicted_speedup,
+        );
+        reg.gauge_set(
+            "sim.shard.critical_bound",
+            self.window_model.critical_bound,
+        );
+        for c in &self.components {
+            let seg = metric_seg(&c.label);
+            reg.counter_add(&format!("sim.shard.{seg}.dispatches"), c.dispatches as f64);
+            reg.gauge_set(&format!("sim.shard.{seg}.busy_fraction"), c.busy_fraction);
+            reg.gauge_set(&format!("sim.shard.{seg}.vcpu_s"), c.vcpu_s);
+        }
+        for e in &self.edges {
+            let seg = metric_seg(&e.kind);
+            reg.counter_add(&format!("sim.shard.edge.{seg}.messages"), e.messages as f64);
+            reg.counter_add(&format!("sim.shard.edge.{seg}.bytes"), e.bytes as f64);
+            if let Some(s) = e.min_slack_us {
+                reg.gauge_set(&format!("sim.shard.edge.{seg}.min_slack_us"), s as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> ShardScope {
+        let mut s = ShardScope::default();
+        s.set_enabled(true);
+        s
+    }
+
+    #[test]
+    fn builtin_plan_parses_and_resolves_members() {
+        let plan = ShardPlan::builtin();
+        assert_eq!(plan.schema_version, 1);
+        assert_eq!(plan.window_us, 10, "min cut-edge lookahead is loopback");
+        assert_eq!(plan.components.len(), 4);
+        let agw = plan.resolve_member("agw").unwrap();
+        assert_eq!(plan.resolve_member("ran.enb"), Some(agw));
+        assert_eq!(plan.resolve_member("agw.metricsd"), Some(agw));
+        // Dotted-ancestor walk covers members below a declared prefix.
+        assert_eq!(plan.resolve_member("agw.epc_baseline.mme"), Some(agw));
+        let feg = plan.resolve_member("feg").unwrap();
+        assert_eq!(plan.resolve_member("feg.mno"), Some(plan.resolve_member("feg.mno").unwrap()));
+        assert_ne!(plan.resolve_member("feg.mno"), Some(feg));
+        assert_eq!(plan.resolve_member("nonexistent"), None);
+        assert!(plan.is_replicated("net.stack"));
+        assert!(plan.edge_index("net.frame").is_some());
+        assert!(plan.edge_index("orc8r.Checkin").is_some());
+        assert!(plan.edge_index("agw.s1ap_dl").is_none(), "intra edges are not cut edges");
+    }
+
+    #[test]
+    fn replicated_hub_needs_hub_assignment() {
+        let mut s = scope();
+        assert!(s.assign(ActorId(0), "net.stack", 0).is_err());
+        assert!(s.assign_hub(ActorId(0), "net.stack", "agw", 0).is_ok());
+        assert!(s.assign_hub(ActorId(1), "agw", "agw", 0).is_err());
+        assert!(s.assign(ActorId(2), "bogus.member", 0).is_err());
+    }
+
+    #[test]
+    fn window_model_predicts_speedup_from_overlap() {
+        let mut s = scope();
+        s.assign(ActorId(0), "agw", 0).unwrap();
+        s.assign(ActorId(1), "orc8r", 0).unwrap();
+        // Window = 10µs. Two windows where both components are busy,
+        // one window where only agw runs.
+        for (actor, t) in [(0, 0), (1, 2), (0, 11), (1, 13), (0, 25)] {
+            s.dispatch_begin(actor, t);
+            s.dispatch_end();
+        }
+        let snap = s.snapshot(&["agw0", "orc8r"]);
+        let wm = &snap.window_model;
+        assert_eq!(wm.occupied_windows, 3);
+        assert_eq!(wm.serial_units, 5);
+        assert_eq!(wm.parallel_units, 3, "1+1+1 per-window maxima");
+        assert!((wm.predicted_speedup - 5.0 / 3.0).abs() < 1e-12);
+        assert!((wm.critical_bound - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(wm.ideal_speedup, 2.0);
+        let agw = snap.components.iter().find(|c| c.label == "agw[0]").unwrap();
+        assert_eq!(agw.busy_windows, 3);
+        assert_eq!(agw.blocked_windows, 0);
+        let orc = snap.components.iter().find(|c| c.label == "orc8r[0]").unwrap();
+        assert_eq!(orc.busy_windows, 2);
+        assert_eq!(orc.blocked_windows, 1);
+        assert!((snap.attribution.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_edge_slack_and_gaps_are_recorded() {
+        let mut s = scope();
+        s.assign_hub(ActorId(0), "net.stack", "agw", 0).unwrap();
+        s.assign_hub(ActorId(1), "net.stack", "orc8r", 0).unwrap();
+        // Two crossings on net.frame (lookahead 10): ample then negative
+        // slack, 100µs apart.
+        s.record_send(ActorId(0), ActorId(1), "net.frame", 1000, 2000, 512);
+        s.record_send(ActorId(0), ActorId(1), "net.frame", 1100, 5, 256);
+        // Same-instance send: never a crossing.
+        s.record_send(ActorId(0), ActorId(0), "net.frame", 1200, 10, 64);
+        // Cross-instance send off the cut set.
+        s.record_send(ActorId(1), ActorId(0), "mystery.kind", 1300, 10, 8);
+        let snap = s.snapshot(&[]);
+        let e = snap.edges.iter().find(|e| e.kind == "net.frame").unwrap();
+        assert_eq!(e.messages, 2);
+        assert_eq!(e.bytes, 768);
+        assert_eq!(e.min_slack_us, Some(-5));
+        assert_eq!(e.negative_slack, 1);
+        assert_eq!(e.gap_hist.iter().sum::<u64>(), 1, "one inter-send gap");
+        assert_eq!(e.gap_hist[gap_bucket(100)], 1);
+        assert_eq!(snap.attribution.noncut_cross_messages, 1);
+        assert_eq!(snap.crossings.len(), 1);
+        assert_eq!(snap.crossings[0].from, "agw[0]");
+        assert_eq!(snap.crossings[0].to, "orc8r[0]");
+        assert_eq!(snap.crossings[0].min_slack_us, Some(-5));
+    }
+
+    #[test]
+    fn logical_edges_count_without_slack() {
+        let mut s = scope();
+        s.record_logical("orc8r.Checkin", 500, 128);
+        s.record_logical("orc8r.Checkin", 600, 128);
+        s.record_logical("not.an.edge", 700, 9);
+        let snap = s.snapshot(&[]);
+        let e = snap.edges.iter().find(|e| e.kind == "orc8r.Checkin").unwrap();
+        assert_eq!(e.messages, 2);
+        assert_eq!(e.bytes, 256);
+        assert_eq!(e.min_slack_us, None);
+        assert_eq!(e.gap_hist[gap_bucket(100)], 1);
+    }
+
+    #[test]
+    fn vcpu_charges_to_current_dispatch_instance() {
+        let mut s = scope();
+        s.assign(ActorId(0), "agw", 3).unwrap();
+        s.dispatch_begin(0, 0);
+        s.charge_vcpu(SimDuration::from_millis(2));
+        s.dispatch_end();
+        s.charge_vcpu(SimDuration::from_millis(1));
+        let snap = s.snapshot(&["agw3"]);
+        let c = snap.components.iter().find(|c| c.label == "agw[3]").unwrap();
+        assert!((c.vcpu_s - 0.002).abs() < 1e-12);
+        assert!((snap.attribution.vcpu_unattributed_s - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_reports_zero_not_nan() {
+        let s = scope();
+        let snap = s.snapshot(&[]);
+        assert_eq!(snap.attribution.fraction, 0.0);
+        assert_eq!(snap.window_model.predicted_speedup, 0.0);
+        assert_eq!(snap.window_model.critical_bound, 0.0);
+        assert!(!snap.attribution.fraction.is_nan());
+    }
+
+    #[test]
+    fn observe_into_emits_inventory_rows() {
+        let mut s = scope();
+        s.assign(ActorId(0), "agw", 0).unwrap();
+        s.assign_hub(ActorId(1), "net.stack", "orc8r", 0).unwrap();
+        s.dispatch_begin(0, 0);
+        s.dispatch_end();
+        s.record_send(ActorId(0), ActorId(1), "net.frame", 10, 2000, 100);
+        s.record_logical("metricsd.Push", 20, 64);
+        let snap = s.snapshot(&["agw0", "netstack"]);
+        let mut reg = Registry::new();
+        snap.observe_into(&mut reg);
+        assert_eq!(reg.counter("sim.shard.dispatch_attributed_total"), 1.0);
+        assert_eq!(reg.counter("sim.shard.cut_messages_total"), 2.0);
+        assert_eq!(reg.counter("sim.shard.agw_0.dispatches"), 1.0);
+        assert_eq!(reg.counter("sim.shard.edge.net_frame.messages"), 1.0);
+        assert_eq!(reg.counter("sim.shard.edge.metricsd_push.messages"), 1.0);
+        assert_eq!(
+            reg.gauge("sim.shard.edge.net_frame.min_slack_us"),
+            Some(1990.0)
+        );
+        assert_eq!(reg.gauge("sim.shard.window_us"), Some(10.0));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let run = || {
+            let mut s = scope();
+            s.assign(ActorId(0), "agw", 0).unwrap();
+            s.assign(ActorId(1), "orc8r", 0).unwrap();
+            for i in 0..200u64 {
+                s.dispatch_begin((i % 2) as usize, i * 3);
+                if i % 5 == 0 {
+                    s.charge_vcpu(SimDuration::from_micros(40));
+                }
+                s.dispatch_end();
+                if i % 7 == 0 {
+                    s.record_send(ActorId(0), ActorId(1), "net.frame", i * 3, 2000, 80);
+                }
+            }
+            serde_json::to_string(&s.snapshot(&["a", "b"])).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

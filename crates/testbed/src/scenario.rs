@@ -195,6 +195,11 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     // trees so experiments can export Perfetto timelines and the
     // critical-path report (see docs/OBSERVABILITY.md § Tracing).
     world.enable_tracing(true);
+    // And shardscope: every actor below is assigned to its shard-plan
+    // component instance, so experiments can export per-component load,
+    // cut-edge slack, and the predicted conservative-window speedup
+    // (see docs/PROFILING.md § Shardscope).
+    world.enable_shardscope(true);
     // One topology domain per shard component: the orchestration core
     // plus one per gateway site (shard components per docs/SHARD_PLAN.md).
     // Node addresses are fabric-global, so the partition is invisible to
@@ -213,11 +218,13 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         net.handle_of(orc8r_node),
     )));
     net.bind_stack(orc8r_node, orc8r_stack);
+    world.shard_assign_hub(orc8r_stack, "net.stack", "orc8r", 0);
     let orc8r_actor = world.add_actor(Box::new(Orc8rActor::new(
         orc8r.clone(),
         orc8r_stack,
         ports::ORC8R,
     )));
+    world.shard_assign(orc8r_actor, "orc8r", 0);
 
     // Define policies before computing the snapshot.
     for p in &cfg.policies {
@@ -259,6 +266,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         net.connect(node, orc8r_node, spec.backhaul);
         let stack = world.add_actor(Box::new(NetStack::new(node, net.handle_of(node))));
         net.bind_stack(node, stack);
+        world.shard_assign_hub(stack, "net.stack", "agw", a as u32);
 
         let mut agw_cfg = AgwConfig::new(&id, host, stack)
             .with_orc8r(Endpoint::new(orc8r_node, ports::ORC8R))
@@ -277,6 +285,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         };
         actor.set_up_cores(up_cores);
         let agw_actor = world.add_actor(Box::new(actor));
+        world.shard_assign(agw_actor, "agw", a as u32);
 
         // Telemetry daemon: samples the gateway's registry namespace and
         // pushes it to the orchestrator over the same backhaul (its own
@@ -284,6 +293,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         let mut md_cfg = MetricsdConfig::for_agw(&agw_cfg);
         md_cfg.interval = cfg.metrics_interval;
         let metricsd = world.add_actor(Box::new(MetricsdActor::new(md_cfg)));
+        world.shard_assign(metricsd, "agw.metricsd", a as u32);
 
         // Per-eNB attach rate splits the site's aggregate rate.
         let per_enb_rate = spec.site.attach_rate_per_sec / spec.site.enbs.max(1) as f64;
@@ -296,6 +306,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
                 net.handle_of(enb_node),
             )));
             net.bind_stack(enb_node, enb_stack);
+            world.shard_assign_hub(enb_stack, "net.stack", "agw", a as u32);
             let ues: Vec<UeSim> = ue_fleet(
                 SIM_SEED,
                 msin_for(a, e, 0),
@@ -315,6 +326,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
             enb_cfg.session_lifetime_s = spec.site.session_lifetime_s;
             enb_cfg.metrics_prefix = "ran".to_string();
             let enb = world.add_actor(Box::new(EnodebActor::new(enb_cfg, ues)));
+            world.shard_assign(enb, "ran.enb", a as u32);
             enbs.push(enb);
         }
 

@@ -81,6 +81,26 @@ else
     cp "$BENCH_OUT/TRACE_attach_storm.json" "$TRACE_GOLDEN"
     echo "installed new trace golden at $TRACE_GOLDEN"
 fi
+echo "==> attach-storm shard report golden diff"
+# Shardscope renders per-component load, cut-edge slack, and the
+# predicted conservative-window speedup for the fixed bench seed into
+# docs/SHARD_REPORT.md (see docs/PROFILING.md § Shardscope). The report
+# is a pure function of (scenario, seed), so drift means the workload,
+# the shard plan, or the window model changed. After an intentional
+# change, re-baseline with MAGMA_SHARDSCOPE_ACCEPT=1 and commit the
+# regenerated file.
+SHARD_REPORT="docs/SHARD_REPORT.md"
+cargo run --release -p magma-bench -- --shard-report "$BENCH_OUT/SHARD_REPORT.md" --out "$BENCH_OUT"
+if [[ "${MAGMA_SHARDSCOPE_ACCEPT:-0}" == "1" || ! -f "$SHARD_REPORT" ]]; then
+    cp "$BENCH_OUT/SHARD_REPORT.md" "$SHARD_REPORT"
+    echo "installed shard report at $SHARD_REPORT (commit it)"
+else
+    diff -u "$SHARD_REPORT" "$BENCH_OUT/SHARD_REPORT.md" || {
+        echo "shard report drifted from $SHARD_REPORT (MAGMA_SHARDSCOPE_ACCEPT=1 re-baselines)" >&2
+        exit 1
+    }
+    echo "shard report matches golden"
+fi
 rm -rf "$BENCH_OUT"
 
 # Replay the lint summary last so the allow/violation counts are the
