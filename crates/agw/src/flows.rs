@@ -168,8 +168,10 @@ pub const METRICSD_RPC_TICK: FlowKind = FlowKind {
 flow_dispatch! {
     /// The AGW's full ingress surface. Same-timestamp events commute:
     /// attach/NAS state is per-UE (keyed by enb_ue_id / IMSI), RADIUS
-    /// state is per-station, RPC client state is per-call-id, and fluid
-    /// demand aggregation folds commutatively over reporters.
+    /// state is per-station, RPC client state is per-(sender connection,
+    /// call-id) — replies from orc8r and the FeG land on disjoint
+    /// connections — and fluid demand aggregation folds commutatively
+    /// over reporters.
     pub const AGW_DISPATCH: actor = "agw",
     state = "AgwActor",
     accepts = [
@@ -183,7 +185,7 @@ flow_dispatch! {
         magma_orc8r::proto::flows::FEG_REPLY,
         AGW_RPC_TICK,
     ],
-    tie_break = Some("UE slot (enb_ue_id/IMSI), RADIUS station, or RPC call id — per-key state is disjoint"),
+    tie_break = Some("UE slot (enb_ue_id/IMSI), RADIUS station, or sender connection + RPC call id — per-key state is disjoint"),
 }
 
 flow_dispatch! {

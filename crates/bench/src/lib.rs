@@ -18,12 +18,13 @@
 
 use magma_ran::{SectorModel, TrafficModel};
 use magma_sim::{
-    HostProfile, HostStopwatch, ProcSummary, ProfileSnapshot, ShardSnapshot, SimDuration,
-    SimTime, TraceSnapshot, TraceStats, VirtualProfile,
+    HostProfile, HostStopwatch, ProcSummary, ProfileSnapshot, RaceExport, RunSpec,
+    ShardSnapshot, SimDuration, SimTime, TraceSnapshot, TraceStats, VirtualProfile, World,
 };
 use magma_testbed::measure::{mean_over, overall_csr, throughput_mbps};
 use magma_testbed::scenario::{build, AgwSpec, Scenario, ScenarioConfig, SiteSpec};
 use serde::Serialize;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Bumped whenever the report layout changes; consumers (CI gate, smoke
@@ -160,6 +161,64 @@ pub fn run_scenario(name: &str, seed: u64) -> Option<BenchRun> {
     }
 }
 
+thread_local! {
+    /// Racecheck plumbing for [`run_scenario_racecheck`]: while armed,
+    /// every world a scenario builds runs under the race observer (and
+    /// the permuted window schedule when the spec asks for one), and
+    /// each world's digest export is collected here in build order.
+    static RACECHECK: RefCell<Option<RacecheckState>> = const { RefCell::new(None) };
+}
+
+struct RacecheckState {
+    spec: RunSpec,
+    exports: Vec<RaceExport>,
+}
+
+/// Enable the race observer on a freshly built world if a racecheck run
+/// is armed. Called right after `build` so the observer sees every
+/// dispatch from `Start` onward.
+fn rc_arm(world: &mut World) {
+    RACECHECK.with(|rc| {
+        if let Some(st) = rc.borrow().as_ref() {
+            world.enable_racecheck(st.spec.schedule);
+            world.set_race_detail_window(st.spec.detail_window);
+        }
+    });
+}
+
+/// Collect a finished world's digest export if a racecheck run is armed.
+fn rc_collect(world: &mut World) {
+    RACECHECK.with(|rc| {
+        if let Some(st) = rc.borrow_mut().as_mut() {
+            st.exports.push(world.race_export());
+        }
+    });
+}
+
+/// Run a scenario under the race observer: the returned exports hold one
+/// digest stream per world the scenario built (sweeps build several), in
+/// deterministic build order. `spec.schedule = None` records the
+/// canonical `(time, seq)` order; `Some(seed)` executes the permuted
+/// window schedule. See `magma-bench --racecheck` and docs/DETERMINISM.md
+/// § "Logical races and the window schedule".
+pub fn run_scenario_racecheck(
+    name: &str,
+    seed: u64,
+    spec: RunSpec,
+) -> Option<(BenchRun, Vec<RaceExport>)> {
+    RACECHECK.with(|rc| {
+        *rc.borrow_mut() = Some(RacecheckState {
+            spec,
+            exports: Vec::new(),
+        })
+    });
+    let run = run_scenario(name, seed);
+    let st = RACECHECK
+        .with(|rc| rc.borrow_mut().take())
+        .expect("racecheck state armed for the whole scenario run");
+    run.map(|r| (r, st.exports))
+}
+
 /// Accumulates phase timings and world totals across a scenario's runs
 /// (sweeps run several worlds; the report merges them).
 struct RunAccum {
@@ -198,10 +257,12 @@ impl RunAccum {
 fn timed_run(acc: &mut RunAccum, label: &str, cfg: ScenarioConfig, until: SimTime) -> Scenario {
     let sw = HostStopwatch::start();
     let mut sc = build(cfg);
+    rc_arm(&mut sc.world);
     acc.phase(&format!("{label}.build"), sw.elapsed_s());
     let sw = HostStopwatch::start();
     sc.world.run_until(until);
     acc.phase(&format!("{label}.run"), sw.elapsed_s());
+    rc_collect(&mut sc.world);
     acc.events += sc.world.events_processed();
     sc
 }
@@ -289,6 +350,24 @@ pub fn smoke(seed: u64) -> BenchRun {
     let sim_s = 30.0;
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(storm_site(2.0, 30)));
     let sc = timed_run(&mut acc, "smoke", cfg, SimTime::from_secs(sim_s as u64));
+    finish_smoke(seed, acc, sim_s, sc)
+}
+
+/// Smoke variant with a custom AGW↔orc8r backhaul profile. Exists for
+/// the slack regression test: shrinking the backhaul latency below a
+/// cut edge's declared lookahead must drive `min_slack_us` negative and
+/// fail [`validate`].
+pub fn smoke_with_backhaul(seed: u64, backhaul: magma_net::LinkProfile) -> BenchRun {
+    let mut acc = RunAccum::new();
+    let sim_s = 30.0;
+    let mut agw = AgwSpec::bare_metal(storm_site(2.0, 30));
+    agw.backhaul = backhaul;
+    let cfg = ScenarioConfig::new(seed).with_agw(agw);
+    let sc = timed_run(&mut acc, "smoke", cfg, SimTime::from_secs(sim_s as u64));
+    finish_smoke(seed, acc, sim_s, sc)
+}
+
+fn finish_smoke(seed: u64, mut acc: RunAccum, sim_s: f64, sc: Scenario) -> BenchRun {
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
     acc.shard = Some(sc.world.shard_snapshot());
@@ -416,6 +495,7 @@ pub fn partition_recovery(seed: u64) -> BenchRun {
     let cfg = ScenarioConfig::new(seed).with_agw(AgwSpec::bare_metal(site));
     let sw = HostStopwatch::start();
     let mut sc = build(cfg);
+    rc_arm(&mut sc.world);
     acc.phase("partition.build", sw.elapsed_s());
     let agw_node = sc.agws[0].node;
     let orc8r_node = sc.orc8r_node;
@@ -426,6 +506,7 @@ pub fn partition_recovery(seed: u64) -> BenchRun {
     sc.net.set_link_up(agw_node, orc8r_node, true);
     sc.world.run_until(SimTime::from_secs(sim_s as u64));
     acc.phase("partition.run", sw.elapsed_s());
+    rc_collect(&mut sc.world);
     acc.events += sc.world.events_processed();
     acc.profile = Some(sc.world.profile());
     acc.trace = Some(sc.world.trace_snapshot());
@@ -443,6 +524,74 @@ pub fn partition_recovery(seed: u64) -> BenchRun {
         sc.world.registry().counter("agw0.metricsd.snapshots"),
     );
     finish("partition_recovery", seed, acc, sim_s, csr, p99, extra)
+}
+
+/// Structural checks every report must pass: schema version, virtual/host
+/// segregation (no host-only key may appear in the virtual section), a
+/// profile that actually attributed work, and shard-plan soundness — in
+/// particular no physical cut edge may observe negative slack, because a
+/// message arriving before its declared lookahead is exactly the delivery
+/// a conservative window scheduler (and racecheck's permuted schedules)
+/// cannot reproduce.
+pub fn validate(report: &BenchReport) -> Result<(), String> {
+    if report.schema != BENCH_SCHEMA_VERSION {
+        return Err(format!("schema {} != expected", report.schema));
+    }
+    let virt =
+        serde_json::to_string(&report.virt).map_err(|e| format!("serialize virtual: {e}"))?;
+    for host_key in ["wall_s", "events_per_sec", "peak_rss_bytes", "host_ns"] {
+        if virt.contains(host_key) {
+            return Err(format!("virtual section leaked host field `{host_key}`"));
+        }
+    }
+    if report.virt.events_simulated == 0 {
+        return Err("no events simulated".into());
+    }
+    if !report.virt.profile.enabled {
+        return Err("profile was not enabled".into());
+    }
+    if report.virt.profile.rows.is_empty() {
+        return Err("profile attributed no rows".into());
+    }
+    let frac = report.virt.profile.attribution_fraction();
+    if frac < 0.90 {
+        return Err(format!(
+            "only {:.1}% of vCPU-seconds attributed to named rows",
+            frac * 100.0
+        ));
+    }
+    // Shardscope: testbed scenarios assign every actor at build time, so
+    // attribution must be exactly total, and every cross-component send
+    // must ride a declared cut edge of the shard plan.
+    let shard = &report.virt.shard;
+    if !shard.enabled {
+        return Err("shardscope was not enabled".into());
+    }
+    if shard.attribution.dispatches_unattributed != 0 {
+        return Err(format!(
+            "{} dispatches escaped shard-component attribution",
+            shard.attribution.dispatches_unattributed
+        ));
+    }
+    if shard.attribution.noncut_cross_messages != 0 {
+        return Err(format!(
+            "{} cross-component sends off the shard plan's cut set",
+            shard.attribution.noncut_cross_messages
+        ));
+    }
+    for e in &shard.edges {
+        if let Some(s) = e.min_slack_us {
+            if s < 0 {
+                return Err(format!(
+                    "cut edge `{}` ({} → {}) observed min slack {s}µs < 0 \
+                     ({} late messages): deliveries beat the declared {}µs \
+                     lookahead, so the conservative window schedule is unsound",
+                    e.kind, e.from, e.to, e.negative_slack, e.lookahead_us
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// simprof- and magma-trace-disabled overhead measurement (the library

@@ -18,6 +18,12 @@
 //!                               the shardscope markdown report to P
 //!                               (docs/SHARD_REPORT.md; golden-diffed by
 //!                               scripts/check.sh)
+//! magma-bench --racecheck K     run attach_storm + scaling_ablation (or the
+//!                               one named with --scenario) under K permuted
+//!                               window schedules; the virtual section and
+//!                               per-window digests must match the canonical
+//!                               order byte for byte. Writes RACE_<name>.json;
+//!                               on divergence prints the bisected race report
 //! ```
 //!
 //! Exit status is non-zero on any validation/gate failure, so the CI job
@@ -25,9 +31,10 @@
 //! docs/PROFILING.md for the report format and the determinism contract.
 
 use magma_bench::{
-    overhead_measurement, run_scenario, BenchReport, BenchRun, BENCH_SEED, SCENARIOS,
-    SCENARIO_DESCRIPTIONS,
+    overhead_measurement, run_scenario, run_scenario_racecheck, validate, BenchReport, BenchRun,
+    BENCH_SEED, SCENARIOS, SCENARIO_DESCRIPTIONS,
 };
+use magma_sim::{RaceReport, RunSpec};
 use magma_testbed::{perfetto_string_sharded, render_critical_path, render_shard_table, shard_report_md};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +52,7 @@ struct Args {
     list: bool,
     out: PathBuf,
     shard_report: Option<PathBuf>,
+    racecheck: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         out: PathBuf::from("."),
         shard_report: None,
+        racecheck: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -71,6 +80,16 @@ fn parse_args() -> Result<Args, String> {
             "--shard-report" => {
                 args.shard_report =
                     Some(PathBuf::from(it.next().ok_or("--shard-report needs a path")?));
+            }
+            "--racecheck" => {
+                let k = it.next().ok_or("--racecheck needs a schedule count")?;
+                let k: u64 = k
+                    .parse()
+                    .map_err(|_| format!("--racecheck: not a count: {k}"))?;
+                if k == 0 {
+                    return Err("--racecheck needs at least one schedule".into());
+                }
+                args.racecheck = Some(k);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -120,53 +139,162 @@ fn run_and_write(name: &str, out: &Path) -> Result<BenchReport, String> {
     Ok(run.report)
 }
 
-/// Structural checks every report must pass: schema version, virtual/host
-/// segregation (no host-only key may appear in the virtual section), and
-/// a profile that actually attributed work.
-fn validate(report: &BenchReport) -> Result<(), String> {
-    if report.schema != magma_bench::BENCH_SCHEMA_VERSION {
-        return Err(format!("schema {} != expected", report.schema));
+/// Racecheck schedule seeds are small integers (`1..=K`): the report
+/// names the seed, and a human re-running `--racecheck` gets the same
+/// window permutations back.
+fn racecheck_seeds(k: u64) -> impl Iterator<Item = u64> {
+    1..=k
+}
+
+/// One permuted schedule's outcome within `RACE_<scenario>.json`.
+#[derive(serde::Serialize)]
+struct RaceScheduleResult {
+    schedule_seed: u64,
+    /// Whether the virtual BENCH section was byte-identical to the
+    /// canonical-order run.
+    virt_identical: bool,
+    report: RaceReport,
+}
+
+/// The `RACE_<scenario>.json` envelope.
+#[derive(serde::Serialize)]
+struct RaceFile {
+    scenario: String,
+    seed: u64,
+    window_us: u64,
+    schedules: u64,
+    clean: bool,
+    results: Vec<RaceScheduleResult>,
+}
+
+/// Racecheck one scenario under `k` permuted window schedules: the
+/// virtual section and the per-window digest streams must match the
+/// canonical `(time, seq)` order byte for byte. On divergence the
+/// detector auto-bisects to the first divergent window and names the
+/// offending event pair. Writes `RACE_<scenario>.json` either way.
+fn racecheck_scenario(out: &Path, name: &str, k: u64) -> Result<bool, String> {
+    let canonical = RunSpec {
+        schedule: None,
+        detail_window: None,
+    };
+    let (canon_run, canon_exports) = run_scenario_racecheck(name, BENCH_SEED, canonical)
+        .ok_or_else(|| format!("unknown scenario: {name}"))?;
+    validate(&canon_run.report)?;
+    let canon_virt = serde_json::to_string_pretty(&canon_run.report.virt)
+        .map_err(|e| format!("serialize virtual: {e}"))?;
+    let window_us = canon_exports.first().map(|e| e.window_us).unwrap_or(0);
+    let windows_total: u64 = canon_exports.iter().map(|e| e.digests.len() as u64).sum();
+
+    let mut results = Vec::new();
+    let mut clean = true;
+    for seed in racecheck_seeds(k) {
+        let (run, exports) = run_scenario_racecheck(
+            name,
+            BENCH_SEED,
+            RunSpec {
+                schedule: Some(seed),
+                detail_window: None,
+            },
+        )
+        .ok_or_else(|| format!("unknown scenario: {name}"))?;
+        let virt = serde_json::to_string_pretty(&run.report.virt)
+            .map_err(|e| format!("serialize virtual: {e}"))?;
+        let virt_identical = virt == canon_virt;
+
+        // The first world (in build order) whose digest stream diverges
+        // is the one the detector bisects; sweeps build several.
+        let divergent_world = canon_exports
+            .iter()
+            .zip(&exports)
+            .position(|(c, p)| magma_sim::first_divergence(&c.digests, &p.digests).is_some());
+        let report = match divergent_world {
+            None => RaceReport {
+                label: name.to_string(),
+                schedule_seed: seed,
+                window_us,
+                divergent: false,
+                first_divergent_window: None,
+                canonical: None,
+                permuted: None,
+                windows_compared: windows_total,
+                note: "all window digests identical across schedules".to_string(),
+            },
+            Some(widx) => {
+                // Feed the detector the two no-detail exports we already
+                // have; only the bisected detail re-runs execute fresh.
+                let mut canon_cache = Some(canon_exports[widx].clone());
+                let mut perm_cache = Some(exports[widx].clone());
+                magma_sim::detect(
+                    &format!("{name}[world {widx}]"),
+                    |spec| match (spec.schedule, spec.detail_window) {
+                        (None, None) if canon_cache.is_some() => canon_cache.take().unwrap(),
+                        (Some(_), None) if perm_cache.is_some() => perm_cache.take().unwrap(),
+                        _ => {
+                            let (_, mut ex) = run_scenario_racecheck(name, BENCH_SEED, spec)
+                                .expect("scenario ran before");
+                            ex.swap_remove(widx)
+                        }
+                    },
+                    seed,
+                )
+            }
+        };
+        if report.divergent || !virt_identical {
+            clean = false;
+            eprintln!("{}", report.render());
+            if !virt_identical && !report.divergent {
+                eprintln!(
+                    "racecheck[{name}] seed={seed}: digests identical but the \
+                     virtual section differs byte-wise — a schedule-dependent \
+                     value escaped the digest fold"
+                );
+            }
+        }
+        results.push(RaceScheduleResult {
+            schedule_seed: seed,
+            virt_identical,
+            report,
+        });
     }
-    let virt =
-        serde_json::to_string(&report.virt).map_err(|e| format!("serialize virtual: {e}"))?;
-    for host_key in ["wall_s", "events_per_sec", "peak_rss_bytes", "host_ns"] {
-        if virt.contains(host_key) {
-            return Err(format!("virtual section leaked host field `{host_key}`"));
+
+    let file = RaceFile {
+        scenario: name.to_string(),
+        seed: BENCH_SEED,
+        window_us,
+        schedules: k,
+        clean,
+        results,
+    };
+    let path = out.join(format!("RACE_{name}.json"));
+    let json = serde_json::to_string_pretty(&file).map_err(|e| format!("serialize race: {e}"))?;
+    std::fs::write(&path, json).map_err(|e| format!("write RACE json: {e}"))?;
+    eprintln!(
+        "racecheck[{name}]: {} under {k} permuted schedules ({} windows) -> {}",
+        if clean { "clean" } else { "DIVERGENT" },
+        windows_total,
+        path.display()
+    );
+    Ok(clean)
+}
+
+/// Racecheck mode: attach_storm + scaling_ablation (or the scenario
+/// named with `--scenario`) under `k` permuted window schedules.
+fn racecheck_mode(out: &Path, k: u64, only: Option<&str>) -> Result<(), String> {
+    let scenarios: Vec<&str> = match only {
+        Some(s) => vec![s],
+        None => vec!["attach_storm", "scaling_ablation"],
+    };
+    let mut dirty = Vec::new();
+    for name in scenarios {
+        if !racecheck_scenario(out, name, k)? {
+            dirty.push(name);
         }
     }
-    if report.virt.events_simulated == 0 {
-        return Err("no events simulated".into());
-    }
-    if !report.virt.profile.enabled {
-        return Err("profile was not enabled".into());
-    }
-    if report.virt.profile.rows.is_empty() {
-        return Err("profile attributed no rows".into());
-    }
-    let frac = report.virt.profile.attribution_fraction();
-    if frac < 0.90 {
+    if !dirty.is_empty() {
         return Err(format!(
-            "only {:.1}% of vCPU-seconds attributed to named rows",
-            frac * 100.0
-        ));
-    }
-    // Shardscope: testbed scenarios assign every actor at build time, so
-    // attribution must be exactly total, and every cross-component send
-    // must ride a declared cut edge of the shard plan.
-    let shard = &report.virt.shard;
-    if !shard.enabled {
-        return Err("shardscope was not enabled".into());
-    }
-    if shard.attribution.dispatches_unattributed != 0 {
-        return Err(format!(
-            "{} dispatches escaped shard-component attribution",
-            shard.attribution.dispatches_unattributed
-        ));
-    }
-    if shard.attribution.noncut_cross_messages != 0 {
-        return Err(format!(
-            "{} cross-component sends off the shard plan's cut set",
-            shard.attribution.noncut_cross_messages
+            "logical race detected in: {} (see RACE_*.json for the \
+             bisected report)",
+            dirty.join(", ")
         ));
     }
     Ok(())
@@ -296,7 +424,9 @@ fn main() -> ExitCode {
         list_mode();
         return ExitCode::SUCCESS;
     }
-    let result = if let Some(path) = &args.shard_report {
+    let result = if let Some(k) = args.racecheck {
+        racecheck_mode(&args.out, k, args.scenario.as_deref())
+    } else if let Some(path) = &args.shard_report {
         shard_report_mode(&args.out, path)
     } else if args.smoke {
         smoke_mode(&args.out)

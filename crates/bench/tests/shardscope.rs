@@ -10,7 +10,9 @@
 //!   (attribution fraction = 100%) and no cross-component message rides
 //!   a kind missing from the declared cut set.
 
-use magma_bench::attach_storm;
+use magma_bench::{attach_storm, smoke_with_backhaul, validate};
+use magma_net::LinkProfile;
+use magma_sim::{Actor, Ctx, Event, SimDuration, SimTime, World};
 use magma_testbed::shard_report_md;
 
 #[test]
@@ -26,6 +28,156 @@ fn same_seed_shard_sections_are_byte_identical() {
     // The run did real attributed work (guards against a vacuous pass).
     assert!(a.virt.shard.attribution.dispatches_attributed > 0);
     assert!(!a.virt.shard.components.is_empty());
+}
+
+/// Shrinking a physical link's latency below the declared cut-edge
+/// lookahead must surface as negative `min_slack_us` in the shard block
+/// and fail report validation: such deliveries are exactly what a
+/// conservative window scheduler cannot reproduce, so the run is not a
+/// witness for shard safety.
+#[test]
+fn shrunken_latency_backhaul_fails_slack_validation() {
+    // The `net.frame` cut edge declares a 10µs lookahead (the loopback
+    // profile's latency floor). A 2µs jitter-free backhaul beats it.
+    let backhaul = LinkProfile {
+        latency: SimDuration::from_micros(2),
+        jitter: SimDuration::ZERO,
+        ..LinkProfile::fiber()
+    };
+    let run = smoke_with_backhaul(42, backhaul);
+    let edge = run
+        .report
+        .virt
+        .shard
+        .edges
+        .iter()
+        .find(|e| e.kind == "net.frame")
+        .expect("net.frame cut edge");
+    assert!(
+        edge.min_slack_us.expect("physical edge has slack samples") < 0,
+        "shrunken backhaul must drive slack negative, got {:?}",
+        edge.min_slack_us
+    );
+    assert!(edge.negative_slack > 0);
+    let err = validate(&run.report).expect_err("negative slack must fail validation");
+    assert!(
+        err.contains("min slack") && err.contains("net.frame"),
+        "unexpected validation error: {err}"
+    );
+}
+
+/// Re-arms a timer every `period` until `deadline`; the test workload
+/// for the window-model edge cases below.
+struct Ticker {
+    period: SimDuration,
+    deadline: SimTime,
+}
+
+impl Actor for Ticker {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Start | Event::Timer { .. }
+                if ctx.now() + self.period <= self.deadline =>
+            {
+                ctx.timer_in(self.period, 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "ticker".to_string()
+    }
+}
+
+/// A component instance that never dispatches (its only actor is crashed
+/// before the run, so even `Start` is dropped stale) must report zero
+/// busy windows, all-occupied blocked windows, and a busy fraction of
+/// exactly 0.0 — never NaN.
+#[test]
+fn window_model_zero_event_component_is_all_blocked_and_nan_free() {
+    let mut w = World::new(1);
+    w.enable_shardscope(true);
+    let ticker = w.add_actor(Box::new(Ticker {
+        period: SimDuration::from_micros(500),
+        deadline: SimTime::from_millis(20),
+    }));
+    w.shard_assign(ticker, "agw", 0);
+    let idle = w.add_actor(Box::new(Ticker {
+        period: SimDuration::from_micros(500),
+        deadline: SimTime::from_millis(20),
+    }));
+    w.shard_assign(idle, "orc8r", 0);
+    w.crash(idle);
+    w.run_until(SimTime::from_millis(25));
+
+    let snap = w.shard_snapshot();
+    let wm = &snap.window_model;
+    assert!(wm.occupied_windows > 0, "the ticker occupied windows");
+    let orc = snap.components.iter().find(|c| c.label == "orc8r[0]").unwrap();
+    assert_eq!(orc.dispatches, 0);
+    assert_eq!(orc.busy_windows, 0);
+    assert_eq!(orc.blocked_windows, wm.occupied_windows);
+    assert_eq!(orc.busy_fraction, 0.0);
+    for c in &snap.components {
+        assert!(c.busy_fraction.is_finite(), "{}: NaN busy fraction", c.label);
+    }
+    assert!(wm.predicted_speedup.is_finite());
+    assert!(wm.critical_bound.is_finite());
+}
+
+/// A run whose every event lands in one conservative window: the model
+/// must report exactly one occupied window spanning one window, with
+/// finite (degenerate, 1.0) speedup predictions.
+#[test]
+fn window_model_single_window_run() {
+    let mut w = World::new(1);
+    w.enable_shardscope(true);
+    // deadline < period: the actor handles `Start` at t=0 and never
+    // re-arms, so window 0 is the only one with a dispatch.
+    let a = w.add_actor(Box::new(Ticker {
+        period: SimDuration::from_secs(1),
+        deadline: SimTime::ZERO,
+    }));
+    w.shard_assign(a, "agw", 0);
+    w.run_until(SimTime::from_millis(5));
+
+    let snap = w.shard_snapshot();
+    let wm = &snap.window_model;
+    assert_eq!(wm.occupied_windows, 1);
+    assert_eq!(wm.span_windows, 1);
+    assert_eq!(wm.serial_units, 1);
+    assert_eq!(wm.parallel_units, 1);
+    assert_eq!(wm.predicted_speedup, 1.0);
+    let agw = snap.components.iter().find(|c| c.label == "agw[0]").unwrap();
+    assert_eq!(agw.busy_windows, 1);
+    assert_eq!(agw.busy_fraction, 1.0);
+}
+
+/// With no dispatches anywhere (every assigned actor crashed before the
+/// run) the model's ratios must degrade to 0.0, not NaN: zero occupied
+/// windows, zero speedup, zero busy fractions.
+#[test]
+fn window_model_no_events_at_all_never_nan() {
+    let mut w = World::new(1);
+    w.enable_shardscope(true);
+    let a = w.add_actor(Box::new(Ticker {
+        period: SimDuration::from_micros(500),
+        deadline: SimTime::from_millis(20),
+    }));
+    w.shard_assign(a, "agw", 0);
+    w.crash(a);
+    w.run_until(SimTime::from_millis(25));
+
+    let snap = w.shard_snapshot();
+    let wm = &snap.window_model;
+    assert_eq!(wm.occupied_windows, 0);
+    assert_eq!(wm.predicted_speedup, 0.0);
+    assert_eq!(wm.critical_bound, 0.0);
+    let agw = snap.components.iter().find(|c| c.label == "agw[0]").unwrap();
+    assert_eq!(agw.busy_fraction, 0.0);
+    assert_eq!(agw.blocked_windows, 0);
+    assert_eq!(snap.attribution.fraction, 0.0, "0/0 attribution folds to 0.0");
 }
 
 #[test]

@@ -58,7 +58,7 @@ flow_dispatch! {
         MNO_S6A_ANSWER,
         FEG_S6A_TICK,
     ],
-    tie_break = Some("hop-by-hop id / rpc call id; per-call state is disjoint"),
+    tie_break = Some("peer connection + hop-by-hop id / rpc call id; per-call state is disjoint"),
 }
 
 flow_dispatch! {

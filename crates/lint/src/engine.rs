@@ -387,6 +387,7 @@ fn lint_files_inner(
         );
         rules::a001_catch_all_dispatch(&ctx, &mut findings);
         rules::a002_hot_path_unwrap(&ctx, &mut findings);
+        rules::s006_schedule_state_reads(&ctx, &mut findings);
         span_sites.push((sf.rel.clone(), flow::collect_span_sites(&ctx)));
         per_file_flows.push(flow::extract_file(&ctx));
 

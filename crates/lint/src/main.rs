@@ -10,7 +10,9 @@
 //! `docs/MESSAGE_FLOW.md` from the extracted message-flow graph, and
 //! `--write-shard-plan` (or `MAGMA_SHARD_ACCEPT=1`) regenerates
 //! `docs/SHARD_PLAN.md` + `scripts/golden/shard_plan.json`, instead of
-//! failing on drift.
+//! failing on drift. `--list-rules` prints the rule inventory (id,
+//! summary, fixture) so `lint:allow` reasons can reference something
+//! discoverable.
 
 mod engine;
 mod flow;
@@ -41,10 +43,14 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--write-flow" => write_flow = true,
             "--write-shard-plan" => write_shard = true,
+            "--list-rules" => {
+                print!("{}", rules::render_rule_list());
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: magma-lint [--root DIR] [--names] [--json] [--write-flow] \
-                     [--write-shard-plan] [FILES...]\n\
+                    "usage: magma-lint [--root DIR] [--names] [--json] [--list-rules] \
+                     [--write-flow] [--write-shard-plan] [FILES...]\n\
                      Lints the workspace (or just FILES) for determinism (D),\n\
                      telemetry naming (T), actor hygiene (A), message-flow\n\
                      graph (F), and shard-safety (S) violations. --json emits\n\
@@ -52,7 +58,9 @@ fn main() -> ExitCode {
                      regenerates docs/MESSAGE_FLOW.md instead of failing on\n\
                      F006 drift; --write-shard-plan (or MAGMA_SHARD_ACCEPT=1)\n\
                      regenerates docs/SHARD_PLAN.md and\n\
-                     scripts/golden/shard_plan.json instead of failing on S005."
+                     scripts/golden/shard_plan.json instead of failing on S005;\n\
+                     --list-rules prints the rule inventory (id, summary,\n\
+                     fixture path) in stable order."
                 );
                 return ExitCode::SUCCESS;
             }

@@ -31,6 +31,16 @@
 //! - `F001`–`F006` message-flow graph rules (see `flow`): orphan kinds,
 //!   zero-delay send cycles, missing tie-break contracts, requests
 //!   without retry edges, span leaks, and `docs/MESSAGE_FLOW.md` drift.
+//! - `S001`–`S005` shard-safety rules (see `shard`): alias scopes,
+//!   lookahead bounds, movable state, dispatch-path hygiene, plan drift.
+//! - `S006` schedule-state-read: actor code must not read
+//!   schedule-dependent kernel-global state (heap shape, dispatch
+//!   counter, live traces, the window ledger, cross-prefix registry
+//!   reads) — those values are artifacts of the window schedule.
+//! - `S007` sender-blind tie-break (see `shard`): a multi-sender
+//!   cut-edge dispatch must name the sender in its tie-break key;
+//!   a constant key passes F003 but cannot order same-window
+//!   deliveries from distinct shards.
 
 use crate::lexer::Masked;
 
@@ -65,7 +75,145 @@ impl Finding {
 pub const ALL_RULES: &[&str] = &[
     "D001", "D002", "T001", "T002", "T003", "T004", "T005", "T006", "T007", "A001", "A002",
     "F001", "F002", "F003", "F004", "F005", "F006", "S001", "S002", "S003", "S004", "S005",
+    "S006", "S007",
 ];
+
+/// One row per rule for `--list-rules`: (id, one-line summary, fixture
+/// demonstrating the violation). Same order as [`ALL_RULES`] — the
+/// rendering is golden-tested so suppression reasons can reference a
+/// stable, discoverable inventory.
+pub const RULE_INFO: &[(&str, &str, &str)] = &[
+    (
+        "D001",
+        "HashMap/HashSet in scanned source — iteration order is nondeterministic",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/d001_hash_state.rs",
+    ),
+    (
+        "D002",
+        "ambient entropy (Instant/SystemTime/thread_rng) outside the DES kernel",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/d002_ambient_entropy.rs",
+    ),
+    (
+        "T001",
+        "metric/event name literals must be dotted snake_case",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/t001_bad_grammar.rs",
+    ),
+    (
+        "T002",
+        "metric names must fall under a known cardinality prefix",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/t002_unknown_prefix.rs",
+    ),
+    (
+        "T003",
+        "metric name missing from the docs/OBSERVABILITY.md inventory",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/t003_undocumented.rs",
+    ),
+    (
+        "T004",
+        "stale inventory entry matching no call site (workspace mode)",
+        "crates/lint/tests/fixtures/drift",
+    ),
+    (
+        "T005",
+        "eventd kind const missing from docs/OBSERVABILITY.md",
+        "crates/lint/tests/fixtures/bad/crates/sim/src/eventd.rs",
+    ),
+    (
+        "T006",
+        "profile_scope labels must follow the grammar and appear as scope rows",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/t006_bad_scope.rs",
+    ),
+    (
+        "T007",
+        "trace_start/trace_finish_as labels must follow the grammar and appear as trace rows",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/t007_bad_trace.rs",
+    ),
+    (
+        "A001",
+        "catch-all `_ =>` arm in an actor's top-level event match",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/a001_catch_all.rs",
+    ),
+    (
+        "A002",
+        "panicking accessors (unwrap/expect/indexing) on the hot serving path",
+        "crates/lint/tests/fixtures/bad/crates/rpc/src/a002_hot_unwrap.rs",
+    ),
+    (
+        "F001",
+        "orphan flow kinds: never sent, never accepted, or unknown in accepts",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/f001_orphan.rs",
+    ),
+    (
+        "F002",
+        "zero-delay send cycle — same-timestamp livelock",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/f002_zero_cycle.rs",
+    ),
+    (
+        "F003",
+        "multi-sender dispatch without a tie-break contract",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/f003_no_tie_break.rs",
+    ),
+    (
+        "F004",
+        "request kind without a valid Timer-role retry self-edge",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/f004_request_no_retry.rs",
+    ),
+    (
+        "F005",
+        "Span::begin without a matching .finish anywhere in the workspace",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/f005_span_leak.rs",
+    ),
+    (
+        "F006",
+        "docs/MESSAGE_FLOW.md drifted from the extracted flow graph",
+        "crates/lint/tests/fixtures/flowdrift",
+    ),
+    (
+        "S001",
+        "shared-handle aliasing outside declared AliasDecl scope",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/s001_raw_alias.rs",
+    ),
+    (
+        "S002",
+        "transport kind without a positive link-profile lookahead bound",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/s002_no_lookahead.rs",
+    ),
+    (
+        "S003",
+        "dispatch state struct missing, undefined, or embedding raw Rc/RefCell",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/s003_raw_state.rs",
+    ),
+    (
+        "S004",
+        "raw ctx.send / undeclared borrows on dispatch paths",
+        "crates/lint/tests/fixtures/bad/crates/feg/src/s004_raw_send.rs",
+    ),
+    (
+        "S005",
+        "generated shard plan drifted from the analysis",
+        "crates/lint/tests/fixtures/sharddrift",
+    ),
+    (
+        "S006",
+        "actor code reads schedule-dependent kernel-global state",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/s006_schedule_read.rs",
+    ),
+    (
+        "S007",
+        "multi-sender cut-edge tie-break key never names the sender",
+        "crates/lint/tests/fixtures/bad/crates/agw/src/s007_constant_tie_break.rs",
+    ),
+];
+
+/// Render the `--list-rules` inventory (golden-tested byte-for-byte
+/// against `scripts/golden/lint_rules.txt`).
+pub fn render_rule_list() -> String {
+    let mut out = String::new();
+    for (id, summary, fixture) in RULE_INFO {
+        out.push_str(&format!("{id}  {summary}\n      fixture: {fixture}\n"));
+    }
+    out
+}
 
 /// Minimal JSON string escaping shared by the `--json` report and the
 /// generated `shard_plan.json` (the lint stays dependency-free).
@@ -839,6 +987,132 @@ pub fn a002_hot_path_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
              `.get(..)` and handle the miss, or justify the bound with \
              lint:allow"
                 .to_string(),
+        ));
+    }
+}
+
+/// S006: actor code reading schedule-dependent kernel-global state.
+///
+/// Under the conservative-window engine the component drain order inside
+/// a window is a free parameter (racecheck permutes it), so any value an
+/// actor derives from kernel-global observability state — the event-heap
+/// shape, the global dispatch counter, live trace spans, the shardscope
+/// window ledger, or another component's registry namespace — depends on
+/// the schedule. Folding it into actor state is a logical race even on
+/// the single-threaded engine.
+///
+/// Scope: files that implement a dispatch surface (`impl Actor for`)
+/// outside the kernel; helper fns in the same file count, since the
+/// dispatch path can reach them. Registry *writes* (`counter_add`,
+/// `gauge_set`, `observe`) stay legal — they are commutative folds — and
+/// so does exporting the actor's own namespace
+/// (`snapshot_prefixed(&self...)`, the metricsd pattern).
+pub fn s006_schedule_state_reads(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.in_kernel() {
+        return;
+    }
+    let text = &ctx.masked.text;
+    if !find_word(text, "impl Actor for")
+        .iter()
+        .any(|&at| !ctx.skipped(at))
+    {
+        return;
+    }
+    const GLOBALS: &[(&str, &str)] = &[
+        ("heap_stats(", "the event-heap shape"),
+        ("events_processed(", "the global dispatch counter"),
+        ("trace_snapshot(", "live trace spans"),
+        ("shard_snapshot(", "the shardscope window ledger"),
+    ];
+    for (needle, what) in GLOBALS {
+        for at in find_word(text, needle) {
+            if ctx.skipped(at) {
+                continue;
+            }
+            if text[..at].trim_end().ends_with("fn") {
+                continue; // a definition, not a call.
+            }
+            out.push(Finding::new(
+                "S006",
+                ctx.rel,
+                ctx.masked.line_of(at),
+                format!(
+                    "actor code reads {what} via `{}` — kernel-global state is an \
+                     artifact of the window schedule, so folding it into actor \
+                     state is a logical race (racecheck would flag the divergence)",
+                    needle.trim_end_matches('('),
+                ),
+            ));
+        }
+    }
+    // Registry reads: flag read accessors on a `registry()` receiver.
+    let bytes = text.as_bytes();
+    const READS: &[&str] = &[
+        "counter",
+        "gauge",
+        "histogram",
+        "snapshot",
+        "snapshot_prefixed",
+        "counter_names",
+        "gauge_names",
+        "histogram_names",
+        "mutation_count",
+    ];
+    for at in find_word(text, "registry()") {
+        if ctx.skipped(at) {
+            continue;
+        }
+        let mut j = at + "registry()".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'.') {
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let method = &text[start..j];
+        if !READS.contains(&method) {
+            continue;
+        }
+        if method == "snapshot_prefixed" && bytes.get(j) == Some(&b'(') {
+            // Own-namespace export: the prefix is the actor's own id
+            // field, so the argument list mentions `self`.
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if !find_word(&text[j..k.min(bytes.len())], "self").is_empty() {
+                continue;
+            }
+        }
+        out.push(Finding::new(
+            "S006",
+            ctx.rel,
+            ctx.masked.line_of(at),
+            format!(
+                "actor code reads the metric registry (`registry().{method}(..)`) — \
+                 cross-component registry state depends on which components already \
+                 drained this window; actors may only write metrics, or export \
+                 their own namespace (`snapshot_prefixed(&self...)`)",
+            ),
         ));
     }
 }

@@ -28,6 +28,12 @@
 //!   `scripts/golden/shard_plan.json` are generated from the analysis and
 //!   must match byte-for-byte. Regenerate with `--write-shard-plan` or
 //!   `MAGMA_SHARD_ACCEPT=1`.
+//! - `S007` sender-blind tie-break: a dispatch accepting cut-edge kinds
+//!   deliverable from multiple senders (distinct names, a wildcard, or a
+//!   replicated hub) must incorporate sender identity in its tie-break
+//!   key — a constant key satisfies F003 yet leaves same-window
+//!   deliveries from distinct shards ordered by the window schedule.
+//!   (`S006`, the schedule-state-read ban, lives in `rules`.)
 //!
 //! Components are computed by union-find over the zero-delay edges:
 //! receivers resolve through dispatch `accepts` lists (filtered by the
@@ -853,6 +859,10 @@ pub fn shard_rules(
     };
     let mut cut_edges = Vec::new();
     let mut intra_edges = Vec::new();
+    // Cut-edge kind ident -> (concrete senders, rides a replicated hub):
+    // the S007 input. A hub sender ("net.stack") is one *name* but one
+    // instance per component, so it counts as many senders.
+    let mut cut_kind_senders: BTreeMap<&str, (BTreeSet<String>, bool)> = BTreeMap::new();
     for k in &g.kinds {
         if k.class != "Transport" {
             continue;
@@ -871,6 +881,13 @@ pub fn shard_rules(
             lookahead_us: k.lookahead.as_ref().and_then(|p| profiles.get(p)).copied(),
         };
         if hub || edge.from != edge.to || edge.to == "*" {
+            let entry = cut_kind_senders.entry(k.ident.as_str()).or_default();
+            if k.sender == "*" {
+                entry.0.insert("*".to_string());
+            } else {
+                entry.0.extend(senders.iter().cloned());
+            }
+            entry.1 |= senders.iter().any(|a| replicated.contains(a));
             cut_edges.push(edge);
         } else {
             intra_edges.push(edge);
@@ -879,6 +896,56 @@ pub fn shard_rules(
     let edge_key = |e: &PlanEdge| (e.from.clone(), e.to.clone(), e.kind.clone());
     cut_edges.sort_by_key(edge_key);
     intra_edges.sort_by_key(edge_key);
+
+    // ---- S007: multi-sender cut edges name the sender in the key ----
+    // F003 only demands that *a* tie-break contract exists on a
+    // multi-sender surface. On a cut edge that is not enough: inside one
+    // conservative window, deliveries from distinct shards have no
+    // kernel arrival order to fall back on, so a sender-blind key
+    // ("round-robin slot") passes F003 while still letting the window
+    // schedule pick the winner. The key must incorporate sender
+    // identity, lexically: one of sender/src/from/peer/source/origin.
+    const SENDER_TOKENS: &[&str] = &["sender", "src", "from", "peer", "source", "origin"];
+    for d in &g.dispatches {
+        let Some(key) = &d.tie_break else {
+            continue; // no key at all is F003's finding, not S007's.
+        };
+        let mut senders: BTreeSet<&str> = BTreeSet::new();
+        let mut hub = false;
+        let mut cut_kinds: Vec<&str> = Vec::new();
+        for a in &d.accepts {
+            if let Some((s, h)) = cut_kind_senders.get(a.as_str()) {
+                cut_kinds.push(a);
+                senders.extend(s.iter().map(String::as_str));
+                hub |= *h;
+            }
+        }
+        let multi = hub || senders.len() >= 2 || senders.contains("*");
+        if cut_kinds.is_empty() || !multi {
+            continue;
+        }
+        let lower = key.to_lowercase();
+        if SENDER_TOKENS.iter().any(|t| !find_word(&lower, t).is_empty()) {
+            continue;
+        }
+        out.push(Finding::new(
+            "S007",
+            &d.file,
+            d.line,
+            format!(
+                "dispatch `{}` (actor {:?}) accepts cut-edge kinds [{}] deliverable \
+                 from multiple senders ([{}]) but its tie-break key {:?} never names \
+                 the sender — same-window deliveries from distinct shards need \
+                 sender identity in the commutativity key (mention \
+                 sender/src/from/peer/source/origin)",
+                d.ident,
+                d.actor,
+                cut_kinds.join(", "),
+                senders.iter().copied().collect::<Vec<_>>().join(", "),
+                key,
+            ),
+        ));
+    }
 
     let plan = ShardPlan {
         components,

@@ -1,5 +1,5 @@
 //! Regression test for the engine's shared lex/mask cache: a workspace
-//! scan runs 22 rules plus the flow-graph and shard-plan extraction, but
+//! scan runs 24 rules plus the flow-graph and shard-plan extraction, but
 //! each source file must be lexed exactly once — the `SourceFile` set is
 //! built up front and every family reuses it. A second lex of the same
 //! file would roughly double the gate's self-time and, worse, invite

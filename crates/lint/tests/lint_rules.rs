@@ -408,6 +408,72 @@ fn s005_fires_on_stale_shard_plan() {
 }
 
 #[test]
+fn s006_fires_on_schedule_dependent_reads() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/s006_schedule_read.rs");
+    assert_eq!(rules_fired(&report), vec!["S006"], "{}", report.summary());
+    // heap_stats, events_processed, trace_snapshot, shard_snapshot, the
+    // cross-prefix namespace export, and the raw counter read: six.
+    assert_eq!(report.violations().len(), 6, "{}", report.summary());
+    let msgs: Vec<_> = report.violations().iter().map(|f| f.msg.clone()).collect();
+    assert!(msgs.iter().any(|m| m.contains("heap_stats")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("snapshot_prefixed")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("registry().counter(")), "{msgs:?}");
+}
+
+#[test]
+fn s006_exempts_own_namespace_export() {
+    // The metricsd pattern — `snapshot_prefixed(&self.cfg.agw_id)` — is
+    // the one legal registry read: an actor exporting its *own*
+    // namespace. Lint the real file alone and assert S006 stays silent.
+    let docs = parse_docs(&repo_root());
+    let root = repo_root();
+    let file = root.join("crates/agw/src/metricsd.rs");
+    assert!(file.is_file());
+    let report = lint_files(&root, &[file], &docs);
+    assert!(
+        report.findings.iter().all(|f| f.rule != "S006"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn s007_fires_on_sender_blind_cut_edge_tie_break() {
+    let (report, _) = lint_fixture("bad", "crates/agw/src/s007_constant_tie_break.rs");
+    assert_eq!(rules_fired(&report), vec!["S007"], "{}", report.summary());
+    assert_eq!(report.violations().len(), 1, "{}", report.summary());
+    let msg = &report.violations()[0].msg;
+    assert!(msg.contains("never names the sender"), "{msg}");
+    assert!(msg.contains("FROM_RAN") && msg.contains("FROM_FEG"), "{msg}");
+    // The F003 gap this closes: the same shape with tie_break = None is
+    // F003's finding, not S007's (covered by the f003 fixture test).
+}
+
+#[test]
+fn list_rules_covers_every_rule_with_real_fixtures() {
+    // Stable order: RULE_INFO mirrors ALL_RULES exactly.
+    let ids: Vec<&str> = magma_lint::RULE_INFO.iter().map(|r| r.0).collect();
+    assert_eq!(ids, magma_lint::ALL_RULES, "RULE_INFO must cover ALL_RULES in order");
+    let root = repo_root();
+    for (id, summary, fixture) in magma_lint::RULE_INFO {
+        assert!(!summary.is_empty(), "{id}: empty summary");
+        assert!(
+            root.join(fixture).exists(),
+            "{id}: fixture path {fixture} does not exist"
+        );
+    }
+    // Golden render: `--list-rules` output is byte-pinned so suppression
+    // reasons (and docs) can reference a stable inventory.
+    let golden = std::fs::read_to_string(root.join("scripts/golden/lint_rules.txt"))
+        .expect("scripts/golden/lint_rules.txt must exist (magma-lint --list-rules > it)");
+    assert_eq!(
+        golden,
+        magma_lint::render_rule_list(),
+        "rule inventory drifted — regenerate with `cargo run -p magma-lint -- --list-rules`"
+    );
+}
+
+#[test]
 fn shard_plan_is_generated_and_byte_deterministic() {
     let root = repo_root();
     let p1 = lint_workspace(&root);

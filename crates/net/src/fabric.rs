@@ -35,6 +35,8 @@ pub struct NetFabric {
     /// side of a cut edge can resolve the destination stack locally.
     stacks: BTreeMap<NodeAddr, ActorId>,
     next_addr: u32,
+    /// World seed forwarded to every domain's per-link RNG derivation.
+    seed: u64,
 }
 
 impl NetFabric {
@@ -44,6 +46,17 @@ impl NetFabric {
             node_domain: BTreeMap::new(),
             stacks: BTreeMap::new(),
             next_addr: 0,
+            seed: 0,
+        }
+    }
+
+    /// Set the world seed every domain's per-link RNG streams derive
+    /// from (see [`crate::Topology::set_seed`]). Existing domains are
+    /// re-seeded; future domains pick the seed up at creation.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+        for d in &self.domains {
+            d.borrow_mut().set_seed(seed);
         }
     }
 
@@ -52,6 +65,7 @@ impl NetFabric {
     pub fn add_domain(&mut self) -> DomainId {
         let id = DomainId(self.domains.len());
         let d = new_net();
+        d.borrow_mut().set_seed(self.seed);
         for (&node, &stack) in &self.stacks {
             d.borrow_mut().bind_stack(node, stack);
         }
@@ -175,8 +189,6 @@ impl Default for NetFabric {
 mod tests {
     use super::*;
     use magma_sim::SimTime;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn addresses_are_global_across_domains() {
@@ -200,17 +212,16 @@ mod tests {
         f.connect(a, b, LinkProfile::lan());
         f.bind_stack(a, ActorId(7));
         f.bind_stack(b, ActorId(8));
-        let mut rng = SmallRng::seed_from_u64(1);
         // a→b transmits through a's domain, b→a through b's.
         let ha = f.handle_of(a);
         let hb = f.handle_of(b);
         assert!(ha
             .borrow_mut()
-            .transmit(SimTime::ZERO, a, b, 100, &mut rng)
+            .transmit(SimTime::ZERO, a, b, 100)
             .is_some());
         assert!(hb
             .borrow_mut()
-            .transmit(SimTime::ZERO, b, a, 100, &mut rng)
+            .transmit(SimTime::ZERO, b, a, 100)
             .is_some());
         // Fault injection reaches both directions.
         f.set_link_up(a, b, false);
@@ -218,7 +229,7 @@ mod tests {
         assert!(!f.link_up(b, a));
         assert!(ha
             .borrow_mut()
-            .transmit(SimTime::ZERO, a, b, 100, &mut rng)
+            .transmit(SimTime::ZERO, a, b, 100)
             .is_none());
         f.set_link_up(a, b, true);
         assert_eq!(f.stats(a, b).dropped, 1);

@@ -88,5 +88,5 @@ flow_dispatch! {
     pub const STACK_DISPATCH: actor = "net.stack",
     state = "NetStack",
     accepts = [SOCK_CMD, NET_FRAME, NET_RTO],
-    tie_break = Some("conn key / listener port (cross-connection commutes)"),
+    tie_break = Some("conn key (local/peer addr pair) / listener port (cross-connection commutes)"),
 }

@@ -7,7 +7,8 @@
 //! experiments sweep over.
 
 use magma_sim::{SimDuration, SimTime};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Static characteristics of a unidirectional link.
@@ -107,6 +108,12 @@ pub struct Link {
     pub frames_delivered: u64,
     pub frames_dropped: u64,
     pub bytes_delivered: u64,
+    /// Per-link loss/jitter stream, seeded from `(world seed, src, dst)`
+    /// by the topology. A directed link has exactly one sender, so its
+    /// draw sequence depends only on that sender's transmit order —
+    /// never on how transmissions across links interleave (which
+    /// racecheck's permuted schedules reorder).
+    rng: SmallRng,
 }
 
 /// Outcome of offering a frame to a link.
@@ -127,13 +134,20 @@ impl Link {
             frames_delivered: 0,
             frames_dropped: 0,
             bytes_delivered: 0,
+            rng: SmallRng::seed_from_u64(0),
         }
+    }
+
+    /// Re-seed the link's loss/jitter stream (called by the topology
+    /// with a per-link derivation of the world seed).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 
     /// Offer a frame of `size` bytes at time `now`. Applies serialization
     /// (FIFO behind earlier frames), propagation, jitter, loss, and
     /// backlog-based tail drop.
-    pub fn transmit(&mut self, now: SimTime, size: usize, rng: &mut impl Rng) -> TxOutcome {
+    pub fn transmit(&mut self, now: SimTime, size: usize) -> TxOutcome {
         if !self.up {
             self.frames_dropped += 1;
             return TxOutcome::Dropped;
@@ -149,7 +163,7 @@ impl Link {
         let tx_end = start + tx_time;
         self.next_free = tx_end;
 
-        if self.profile.loss > 0.0 && rng.gen::<f64>() < self.profile.loss {
+        if self.profile.loss > 0.0 && self.rng.gen::<f64>() < self.profile.loss {
             self.frames_dropped += 1;
             return TxOutcome::Dropped;
         }
@@ -157,7 +171,7 @@ impl Link {
         let jitter = if self.profile.jitter.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_micros(rng.gen_range(0..=self.profile.jitter.as_micros()))
+            SimDuration::from_micros(self.rng.gen_range(0..=self.profile.jitter.as_micros()))
         };
         let arrival = tx_end + self.profile.latency + jitter;
         self.frames_delivered += 1;
@@ -174,12 +188,6 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
-    }
 
     #[test]
     fn lossless_link_delivers_with_latency() {
@@ -190,7 +198,7 @@ mod tests {
             bandwidth_bps: 8_000_000, // 1 MB/s
             max_backlog: SimDuration::from_secs(1),
         });
-        let out = l.transmit(SimTime::ZERO, 1000, &mut rng());
+        let out = l.transmit(SimTime::ZERO, 1000);
         // 1000 bytes at 1MB/s = 1ms serialization + 10ms latency.
         assert_eq!(
             out,
@@ -211,9 +219,8 @@ mod tests {
             bandwidth_bps: 8_000, // 1 KB/s
             max_backlog: SimDuration::from_secs(10),
         });
-        let mut r = rng();
-        let a = l.transmit(SimTime::ZERO, 1000, &mut r); // 1s tx
-        let b = l.transmit(SimTime::ZERO, 1000, &mut r); // queued behind
+        let a = l.transmit(SimTime::ZERO, 1000); // 1s tx
+        let b = l.transmit(SimTime::ZERO, 1000); // queued behind
         assert_eq!(
             a,
             TxOutcome::Delivered {
@@ -237,17 +244,16 @@ mod tests {
             bandwidth_bps: 8_000,
             max_backlog: SimDuration::from_millis(1500),
         });
-        let mut r = rng();
         assert!(matches!(
-            l.transmit(SimTime::ZERO, 1000, &mut r),
+            l.transmit(SimTime::ZERO, 1000),
             TxOutcome::Delivered { .. }
         ));
         assert!(matches!(
-            l.transmit(SimTime::ZERO, 1000, &mut r),
+            l.transmit(SimTime::ZERO, 1000),
             TxOutcome::Delivered { .. }
         ));
         // Backlog now 2s > 1.5s cap: dropped.
-        assert_eq!(l.transmit(SimTime::ZERO, 1000, &mut r), TxOutcome::Dropped);
+        assert_eq!(l.transmit(SimTime::ZERO, 1000), TxOutcome::Dropped);
         assert_eq!(l.frames_dropped, 1);
     }
 
@@ -255,16 +261,16 @@ mod tests {
     fn down_link_drops_everything() {
         let mut l = Link::new(LinkProfile::fiber());
         l.up = false;
-        assert_eq!(l.transmit(SimTime::ZERO, 100, &mut rng()), TxOutcome::Dropped);
+        assert_eq!(l.transmit(SimTime::ZERO, 100), TxOutcome::Dropped);
     }
 
     #[test]
     fn lossy_link_drops_about_the_right_fraction() {
         let mut l = Link::new(LinkProfile::lan().with_loss(0.3));
-        let mut r = rng();
+        l.reseed(7);
         let mut dropped = 0;
         for _ in 0..10_000 {
-            if l.transmit(SimTime::from_secs(1_000_000), 100, &mut r) == TxOutcome::Dropped {
+            if l.transmit(SimTime::from_secs(1_000_000), 100) == TxOutcome::Dropped {
                 dropped += 1;
             }
         }

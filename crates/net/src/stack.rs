@@ -145,7 +145,7 @@ impl NetStack {
         let src = frame.src;
         let outcome = {
             let mut net = self.net.borrow_mut();
-            net.transmit(now, src, dst, size, ctx.rng())
+            net.transmit(now, src, dst, size)
         };
         if let Some((arrival, stack)) = outcome {
             // Sized variant: the frame's wire size feeds shardscope's

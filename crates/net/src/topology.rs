@@ -8,10 +8,16 @@
 use crate::addr::NodeAddr;
 use crate::link::{Link, LinkProfile, TxOutcome};
 use magma_sim::{ActorId, SimTime};
-use rand::Rng;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Per-link RNG seed: a pure function of `(world seed, src, dst)`, so a
+/// link's loss/jitter stream is identical no matter when the link was
+/// connected or re-seeded relative to its siblings.
+fn link_seed(seed: u64, src: NodeAddr, dst: NodeAddr) -> u64 {
+    magma_sim::racecheck::splitmix64(seed ^ ((src.0 as u64) << 32) ^ dst.0 as u64)
+}
 
 /// Shared handle to the topology.
 pub type NetHandle = Rc<RefCell<Topology>>;
@@ -35,6 +41,8 @@ pub struct Topology {
     stacks: BTreeMap<NodeAddr, ActorId>,
     links: BTreeMap<(NodeAddr, NodeAddr), Link>,
     next_addr: u32,
+    /// World seed for per-link RNG derivation; see [`Topology::set_seed`].
+    seed: u64,
 }
 
 impl Topology {
@@ -44,6 +52,17 @@ impl Topology {
             stacks: BTreeMap::new(),
             links: BTreeMap::new(),
             next_addr: 0,
+            seed: 0,
+        }
+    }
+
+    /// Set the world seed the per-link RNG streams derive from. Existing
+    /// links are re-seeded and future connects pick the seed up, so call
+    /// order relative to `connect` does not matter.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+        for (&(a, b), l) in self.links.iter_mut() {
+            l.reseed(link_seed(seed, a, b));
         }
     }
 
@@ -82,8 +101,7 @@ impl Topology {
 
     /// Connect two nodes with symmetric link profiles.
     pub fn connect(&mut self, a: NodeAddr, b: NodeAddr, profile: LinkProfile) {
-        self.links.insert((a, b), Link::new(profile));
-        self.links.insert((b, a), Link::new(profile));
+        self.connect_asym(a, b, profile, profile);
     }
 
     /// Connect two nodes with asymmetric profiles (e.g., satellite
@@ -95,8 +113,12 @@ impl Topology {
         a_to_b: LinkProfile,
         b_to_a: LinkProfile,
     ) {
-        self.links.insert((a, b), Link::new(a_to_b));
-        self.links.insert((b, a), Link::new(b_to_a));
+        let mut fwd = Link::new(a_to_b);
+        fwd.reseed(link_seed(self.seed, a, b));
+        let mut rev = Link::new(b_to_a);
+        rev.reseed(link_seed(self.seed, b, a));
+        self.links.insert((a, b), fwd);
+        self.links.insert((b, a), rev);
     }
 
     /// Bring both directions of a link up or down (partition injection).
@@ -143,10 +165,9 @@ impl Topology {
         src: NodeAddr,
         dst: NodeAddr,
         size: usize,
-        rng: &mut impl Rng,
     ) -> Option<(SimTime, ActorId)> {
         let link = self.links.get_mut(&(src, dst))?;
-        match link.transmit(now, size, rng) {
+        match link.transmit(now, size) {
             TxOutcome::Delivered { arrival } => {
                 let stack = self.stacks.get(&dst).copied()?;
                 Some((arrival, stack))
@@ -166,22 +187,19 @@ impl Default for Topology {
 mod tests {
     use super::*;
     use magma_sim::SimDuration;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn transmit_requires_route_and_stack() {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        let mut rng = SmallRng::seed_from_u64(1);
         // No link yet.
-        assert!(t.transmit(SimTime::ZERO, a, b, 100, &mut rng).is_none());
+        assert!(t.transmit(SimTime::ZERO, a, b, 100).is_none());
         t.connect(a, b, LinkProfile::lan());
         // Link but no stack bound.
-        assert!(t.transmit(SimTime::ZERO, a, b, 100, &mut rng).is_none());
+        assert!(t.transmit(SimTime::ZERO, a, b, 100).is_none());
         t.bind_stack(b, ActorId(5));
-        let (arrival, stack) = t.transmit(SimTime::ZERO, a, b, 100, &mut rng).unwrap();
+        let (arrival, stack) = t.transmit(SimTime::ZERO, a, b, 100).unwrap();
         assert_eq!(stack, ActorId(5));
         assert!(arrival > SimTime::ZERO);
     }
@@ -194,12 +212,11 @@ mod tests {
         t.connect(a, b, LinkProfile::lan());
         t.bind_stack(a, ActorId(0));
         t.bind_stack(b, ActorId(1));
-        let mut rng = SmallRng::seed_from_u64(1);
         t.set_link_up(a, b, false);
-        assert!(t.transmit(SimTime::ZERO, a, b, 100, &mut rng).is_none());
-        assert!(t.transmit(SimTime::ZERO, b, a, 100, &mut rng).is_none());
+        assert!(t.transmit(SimTime::ZERO, a, b, 100).is_none());
+        assert!(t.transmit(SimTime::ZERO, b, a, 100).is_none());
         t.set_link_up(a, b, true);
-        assert!(t.transmit(SimTime::ZERO, a, b, 100, &mut rng).is_some());
+        assert!(t.transmit(SimTime::ZERO, a, b, 100).is_some());
         assert_eq!(t.stats(a, b).dropped, 1);
     }
 
@@ -216,9 +233,36 @@ mod tests {
         );
         t.bind_stack(a, ActorId(0));
         t.bind_stack(b, ActorId(1));
-        let mut rng = SmallRng::seed_from_u64(1);
-        let (fwd, _) = t.transmit(SimTime::ZERO, a, b, 100, &mut rng).unwrap();
-        let (rev, _) = t.transmit(SimTime::ZERO, b, a, 100, &mut rng).unwrap();
+        let (fwd, _) = t.transmit(SimTime::ZERO, a, b, 100).unwrap();
+        let (rev, _) = t.transmit(SimTime::ZERO, b, a, 100).unwrap();
         assert!(rev.since(SimTime::ZERO) > fwd.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn set_seed_reseeds_existing_and_future_links_identically() {
+        // Two topologies: one seeded before connecting, one after. The
+        // per-link streams must match — seed derivation is a pure
+        // function of (seed, src, dst), not call order.
+        let run = |seed_first: bool| {
+            let mut t = Topology::new();
+            let a = t.add_node("a");
+            let b = t.add_node("b");
+            if seed_first {
+                t.set_seed(9);
+                t.connect(a, b, LinkProfile::lan().with_loss(0.5));
+            } else {
+                t.connect(a, b, LinkProfile::lan().with_loss(0.5));
+                t.set_seed(9);
+            }
+            t.bind_stack(a, ActorId(0));
+            t.bind_stack(b, ActorId(1));
+            let mut arrivals = Vec::new();
+            for i in 0..50u64 {
+                let now = SimTime::from_millis(i * 10);
+                arrivals.push(t.transmit(now, a, b, 100).map(|(at, _)| at));
+            }
+            arrivals
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -31,7 +31,7 @@ flow_dispatch! {
         flows::CREDIT_REPORT,
         flows::METRICS_PUSH,
     ],
-    tie_break = Some("agw_id / stream handle (per-gateway state is disjoint)"),
+    tie_break = Some("sender agw_id / stream handle (per-gateway state is disjoint)"),
 }
 
 struct ConnInfo {

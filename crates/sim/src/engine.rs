@@ -3,11 +3,12 @@
 
 use crate::actor::{Actor, ActorId, Event, Payload};
 use crate::cpu::{self, HostId, HostSpec, HostState, Job, UtilizationReport};
-use crate::event::{EventHandle, EventQueue};
+use crate::event::{EventHandle, EventQueue, Scheduled};
 use crate::eventd::{self, EventLog, Severity};
 use crate::flow::{DelayClass, FlowKind, Role};
 use crate::metrics::Recorder;
 use crate::prof::{self, HeapStats, ProfHandle, Profiler, ProfileSnapshot, ScopeGuard};
+use crate::racecheck::{self, RaceEvent, RaceExport, RaceObserver};
 use crate::registry::Registry;
 use crate::shardscope::{ShardScope, ShardSnapshot};
 use crate::time::{SimDuration, SimTime};
@@ -35,7 +36,11 @@ enum PendingOp {
 pub struct Kernel {
     time: SimTime,
     queue: EventQueue,
-    rng: SmallRng,
+    /// World seed; every actor derives its own RNG stream from it (see
+    /// [`Ctx::rng`]), so draw sequences depend only on `(seed, actor)`,
+    /// never on the order actors happen to be dispatched in.
+    rng_seed: u64,
+    rngs: Vec<SmallRng>,
     metrics: Recorder,
     registry: Registry,
     events: EventLog,
@@ -64,6 +69,9 @@ pub struct Kernel {
     /// branch-only fast path on every dispatch and flow-edge send.
     shard: ShardScope,
     shard_on: bool,
+    /// magma-racecheck digest observer, armed by
+    /// [`World::enable_racecheck`]; `None` costs one branch per step.
+    race: Option<RaceObserver>,
 }
 
 impl Kernel {
@@ -96,7 +104,8 @@ impl World {
             kernel: Kernel {
                 time: SimTime::ZERO,
                 queue: EventQueue::new(),
-                rng: SmallRng::seed_from_u64(seed),
+                rng_seed: seed,
+                rngs: Vec::new(),
                 metrics: Recorder::new(),
                 registry: Registry::new(),
                 events: EventLog::default(),
@@ -114,6 +123,7 @@ impl World {
                 cur_trace: None,
                 shard: ShardScope::default(),
                 shard_on: false,
+                race: None,
             },
         }
     }
@@ -199,6 +209,81 @@ impl World {
     pub fn shard_snapshot(&self) -> ShardSnapshot {
         let names: Vec<&str> = self.actors.iter().map(|s| s.name.as_str()).collect();
         self.kernel.shard.snapshot(&names)
+    }
+
+    /// Arm magma-racecheck: fold a per-window state digest as the run
+    /// executes (window = the shard plan's conservative lookahead,
+    /// `scripts/golden/shard_plan.json`). `schedule = None` digests the
+    /// canonical `(time, seq)` order; `Some(seed)` makes `run_until`
+    /// drain each window's component sub-queues in a seed-permuted
+    /// order instead. Heap peak-depth tracking switches to
+    /// window-boundary sampling, which is schedule-independent. Arm
+    /// before running; drive the full detector with
+    /// [`racecheck::detect`] and [`World::race_export`].
+    pub fn enable_racecheck(&mut self, schedule: Option<u64>) {
+        self.kernel.shard.ensure_plan();
+        let window_us = self.kernel.shard.window_us();
+        self.kernel.race = Some(RaceObserver::new(window_us, schedule));
+        self.kernel.queue.set_windowed_peak(true);
+    }
+
+    pub fn racecheck_enabled(&self) -> bool {
+        self.kernel.race.is_some()
+    }
+
+    /// Record per-event detail for one digest window — the bisection
+    /// re-run of [`racecheck::detect`]. No-op unless racecheck is armed.
+    pub fn set_race_detail_window(&mut self, window: Option<u64>) {
+        if let Some(ob) = self.kernel.race.as_mut() {
+            ob.detail_window = window;
+        }
+    }
+
+    /// Seal the trailing digest window, fold the final state digest
+    /// (live resident-event multiset + registry snapshot hash + event
+    /// count), and export the digest stream plus any detail records.
+    /// Finalization is idempotent; panics if racecheck was never armed.
+    pub fn race_export(&mut self) -> RaceExport {
+        let pending = self.kernel.queue.len() as u64;
+        let muts = self.kernel.registry.mutation_count();
+        let resident = self.kernel.queue.resident_fold();
+        let events = self.kernel.events_processed;
+        let json = serde_json::to_string(&self.kernel.registry.snapshot())
+            .expect("registry snapshot serializes");
+        let rhash = racecheck::fnv_bytes(json.as_bytes());
+        let ob = self.kernel.race.as_mut().expect("racecheck not enabled");
+        ob.finalize(pending, muts, resident, events, rhash);
+        let schedule_seed = ob.schedule_seed;
+        let window_us = ob.window_us;
+        let digests = ob.digests().to_vec();
+        let records = ob.detail_records().to_vec();
+        let detail = records
+            .iter()
+            .map(|r| RaceEvent {
+                component: self
+                    .kernel
+                    .shard
+                    .instance_of(r.target as usize)
+                    .map(|i| self.kernel.shard.label(i))
+                    .unwrap_or_else(|| "unassigned".to_string()),
+                actor: self
+                    .actors
+                    .get(r.target as usize)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|| format!("actor#{}", r.target)),
+                actor_id: r.target,
+                kind: prof::KIND_NAMES[r.kind].to_string(),
+                time_us: r.time_us,
+                detail: r.detail,
+                tie_break: r.seq,
+            })
+            .collect();
+        RaceExport {
+            schedule_seed,
+            window_us,
+            digests,
+            detail,
+        }
     }
 
     /// Head-sampling rate in [0, 1]: the deterministic seeded-hash
@@ -362,13 +447,100 @@ impl World {
 
     /// Run until the event queue is exhausted or `deadline` is reached.
     /// The clock ends exactly at `deadline` even if the queue drains early.
+    /// Under a permuted racecheck schedule this runs the windowed drain
+    /// instead of the global `(time, seq)` order.
     pub fn run_until(&mut self, deadline: SimTime) {
+        if self
+            .kernel
+            .race
+            .as_ref()
+            .is_some_and(|o| o.schedule_seed.is_some())
+        {
+            return self.run_until_permuted(deadline);
+        }
         loop {
             match self.kernel.queue.peek_time() {
                 Some(t) if t <= deadline => {
                     self.step();
                 }
                 _ => break,
+            }
+        }
+        if self.kernel.time < deadline {
+            self.kernel.time = deadline;
+        }
+    }
+
+    /// Racecheck's permuted window schedule: drain events window by
+    /// window (window = the shard plan's conservative lookahead),
+    /// visiting shard-component sub-queues in a per-window permuted
+    /// order instead of global `(time, seq)` order. Virtual time may
+    /// regress *within* a window, never across windows; cut-edge
+    /// lookahead guarantees cross-component effects land in strictly
+    /// later windows, so a race-free scenario folds the exact digests
+    /// the canonical schedule does.
+    fn run_until_permuted(&mut self, deadline: SimTime) {
+        let (window_us, seed) = {
+            let ob = self.kernel.race.as_ref().expect("permuted run without observer");
+            (ob.window_us, ob.schedule_seed.unwrap_or(0))
+        };
+        let deadline_us = deadline.as_micros();
+        let mut deferred: Vec<Scheduled> = Vec::new();
+        while let Some(t0) = self.kernel.queue.peek_time() {
+            if t0 > deadline {
+                break;
+            }
+            // Seal the previous window: every earlier window is fully
+            // drained and nothing of this one dispatched — the same
+            // observable point as the canonical pre-pop seal in `step`.
+            let pending = self.kernel.queue.len() as u64;
+            let muts = self.kernel.registry.mutation_count();
+            if let Some(ob) = self.kernel.race.as_mut() {
+                if ob.maybe_seal(t0.as_micros(), pending, muts) {
+                    self.kernel.queue.sample_peak();
+                }
+            }
+            let w = t0.as_micros() / window_us;
+            // Exclusive end of the window, clipped so events exactly at
+            // the deadline still run.
+            let wend_us = ((w + 1) * window_us).min(deadline_us + 1);
+            // Component 0 is the unassigned pseudo-component; shard
+            // instance `i` drains as component `i + 1`.
+            let ninst = self.kernel.shard.instance_count() + 1;
+            let perm = racecheck::permutation(ninst, seed, w);
+            // Multi-pass sweep: a dispatch may schedule same-window
+            // work for a component earlier in the permutation (e.g.
+            // zero-delay sends through unassigned actors), so keep
+            // sweeping until a full pass dispatches nothing.
+            loop {
+                let mut dispatched = 0u64;
+                for &ci in &perm {
+                    loop {
+                        match self.kernel.queue.peek_time() {
+                            Some(t) if t.as_micros() < wend_us => {}
+                            _ => break,
+                        }
+                        let sched = self.kernel.queue.pop().expect("peeked event vanished");
+                        let c = self
+                            .kernel
+                            .shard
+                            .instance_of(sched.target.0 as usize)
+                            .map(|i| i as usize + 1)
+                            .unwrap_or(0);
+                        if c == ci {
+                            dispatched += 1;
+                            self.dispatch(sched, true);
+                        } else {
+                            deferred.push(sched);
+                        }
+                    }
+                    for s in deferred.drain(..) {
+                        self.kernel.queue.reinsert(s);
+                    }
+                }
+                if dispatched == 0 {
+                    break;
+                }
             }
         }
         if self.kernel.time < deadline {
@@ -397,12 +569,43 @@ impl World {
 
     /// Process exactly one event. Returns false if the queue was empty.
     pub fn step(&mut self) -> bool {
+        // Racecheck canonical mode: seal the digest window before
+        // popping the first event past its boundary. `peek_time` has
+        // physically flushed cancelled heads, so the resident
+        // population here matches the permuted drain's post-window
+        // state — the two seal points observe identical queues.
+        if self.kernel.race.is_some() {
+            if let Some(t) = self.kernel.queue.peek_time() {
+                let pending = self.kernel.queue.len() as u64;
+                let muts = self.kernel.registry.mutation_count();
+                if let Some(ob) = self.kernel.race.as_mut() {
+                    if ob.maybe_seal(t.as_micros(), pending, muts) {
+                        self.kernel.queue.sample_peak();
+                    }
+                }
+            }
+        }
         let Some(sched) = self.kernel.queue.pop() else {
             return false;
         };
-        debug_assert!(sched.time >= self.kernel.time, "time went backwards");
+        self.dispatch(sched, false);
+        true
+    }
+
+    /// Deliver one popped event: advance the clock, run bookkeeping and
+    /// the target actor's handler, then apply deferred structural ops.
+    /// `permuted` relaxes the monotonic-clock assertion — racecheck's
+    /// windowed drain may legally regress time within a window.
+    fn dispatch(&mut self, sched: Scheduled, permuted: bool) {
+        debug_assert!(
+            permuted || sched.time >= self.kernel.time,
+            "time went backwards"
+        );
         self.kernel.time = sched.time;
         self.kernel.events_processed += 1;
+        if let Some(ob) = self.kernel.race.as_mut() {
+            ob.record(sched.target, sched.time.as_micros(), &sched.event, sched.seq);
+        }
 
         // magma-trace: close the in-flight hop span (its duration is the
         // schedule→delivery virtual time) and make its context current
@@ -457,14 +660,14 @@ impl World {
             .unwrap_or(true)
         {
             // Stale event for an earlier incarnation of the actor.
-            return true;
+            return;
         }
         let Some(slot) = self.actors.get_mut(idx) else {
-            return true;
+            return;
         };
         let Some(mut actor) = slot.actor.take() else {
             // Crashed / never existed: event is dropped.
-            return true;
+            return;
         };
 
         // simprof attribution: one branch when disabled; when enabled,
@@ -534,7 +737,6 @@ impl World {
                 }
             }
         }
-        true
     }
 
     /// Name of an actor (for diagnostics).
@@ -926,9 +1128,21 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Deterministic RNG shared by the world.
+    /// This actor's deterministic RNG stream, derived from the world
+    /// seed and the actor id. Streams are per-actor (not shared) so the
+    /// draw sequence an actor sees depends only on `(seed, actor)` and
+    /// its own draw count — never on how dispatches from different
+    /// actors interleave, which racecheck's permuted schedules reorder.
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.kernel.rng
+        let idx = self.self_id.0 as usize;
+        while self.kernel.rngs.len() <= idx {
+            let id = self.kernel.rngs.len() as u64;
+            let s = racecheck::splitmix64(
+                self.kernel.rng_seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            self.kernel.rngs.push(SmallRng::seed_from_u64(s));
+        }
+        &mut self.kernel.rngs[idx]
     }
 
     /// Measurement sink.

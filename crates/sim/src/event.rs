@@ -63,6 +63,15 @@ pub(crate) struct EventQueue {
     /// Always-on heap statistics for simprof: three integer ops per
     /// push/cancel, deterministic by construction.
     stats: HeapStats,
+    /// Cancelled events still physically resident in the heap. Lets
+    /// `sample_peak` report live depth, which is a pure function of the
+    /// event set — unlike raw `heap.len()`, which depends on when
+    /// cancelled entries happen to be skipped past.
+    cancel_outstanding: u64,
+    /// Racecheck mode: the per-push high-water mark depends on intra-
+    /// window dispatch order, so windowed runs disable it and sample
+    /// live depth at window boundaries instead (schedule-independent).
+    windowed_peak: bool,
 }
 
 impl EventQueue {
@@ -74,7 +83,15 @@ impl EventQueue {
             // lint:allow(D001, reason = "see the field declaration — membership-only set")
             cancelled: HashSet::new(),
             stats: HeapStats::default(),
+            cancel_outstanding: 0,
+            windowed_peak: false,
         }
+    }
+
+    /// Switch the peak-depth statistic from per-push tracking to
+    /// window-boundary sampling (see `racecheck`).
+    pub fn set_windowed_peak(&mut self, on: bool) {
+        self.windowed_peak = on;
     }
 
     pub fn push(
@@ -96,13 +113,24 @@ impl EventQueue {
             trace,
         });
         self.stats.scheduled_total += 1;
-        self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
+        if !self.windowed_peak {
+            self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
+        }
         EventHandle(seq)
+    }
+
+    /// Re-insert an event that was popped but not dispatched (the
+    /// permuted window drain defers other components' events). Keeps
+    /// the original sequence number — FIFO order within a component is
+    /// preserved — and touches no statistics.
+    pub fn reinsert(&mut self, sched: Scheduled) {
+        self.heap.push(sched);
     }
 
     pub fn cancel(&mut self, handle: EventHandle) {
         self.cancelled.insert(handle.0);
         self.stats.cancelled_total += 1;
+        self.cancel_outstanding += 1;
     }
 
     /// Heap statistics accumulated since construction.
@@ -110,10 +138,21 @@ impl EventQueue {
         self.stats
     }
 
+    /// Sample the live heap depth (resident minus cancelled-but-
+    /// unremoved) into the peak statistic. Called at window boundaries
+    /// in racecheck mode; the live depth at a causally-closed boundary
+    /// is a function of the event set alone, not the drain order.
+    pub fn sample_peak(&mut self) {
+        let len = self.heap.len() as u64;
+        let live = len - len.min(self.cancel_outstanding);
+        self.stats.peak_depth = self.stats.peak_depth.max(live);
+    }
+
     /// Pop the next non-cancelled event.
     pub fn pop(&mut self) -> Option<Scheduled> {
         while let Some(ev) = self.heap.pop() {
             if self.cancelled.remove(&ev.seq) {
+                self.cancel_outstanding = self.cancel_outstanding.saturating_sub(1);
                 continue;
             }
             return Some(ev);
@@ -127,11 +166,30 @@ impl EventQueue {
             let seq = self.heap.peek()?.seq;
             if self.cancelled.contains(&seq) {
                 self.cancelled.remove(&seq);
+                self.cancel_outstanding = self.cancel_outstanding.saturating_sub(1);
                 self.heap.pop();
                 continue;
             }
             return Some(self.heap.peek().unwrap().time);
         }
+    }
+
+    /// Commutative fold over the live (non-cancelled) resident events:
+    /// `(sum, xor, count)` of each event's content hash. Heap iteration
+    /// order is arbitrary, but the fold is order-invariant, so the
+    /// result is a pure function of the resident event multiset.
+    pub fn resident_fold(&self) -> (u64, u64, u64) {
+        let (mut sum, mut xor, mut count) = (0u64, 0u64, 0u64);
+        for ev in self.heap.iter() {
+            if self.cancelled.contains(&ev.seq) {
+                continue;
+            }
+            let h = crate::racecheck::event_hash(ev.target, ev.time.as_micros(), &ev.event);
+            sum = sum.wrapping_add(h);
+            xor ^= h;
+            count += 1;
+        }
+        (sum, xor, count)
     }
 
     /// Number of scheduled (possibly cancelled) events; used by tests

@@ -9,8 +9,12 @@
 //! Here one bounded [`EventLog`] lives inside the simulation kernel
 //! (reached via `Ctx::events()` / `World::events()`), shared by every
 //! actor the same way the metric [`Registry`](crate::Registry) is. Each
-//! event is stamped with a monotonically increasing id, the sim time,
-//! and the emitting gateway's namespace prefix (`agw0`, `ran`). A
+//! event is stamped with a *per-gateway* monotonically increasing id,
+//! the sim time, and the emitting gateway's namespace prefix (`agw0`,
+//! `ran`). Ids are deliberately not kernel-global: a global counter
+//! would interleave across shard components in kernel dispatch order,
+//! which is a window-schedule artifact — magma-racecheck flags exactly
+//! that kind of leak, and the northbound export carries the ids. A
 //! gateway's `metricsd` drains *its own* events by cursor
 //! ([`EventLog::since`]) and ships them in-band alongside metric
 //! snapshots; events from prefixes nobody drains (the RAN emulator)
@@ -68,7 +72,10 @@ pub enum Severity {
 /// byte-stable across same-seed runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StructuredEvent {
-    /// Kernel-global monotonic id; the ship-by-cursor key.
+    /// Per-gateway monotonic id; the ship-by-cursor key. Scoped to the
+    /// emitting gateway so two gateways in different shard components
+    /// never race for the next id (the assignment order would depend on
+    /// the kernel schedule, not the scenario).
     pub id: u64,
     /// Sim time at emission.
     pub at: SimTime,
@@ -86,12 +93,14 @@ pub struct StructuredEvent {
 /// letting a pathological scenario grow kernel memory unboundedly.
 pub const DEFAULT_EVENT_CAP: usize = 4096;
 
-/// A bounded ring of [`StructuredEvent`]s with monotonic ids.
+/// A bounded ring of [`StructuredEvent`]s with per-gateway monotonic ids.
 #[derive(Debug)]
 pub struct EventLog {
     ring: VecDeque<StructuredEvent>,
     cap: usize,
-    next_id: u64,
+    /// Next-id counter per gateway namespace (see [`StructuredEvent::id`]).
+    next_id: BTreeMap<String, u64>,
+    total: u64,
     dropped: u64,
 }
 
@@ -106,13 +115,15 @@ impl EventLog {
         EventLog {
             ring: VecDeque::new(),
             cap: cap.max(1),
-            next_id: 0,
+            next_id: BTreeMap::new(),
+            total: 0,
             dropped: 0,
         }
     }
 
     /// Append an event, evicting the oldest when the ring is full.
-    /// Returns the assigned id (ids start at 1 and never repeat).
+    /// Returns the assigned id (per gateway, ids start at 1 and never
+    /// repeat).
     pub fn emit(
         &mut self,
         at: SimTime,
@@ -121,9 +132,14 @@ impl EventLog {
         severity: Severity,
         fields: &[(&str, String)],
     ) -> u64 {
-        self.next_id += 1;
+        let id = {
+            let n = self.next_id.entry(gateway.to_string()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        self.total += 1;
         let ev = StructuredEvent {
-            id: self.next_id,
+            id,
             at,
             gateway: gateway.to_string(),
             kind: kind.to_string(),
@@ -138,7 +154,7 @@ impl EventLog {
             self.dropped += 1;
         }
         self.ring.push_back(ev);
-        self.next_id
+        id
     }
 
     /// Events for `gateway` with id strictly greater than `after_id`,
@@ -172,9 +188,9 @@ impl EventLog {
         self.dropped
     }
 
-    /// Total events ever emitted (equals the highest assigned id).
+    /// Total events ever emitted, across all gateways.
     pub fn total_emitted(&self) -> u64 {
-        self.next_id
+        self.total
     }
 }
 
@@ -208,20 +224,31 @@ mod tests {
     #[test]
     fn since_filters_by_gateway_and_cursor() {
         let mut log = EventLog::new(16);
-        emit_n(&mut log, "agw0", 3); // ids 1..=3
-        emit_n(&mut log, "agw1", 2); // ids 4..=5
-        emit_n(&mut log, "agw0", 2); // ids 6..=7
+        emit_n(&mut log, "agw0", 3); // agw0 ids 1..=3
+        emit_n(&mut log, "agw1", 2); // agw1 ids 1..=2 (its own sequence)
+        emit_n(&mut log, "agw0", 2); // agw0 ids 4..=5
 
         let batch = log.since("agw0", 0, 10);
         assert_eq!(
             batch.iter().map(|e| e.id).collect::<Vec<_>>(),
-            vec![1, 2, 3, 6, 7]
+            vec![1, 2, 3, 4, 5]
         );
         // Cursor resumes after the last shipped id; `max` truncates.
         let batch = log.since("agw0", 3, 1);
         assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].id, 6);
-        assert!(log.since("agw1", 5, 10).is_empty());
+        assert_eq!(batch[0].id, 4);
+        assert!(log.since("agw1", 2, 10).is_empty());
+        // Id sequences are per gateway: interleaved emitters never
+        // observe each other's counter (a kernel-global counter would
+        // leak dispatch order into the northbound export).
+        assert_eq!(
+            log.since("agw1", 0, 10)
+                .iter()
+                .map(|e| e.id)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(log.total_emitted(), 7);
     }
 
     #[test]

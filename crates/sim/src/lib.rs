@@ -22,6 +22,7 @@ pub mod eventd;
 pub mod flow;
 pub mod metrics;
 pub mod prof;
+pub mod racecheck;
 pub mod registry;
 pub mod shardscope;
 pub mod time;
@@ -34,6 +35,10 @@ pub use event::EventHandle;
 pub use flow::{AliasDecl, AliasScope, Colocate, DelayClass, Dispatch, FlowKind, Role};
 pub use prof::{
     HeapStats, HostProfile, HostStopwatch, ProfileSnapshot, ScopeGuard, VirtualProfile,
+};
+pub use racecheck::{
+    detect, first_divergence, permutation, RaceEvent, RaceExport, RaceReport, RunSpec,
+    WindowDigest,
 };
 pub use eventd::{EventLog, Severity, StructuredEvent, DEFAULT_EVENT_CAP};
 pub use metrics::{Histogram, Recorder, Series};

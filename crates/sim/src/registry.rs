@@ -19,6 +19,19 @@ use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
 
+/// Order-independent `f64` accumulation: both operands are quantized to
+/// fixed-point microunits (1e-6) before adding, so a sum over any
+/// permutation of the same observations lands on the same bits. Plain
+/// float addition is not associative, which would make counter and
+/// histogram sums depend on dispatch order — exactly the schedule
+/// dependence magma-racecheck exists to rule out. The 1e-6 grain
+/// matches the kernel's microsecond time base; values above ~2^53/1e6
+/// (≈9e9) would lose integer exactness, far beyond any modeled metric.
+fn quantized_add(sum: f64, v: f64) -> f64 {
+    const SCALE: f64 = 1e6;
+    ((sum * SCALE).round() + (v * SCALE).round()) / SCALE
+}
+
 /// Default histogram bounds for latency-style observations, in seconds.
 ///
 /// Chosen to bracket the procedure latencies the paper cares about:
@@ -92,7 +105,7 @@ impl BucketHistogram {
             }
         }
         self.count += 1;
-        self.sum += v;
+        self.sum = quantized_add(self.sum, v);
     }
 
     pub fn is_empty(&self) -> bool {
@@ -162,7 +175,7 @@ impl BucketHistogram {
             }
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = quantized_add(self.sum, other.sum);
         true
     }
 }
@@ -202,6 +215,10 @@ pub struct Registry {
     histograms: BTreeMap<String, BucketHistogram>,
     max_per_prefix: usize,
     prefix_counts: BTreeMap<String, usize>,
+    /// Total mutation operations (counter adds, gauge sets, histogram
+    /// observations). An order-invariant progress measure folded into
+    /// racecheck's per-window digests.
+    mutations: u64,
 }
 
 impl Default for Registry {
@@ -212,6 +229,7 @@ impl Default for Registry {
             histograms: BTreeMap::new(),
             max_per_prefix: DEFAULT_MAX_INSTRUMENTS_PER_PREFIX,
             prefix_counts: BTreeMap::new(),
+            mutations: 0,
         }
     }
 }
@@ -254,19 +272,24 @@ impl Registry {
         false
     }
 
-    /// Add to a monotonic counter (created at 0 on first use).
+    /// Add to a monotonic counter (created at 0 on first use). Sums are
+    /// accumulated in fixed-point microunits (see `quantized_add`), so
+    /// the final value is independent of the order contributions arrive.
     pub fn counter_add(&mut self, name: &str, by: f64) {
+        self.mutations += 1;
         if let Some(c) = self.counters.get_mut(name) {
-            *c += by;
+            *c = quantized_add(*c, by);
             return;
         }
         if self.admit(name) {
-            self.counters.insert(name.to_string(), by);
+            self.counters
+                .insert(name.to_string(), quantized_add(0.0, by));
         }
     }
 
     /// Set a gauge to its current value.
     pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.mutations += 1;
         if let Some(g) = self.gauges.get_mut(name) {
             *g = v;
             return;
@@ -284,6 +307,7 @@ impl Registry {
     /// Observe into a histogram created with explicit bounds. Bounds are
     /// fixed on first use; later calls reuse the existing buckets.
     pub fn observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.mutations += 1;
         if let Some(h) = self.histograms.get_mut(name) {
             h.observe(v);
             return;
@@ -293,6 +317,12 @@ impl Registry {
                 .insert(name.to_string(), BucketHistogram::new(bounds));
             self.histograms.get_mut(name).unwrap().observe(v);
         }
+    }
+
+    /// Total mutation operations performed on this registry since
+    /// construction (order-invariant; see the field doc).
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
     }
 
     pub fn counter(&self, name: &str) -> f64 {

@@ -237,6 +237,13 @@ struct EdgeCell {
     negative_slack: u64,
     last_us: Option<u64>,
     gap_hist: [u64; GAP_BUCKETS],
+    /// Send timestamps of the still-open conservative window, folded
+    /// into `gap_hist` in sorted order when the window advances. Raw
+    /// arrival order within a window is schedule-dependent (racecheck's
+    /// permuted drain visits senders out of order); the sorted
+    /// per-window multiset is not.
+    pending: Vec<u64>,
+    cur_win: Option<u64>,
 }
 
 impl Default for EdgeCell {
@@ -248,7 +255,49 @@ impl Default for EdgeCell {
             negative_slack: 0,
             last_us: None,
             gap_hist: [0; GAP_BUCKETS],
+            pending: Vec::new(),
+            cur_win: None,
         }
+    }
+}
+
+impl EdgeCell {
+    /// Buffer this send's timestamp into the open window, folding the
+    /// previous window first if `window` advanced past it.
+    fn note_send(&mut self, now_us: u64, window: u64) {
+        if self.cur_win != Some(window) {
+            self.flush_gaps();
+            self.cur_win = Some(window);
+        }
+        self.pending.push(now_us);
+    }
+
+    fn flush_gaps(&mut self) {
+        self.pending.sort_unstable();
+        for i in 0..self.pending.len() {
+            let t = self.pending[i];
+            if let Some(last) = self.last_us {
+                self.gap_hist[gap_bucket(t.saturating_sub(last))] += 1;
+            }
+            self.last_us = Some(t);
+        }
+        self.pending.clear();
+    }
+
+    /// Snapshot-time view: the sealed histogram plus the open window
+    /// folded virtually (snapshot takes `&self`).
+    fn gap_hist_folded(&self) -> [u64; GAP_BUCKETS] {
+        let mut hist = self.gap_hist;
+        let mut pending = self.pending.clone();
+        pending.sort_unstable();
+        let mut last = self.last_us;
+        for t in pending {
+            if let Some(l) = last {
+                hist[gap_bucket(t.saturating_sub(l))] += 1;
+            }
+            last = Some(t);
+        }
+        hist
     }
 }
 
@@ -301,7 +350,7 @@ pub struct ShardScope {
 }
 
 impl ShardScope {
-    fn ensure_plan(&mut self) -> &ShardPlan {
+    pub(crate) fn ensure_plan(&mut self) -> &ShardPlan {
         if self.plan.is_none() {
             let plan = ShardPlan::builtin();
             self.edges = vec![EdgeCell::default(); plan.cut_edges.len()];
@@ -408,8 +457,19 @@ impl ShardScope {
         self.set_assign(child, inst);
     }
 
-    fn window_us(&self) -> u64 {
+    pub(crate) fn window_us(&self) -> u64 {
         self.plan.as_ref().map(|p| p.window_us).unwrap_or(1).max(1)
+    }
+
+    /// Number of interned component instances. Racecheck's permuted
+    /// drain visits them as sub-queues `1..=count` (0 = unassigned).
+    pub(crate) fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Component instance an actor index is assigned to, if any.
+    pub(crate) fn instance_of(&self, actor: usize) -> Option<u16> {
+        self.assign.get(actor).copied().flatten()
     }
 
     fn fold_window(&mut self) {
@@ -499,6 +559,7 @@ impl ShardScope {
         };
         let lookahead = self.plan.as_ref().unwrap().cut_edges[eidx].lookahead_us;
         let slack = delay_us as i64 - lookahead as i64;
+        let w = now_us / self.window_us();
         let e = &mut self.edges[eidx];
         e.messages += 1;
         e.bytes += bytes as u64;
@@ -506,10 +567,7 @@ impl ShardScope {
         if slack < 0 {
             e.negative_slack += 1;
         }
-        if let Some(last) = e.last_us {
-            e.gap_hist[gap_bucket(now_us.saturating_sub(last))] += 1;
-        }
-        e.last_us = Some(now_us);
+        e.note_send(now_us, w);
         let p = self.pairs.entry((a, b)).or_default();
         p.messages += 1;
         p.bytes += bytes as u64;
@@ -525,16 +583,14 @@ impl ShardScope {
         let Some(eidx) = self.plan.as_ref().and_then(|p| p.edge_index(method)) else {
             return;
         };
+        let w = now_us / self.window_us();
         let e = &mut self.edges[eidx];
         e.messages += 1;
         e.bytes += bytes as u64;
-        if let Some(last) = e.last_us {
-            e.gap_hist[gap_bucket(now_us.saturating_sub(last))] += 1;
-        }
-        e.last_us = Some(now_us);
+        e.note_send(now_us, w);
     }
 
-    fn label(&self, inst: u16) -> String {
+    pub(crate) fn label(&self, inst: u16) -> String {
         let c = &self.instances[inst as usize];
         let name = self
             .plan
@@ -605,7 +661,7 @@ impl ShardScope {
                     .iter()
                     .zip(&self.edges)
                     .map(|(spec, cell)| {
-                        let mut gap_hist: Vec<u64> = cell.gap_hist.to_vec();
+                        let mut gap_hist: Vec<u64> = cell.gap_hist_folded().to_vec();
                         while gap_hist.last() == Some(&0) {
                             gap_hist.pop();
                         }

@@ -329,7 +329,26 @@ impl Tracer {
 
         self.retained.push_back(buf);
         while self.retained.len() > self.retained_cap {
-            self.retained.pop_front();
+            // Evict the trace with the smallest content key — a pure
+            // function of the retained set. Insertion order is not:
+            // racecheck's permuted window schedules interleave finishes
+            // differently, and FIFO eviction would leak that order into
+            // the exported snapshot.
+            let evict = self
+                .retained
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| {
+                    (
+                        b.finished.map(|(t, _)| t.0).unwrap_or(0),
+                        b.started.0,
+                        b.label,
+                        b.root_actor.0,
+                    )
+                })
+                .map(|(i, _)| i)
+                .expect("retained over cap is non-empty");
+            self.retained.remove(evict);
         }
     }
 

@@ -205,6 +205,9 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     // Node addresses are fabric-global, so the partition is invisible to
     // address-sensitive golden exports.
     let mut net = NetFabric::new();
+    // Per-link RNG streams derive from (seed, src, dst): loss/jitter
+    // draws are schedule-independent under racecheck's permuted runs.
+    net.set_seed(cfg.seed);
     let core_domain = net.add_domain();
     let orc8r = new_orc8r(cfg.quota_bytes);
     orc8r.borrow_mut().checkin_interval_s =
